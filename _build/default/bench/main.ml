@@ -1,0 +1,218 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   and runs one Bechamel benchmark per table/figure over the simulated
+   stacks.
+
+   Two kinds of numbers come out of this executable:
+
+   1. The *simulated* results — cycle counts, trap counts and overheads
+      produced by the architectural model.  These are the paper's numbers
+      (Tables 1, 6, 7 and Figure 2) and are printed as paper-style tables.
+
+   2. The *wall-clock* cost of producing them, measured by Bechamel (one
+      Test.make per table/figure), which tracks the simulator's own
+      performance. *)
+
+open Bechamel
+open Toolkit
+
+(* --- paper tables, regenerated --- *)
+
+let hr title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let paper_note fmt = Fmt.pr ("  paper: " ^^ fmt ^^ "@.")
+
+let print_cycles rows =
+  match rows with
+  | [] -> ()
+  | (first : Workloads.Micro.table_row) :: _ ->
+    Fmt.pr "%-12s" "";
+    List.iter (fun (l, _) -> Fmt.pr " %18s" l) first.Workloads.Micro.cells;
+    Fmt.pr "@.";
+    List.iter
+      (fun (row : Workloads.Micro.table_row) ->
+        Fmt.pr "%-12s" (Workloads.Micro.name row.Workloads.Micro.row_bench);
+        List.iter
+          (fun (_, (r : Workloads.Micro.result)) ->
+            Fmt.pr " %18.0f" r.Workloads.Micro.cycles)
+          row.Workloads.Micro.cells;
+        Fmt.pr "@.")
+      rows
+
+let print_traps rows =
+  match rows with
+  | [] -> ()
+  | (first : Workloads.Micro.table_row) :: _ ->
+    Fmt.pr "%-12s" "";
+    List.iter (fun (l, _) -> Fmt.pr " %18s" l) first.Workloads.Micro.cells;
+    Fmt.pr "@.";
+    List.iter
+      (fun (row : Workloads.Micro.table_row) ->
+        Fmt.pr "%-12s" (Workloads.Micro.name row.Workloads.Micro.row_bench);
+        List.iter
+          (fun (_, (r : Workloads.Micro.result)) ->
+            Fmt.pr " %18.1f" r.Workloads.Micro.traps)
+          row.Workloads.Micro.cells;
+        Fmt.pr "@.")
+      rows
+
+let regen_table1 () =
+  hr "Table 1: Microbenchmark Cycle Counts (VM and nested VM, ARMv8.3 / x86)";
+  print_cycles (Workloads.Micro.table1 ~iters:8 ());
+  paper_note
+    "Hypercall 2,729 / 422,720 / 307,363 (ARM VM / nested / nested VHE),";
+  paper_note "          1,188 / 36,345 (x86 VM / nested)"
+
+let regen_table6 () =
+  hr "Table 6: Microbenchmark Cycle Counts including NEVE";
+  print_cycles (Workloads.Micro.table6 ~iters:8 ());
+  paper_note "NEVE Hypercall 92,385 (non-VHE) / 100,895 (VHE)"
+
+let regen_table7 () =
+  hr "Table 7: Microbenchmark Average Trap Counts";
+  print_traps (Workloads.Micro.table7 ~iters:8 ());
+  paper_note "Hypercall 126 / 82 / 15 / 15 / 5 traps"
+
+let regen_fig2 () =
+  hr "Figure 2: Application Benchmark Performance (overhead vs native)";
+  Fmt.pr "%a" Workloads.App_bench.pp_figure2 (Workloads.App_bench.figure2 ());
+  paper_note "shape: v8.3 nested up to >40x on network workloads; NEVE";
+  paper_note "within ~2-4x; Memcached on x86 ~8x vs ~2.5x on NEVE"
+
+let regen_validation () =
+  hr "Section 5: trap-cost interchangeability";
+  let cpu = Arm.Cpu.create ~features:(Arm.Features.v Arm.Features.V8_3) () in
+  Arm.Cpu.poke_sysreg cpu Arm.Sysreg.HCR_EL2
+    (Hyp.Config.target_hcr (Hyp.Config.v Hyp.Config.Hw_v8_3));
+  cpu.Arm.Cpu.el2_handler <- Some (fun c _ -> Arm.Cpu.do_eret c);
+  cpu.Arm.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1;
+  let cost insn =
+    let c0 = cpu.Arm.Cpu.meter.Cost.cycles in
+    Arm.Cpu.exec cpu insn;
+    cpu.Arm.Cpu.meter.Cost.cycles - c0
+  in
+  List.iter
+    (fun (name, insn) -> Fmt.pr "%-24s %4d cycles@." name (cost insn))
+    [ ("hvc", Arm.Insn.Hvc 0);
+      ("mrs HCR_EL2", Arm.Insn.Mrs (0, Arm.Sysreg.direct Arm.Sysreg.HCR_EL2));
+      ("msr VTTBR_EL2", Arm.Insn.Msr (Arm.Sysreg.direct Arm.Sysreg.VTTBR_EL2, Arm.Insn.Reg 0));
+      ("eret", Arm.Insn.Eret) ];
+  paper_note "trapping EL1->EL2 68-76 cycles, return 65; <10%% spread"
+
+(* --- bechamel benchmarks: one Test.make per table/figure --- *)
+
+let nested_machine config =
+  let m = Hyp.Machine.create ~ncpus:2 config Hyp.Host_hyp.Nested in
+  Hyp.Machine.boot m;
+  m
+
+let test_table1 =
+  (* the dominant cost of Table 1: a nested hypercall on ARMv8.3 *)
+  let m = nested_machine (Hyp.Config.v Hyp.Config.Hw_v8_3) in
+  Test.make ~name:"table1/nested-hypercall-v8.3"
+    (Staged.stage (fun () -> Hyp.Machine.hypercall m ~cpu:0))
+
+let test_table6 =
+  let m = nested_machine (Hyp.Config.v Hyp.Config.Hw_neve) in
+  Test.make ~name:"table6/nested-hypercall-neve"
+    (Staged.stage (fun () -> Hyp.Machine.hypercall m ~cpu:0))
+
+let test_table7 =
+  let m = nested_machine (Hyp.Config.v ~guest_vhe:true Hyp.Config.Hw_neve) in
+  Test.make ~name:"table7/nested-hypercall-neve-vhe"
+    (Staged.stage (fun () -> Hyp.Machine.hypercall m ~cpu:0))
+
+let test_table1_x86 =
+  let t = X86.Turtles.create ~nested:true () in
+  Test.make ~name:"table1/nested-hypercall-x86"
+    (Staged.stage (fun () -> X86.Turtles.hypercall t))
+
+let test_fig2 =
+  Test.make ~name:"fig2/full-figure"
+    (Staged.stage (fun () -> ignore (Workloads.App_bench.figure2 ())))
+
+let test_validate =
+  let cpu = Arm.Cpu.create ~features:(Arm.Features.v Arm.Features.V8_3) () in
+  Arm.Cpu.poke_sysreg cpu Arm.Sysreg.HCR_EL2
+    (Hyp.Config.target_hcr (Hyp.Config.v Hyp.Config.Hw_v8_3));
+  cpu.Arm.Cpu.el2_handler <- Some (fun c _ -> Arm.Cpu.do_eret c);
+  cpu.Arm.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1;
+  Test.make ~name:"validate/single-trap"
+    (Staged.stage (fun () -> Arm.Cpu.exec cpu (Arm.Insn.Hvc 0)))
+
+(* ablation benches: the design-choice knobs DESIGN.md calls out *)
+let test_ablation_pv =
+  let m = nested_machine (Hyp.Config.v Hyp.Config.Pv_neve) in
+  Test.make ~name:"ablation/neve-paravirt-twin"
+    (Staged.stage (fun () -> Hyp.Machine.hypercall m ~cpu:0))
+
+let test_ablation_ipi =
+  let m = nested_machine (Hyp.Config.v Hyp.Config.Hw_neve) in
+  Test.make ~name:"ablation/nested-ipi-neve"
+    (Staged.stage (fun () ->
+         Hyp.Machine.send_ipi m ~cpu:0 ~target:1 ~intid:5;
+         match Hyp.Machine.vm_ack m ~cpu:1 with
+         | Some v -> ignore (Hyp.Machine.vm_eoi m ~cpu:1 ~vintid:v)
+         | None -> ()))
+
+let benchmarks () =
+  let tests =
+    [ test_table1; test_table1_x86; test_table6; test_table7; test_fig2;
+      test_validate; test_ablation_pv; test_ablation_ipi ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"neve" tests)
+  in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  hr "Bechamel: wall-clock cost of the simulator (ns per operation)";
+  Hashtbl.iter
+    (fun measure tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> Fmt.pr "%-40s %12.0f %s@." name e measure
+          | _ -> Fmt.pr "%-40s %12s@." name "n/a")
+        rows)
+    merged
+
+let regen_ablation () =
+  hr "Ablation: per-mechanism contribution (nested hypercall traps)";
+  Fmt.pr "%a" Workloads.Ablation.pp (Workloads.Ablation.run ());
+  paper_note "NEVE = deferral + redirection + cached copies (Section 6);";
+  paper_note "deferral carries most of the 126 -> 15 reduction"
+
+let regen_recursive () =
+  hr "Recursive virtualization (Section 6.2): L3 hypercall";
+  Fmt.pr "%a" Workloads.Recursive.pp (Workloads.Recursive.run ());
+  paper_note "the paper argues recursion works; the model quantifies it:";
+  paper_note "exit multiplication compounds quadratically without NEVE"
+
+let () =
+  Fmt.pr "NEVE (SOSP 2017) reproduction — benchmark harness@.";
+  regen_table1 ();
+  regen_table6 ();
+  regen_table7 ();
+  regen_fig2 ();
+  regen_validation ();
+  regen_ablation ();
+  regen_recursive ();
+  hr "Register-list scaling (traps per save+restore of n registers)";
+  Fmt.pr "%a" Workloads.Sweep.pp (Workloads.Sweep.run ());
+  hr "RISC-V counterpoint (Section 8): nested exit on the H-extension";
+  Fmt.pr "%a" Riscv.Nested.pp (Riscv.Nested.run ());
+  paper_note "RISC-V's built-in s*->vs* aliasing plays the role of VHE;";
+  paper_note "a VNCR-like deferral would play the role of NEVE";
+  benchmarks ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,289 @@
+(* neve_sim: command-line driver regenerating every table and figure of the
+   paper, plus analysis tools.
+
+   Subcommands:
+     table1    microbenchmark cycle counts, ARMv8.3 + x86 (paper Table 1)
+     table6    microbenchmark cycle counts incl. NEVE (paper Table 6)
+     table7    microbenchmark average trap counts (paper Table 7)
+     fig2      application benchmark overheads (paper Figure 2)
+     traps     trap log of one nested microbenchmark, classified
+     classify  the NEVE register classification (paper Tables 3/4/5)
+     validate  trap-cost interchangeability measurement (paper Section 5)
+*)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Enable hypervisor debug logging." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let iters_arg =
+  let doc = "Iterations per measurement." in
+  Arg.(value & opt int 16 & info [ "iters"; "n" ] ~doc)
+
+(* --- table printers with paper-style relative overheads --- *)
+
+let print_cycles_table rows ~show_overhead =
+  match rows with
+  | [] -> ()
+  | (first : Workloads.Micro.table_row) :: _ ->
+    let labels = List.map fst first.Workloads.Micro.cells in
+    Fmt.pr "%-12s" "";
+    List.iter (fun l -> Fmt.pr " %20s" l) labels;
+    Fmt.pr "@.";
+    let vm_baseline row =
+      (* the paper's relative overheads are vs the same platform's VM *)
+      let find l = List.assoc_opt l row.Workloads.Micro.cells in
+      ( Option.map (fun (r : Workloads.Micro.result) -> r.Workloads.Micro.cycles) (find "VM"),
+        Option.map (fun (r : Workloads.Micro.result) -> r.Workloads.Micro.cycles) (find "x86 VM") )
+    in
+    List.iter
+      (fun (row : Workloads.Micro.table_row) ->
+        Fmt.pr "%-12s" (Workloads.Micro.name row.Workloads.Micro.row_bench);
+        let arm_base, x86_base = vm_baseline row in
+        List.iter
+          (fun (label, (r : Workloads.Micro.result)) ->
+            let base =
+              if String.length label >= 3 && String.sub label 0 3 = "x86" then
+                x86_base
+              else arm_base
+            in
+            match (show_overhead, base) with
+            | true, Some b when b > 0. && r.Workloads.Micro.cycles > b ->
+              Fmt.pr " %12.0f (%3.0fx)" r.Workloads.Micro.cycles
+                (r.Workloads.Micro.cycles /. b)
+            | _ -> Fmt.pr " %12.0f       " r.Workloads.Micro.cycles)
+          row.Workloads.Micro.cells;
+        Fmt.pr "@.")
+      rows
+
+let print_traps_table rows =
+  match rows with
+  | [] -> ()
+  | (first : Workloads.Micro.table_row) :: _ ->
+    let labels = List.map fst first.Workloads.Micro.cells in
+    Fmt.pr "%-12s" "";
+    List.iter (fun l -> Fmt.pr " %18s" l) labels;
+    Fmt.pr "@.";
+    List.iter
+      (fun (row : Workloads.Micro.table_row) ->
+        Fmt.pr "%-12s" (Workloads.Micro.name row.Workloads.Micro.row_bench);
+        List.iter
+          (fun (_, (r : Workloads.Micro.result)) ->
+            Fmt.pr " %18.1f" r.Workloads.Micro.traps)
+          row.Workloads.Micro.cells;
+        Fmt.pr "@.")
+      rows
+
+let table1_cmd =
+  let run iters =
+    Fmt.pr "Table 1: Microbenchmark Cycle Counts (ARMv8.3, x86)@.@.";
+    print_cycles_table (Workloads.Micro.table1 ~iters ()) ~show_overhead:false
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce paper Table 1")
+    Term.(const run $ iters_arg)
+
+let table6_cmd =
+  let run iters =
+    Fmt.pr "Table 6: Microbenchmark Cycle Counts incl. NEVE@.@.";
+    print_cycles_table (Workloads.Micro.table6 ~iters ()) ~show_overhead:true
+  in
+  Cmd.v (Cmd.info "table6" ~doc:"Reproduce paper Table 6")
+    Term.(const run $ iters_arg)
+
+let table7_cmd =
+  let run iters =
+    Fmt.pr "Table 7: Microbenchmark Average Trap Counts@.@.";
+    print_traps_table (Workloads.Micro.table7 ~iters ())
+  in
+  Cmd.v (Cmd.info "table7" ~doc:"Reproduce paper Table 7")
+    Term.(const run $ iters_arg)
+
+let fig2_cmd =
+  let chart_arg =
+    let doc = "Render ASCII bars instead of a table." in
+    Arg.(value & flag & info [ "chart" ] ~doc)
+  in
+  let run chart =
+    Fmt.pr
+      "Figure 2: Application Benchmark Performance (overhead vs native)@.@.";
+    let rows = Workloads.App_bench.figure2 () in
+    if chart then Fmt.pr "%a@." Workloads.App_bench.pp_figure2_chart rows
+    else Fmt.pr "%a@." Workloads.App_bench.pp_figure2 rows
+  in
+  Cmd.v (Cmd.info "fig2" ~doc:"Reproduce paper Figure 2")
+    Term.(const run $ chart_arg)
+
+let mech_conv =
+  let parse = function
+    | "v8.3" -> Ok Hyp.Config.Hw_v8_3
+    | "v8.3-pv" -> Ok Hyp.Config.Pv_v8_3
+    | "neve" -> Ok Hyp.Config.Hw_neve
+    | "neve-pv" -> Ok Hyp.Config.Pv_neve
+    | s -> Error (`Msg ("unknown mechanism: " ^ s))
+  in
+  let print ppf m = Fmt.string ppf (Hyp.Config.mechanism_name m) in
+  Arg.conv (parse, print)
+
+let mech_arg =
+  let doc = "Mechanism: v8.3, v8.3-pv, neve, neve-pv." in
+  Arg.(value & opt mech_conv Hyp.Config.Hw_v8_3 & info [ "mech"; "m" ] ~doc)
+
+let vhe_arg =
+  let doc = "Use a VHE guest hypervisor." in
+  Arg.(value & flag & info [ "vhe" ] ~doc)
+
+let traps_cmd =
+  let run mech vhe verbose =
+    setup_logs verbose;
+    let config = Hyp.Config.v ~guest_vhe:vhe mech in
+    let m =
+      Workloads.Scenario.make_arm (Workloads.Scenario.Arm_nested config)
+    in
+    (* warm up, then log one hypercall *)
+    Hyp.Machine.hypercall m ~cpu:0;
+    Cost.set_logging m.Hyp.Machine.cpus.(0).Arm.Cpu.meter true;
+    Hyp.Machine.hypercall m ~cpu:0;
+    let log = Cost.trap_log m.Hyp.Machine.cpus.(0).Arm.Cpu.meter in
+    Fmt.pr "Traps to the host hypervisor for one nested hypercall (%s):@.@."
+      (Hyp.Config.name config);
+    List.iteri
+      (fun i (kind, detail) ->
+        Fmt.pr "%3d  %-14s %s@." (i + 1) (Cost.trap_kind_name kind) detail)
+      log;
+    Fmt.pr "@.total: %d traps@." (List.length log)
+  in
+  Cmd.v
+    (Cmd.info "traps"
+       ~doc:"Log and classify every trap of one nested hypercall")
+    Term.(const run $ mech_arg $ vhe_arg $ verbose_arg)
+
+let classify_cmd =
+  let run () =
+    Fmt.pr
+      "NEVE register classification (Tables 3, 4, 5; non-VHE guest view)@.@.";
+    Fmt.pr "%a@." Core.Classify.pp_classification ()
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Print the NEVE register classification")
+    Term.(const run $ const ())
+
+(* Section 5 validation: the cost of a trap is the same whatever the
+   trapping instruction — the assumption underlying the paravirtualization
+   methodology. *)
+let validate_cmd =
+  let run () =
+    let cpu = Arm.Cpu.create ~features:(Arm.Features.v Arm.Features.V8_3) () in
+    Arm.Cpu.poke_sysreg cpu Arm.Sysreg.HCR_EL2
+      (Hyp.Config.target_hcr (Hyp.Config.v Hyp.Config.Hw_v8_3));
+    cpu.Arm.Cpu.el2_handler <-
+      Some (fun c _e -> Arm.Cpu.do_eret c) (* minimal handler: trap + eret *);
+    cpu.Arm.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1;
+    let trap_cost insn =
+      let before = cpu.Arm.Cpu.meter.Cost.cycles in
+      Arm.Cpu.exec cpu insn;
+      cpu.Arm.Cpu.meter.Cost.cycles - before
+    in
+    Fmt.pr "Section 5 validation: cost of trapping instructions@.@.";
+    let cases =
+      [ ("hvc #0", Arm.Insn.Hvc 0);
+        ("mrs x0, HCR_EL2", Arm.Insn.Mrs (0, Arm.Sysreg.direct Arm.Sysreg.HCR_EL2));
+        ("msr VTTBR_EL2, x0", Arm.Insn.Msr (Arm.Sysreg.direct Arm.Sysreg.VTTBR_EL2, Arm.Insn.Reg 0));
+        ("mrs x0, ICH_VTR_EL2", Arm.Insn.Mrs (0, Arm.Sysreg.direct Arm.Sysreg.ICH_VTR_EL2));
+        ("eret", Arm.Insn.Eret) ]
+    in
+    let costs =
+      List.map
+        (fun (name, insn) ->
+          let c = trap_cost insn in
+          Fmt.pr "  %-24s %4d cycles@." name c;
+          c)
+        cases
+    in
+    let lo = List.fold_left min max_int costs in
+    let hi = List.fold_left max 0 costs in
+    Fmt.pr "@.spread: %d-%d cycles (%.1f%%) — the paper found <10%%@." lo hi
+      (100. *. float_of_int (hi - lo) /. float_of_int hi)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate trap-cost interchangeability (Section 5)")
+    Term.(const run $ const ())
+
+let ablation_cmd =
+  let run vhe =
+    Fmt.pr
+      "Ablation: contribution of each NEVE mechanism (nested hypercall%s)@.@."
+      (if vhe then ", VHE" else "");
+    Fmt.pr "%a@." Workloads.Ablation.pp (Workloads.Ablation.run ~vhe ())
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Disable NEVE mechanisms independently and measure traps")
+    Term.(const run $ vhe_arg)
+
+let recursive_cmd =
+  let run () =
+    Fmt.pr "Recursive virtualization (Section 6.2): L3 hypercall costs@.@.";
+    Fmt.pr "%a@." Workloads.Recursive.pp (Workloads.Recursive.run ())
+  in
+  Cmd.v
+    (Cmd.info "recursive"
+       ~doc:"Measure an L3 hypercall through a four-level stack")
+    Term.(const run $ const ())
+
+let sweep_cmd =
+  let run () =
+    Fmt.pr "Register-list scaling: traps per save+restore of n registers@.@.";
+    Fmt.pr "%a@." Workloads.Sweep.pp (Workloads.Sweep.run ())
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Trap counts vs context size, per mechanism")
+    Term.(const run $ const ())
+
+let riscv_cmd =
+  let run () =
+    Fmt.pr
+      "RISC-V counterpoint (Section 8): nested exit cost on the H-extension@.@.";
+    Fmt.pr "%a" Riscv.Nested.pp (Riscv.Nested.run ());
+    Fmt.pr
+      "@.ARM for comparison: 121 traps (v8.3) / 13 (NEVE) per nested hypercall.@.";
+    Fmt.pr
+      "RISC-V's built-in s*->vs* aliasing starts it where ARM needed VHE;@.";
+    Fmt.pr "a VNCR-like deferral would finish the job.@."
+  in
+  Cmd.v
+    (Cmd.info "riscv"
+       ~doc:"The RISC-V H-extension counterpoint experiment")
+    Term.(const run $ const ())
+
+let compare_cmd =
+  let run () =
+    Fmt.pr "Paper vs measured (cycle counts, Tables 1/6)@.@.";
+    Fmt.pr "%a" Workloads.Compare.pp (Workloads.Compare.cycles ());
+    Fmt.pr "@.Paper vs measured (trap counts, Table 7)@.@.";
+    Fmt.pr "%a" Workloads.Compare.pp (Workloads.Compare.traps ())
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Measure everything and report deviations from the paper")
+    Term.(const run $ const ())
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "neve_sim" ~version:"1.0"
+      ~doc:"NEVE (SOSP 2017) reproduction: simulator and benchmarks"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ table1_cmd; table6_cmd; table7_cmd; fig2_cmd; traps_cmd;
+            classify_cmd; validate_cmd; ablation_cmd; recursive_cmd;
+            sweep_cmd; riscv_cmd; compare_cmd ]))

@@ -1,0 +1,1 @@
+examples/binary_patching.ml: Arm Array Cost Fmt Hyp Int64 List

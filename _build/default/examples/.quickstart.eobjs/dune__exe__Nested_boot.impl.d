@@ -1,0 +1,1 @@
+examples/nested_boot.ml: Arm Array Cost Fmt Hyp Int64 Mmu Workloads

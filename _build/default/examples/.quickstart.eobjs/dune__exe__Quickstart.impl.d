@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arm Array Cost Fmt Hyp List

@@ -1,0 +1,1 @@
+examples/recursive_virt.ml: Arm Array Core Cost Fmt Hyp Int64 Mmu Option

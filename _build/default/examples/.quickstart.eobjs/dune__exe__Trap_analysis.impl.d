@@ -1,0 +1,1 @@
+examples/trap_analysis.ml: Cost Fmt Hyp List Option Workloads

@@ -1,0 +1,1 @@
+examples/trap_analysis.mli:

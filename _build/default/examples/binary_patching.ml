@@ -1,0 +1,99 @@
+(* The "fully automated approach" of Section 4: binary-patch a compiled
+   guest-hypervisor image and run it from memory.
+
+   We assemble a fragment of a hypervisor's world-switch path exactly as a
+   compiler would emit it for real EL2 hardware, patch the A64 words for
+   each target (ARMv8.3: trapping instructions become hvc; NEVE: deferred
+   accesses become x28-relative stores, redirected ones become EL1
+   accesses), then execute every variant from simulated memory through the
+   fetch-decode-execute interpreter and compare trap behaviour.
+
+   Run with: dune exec examples/binary_patching.exe *)
+
+module Insn = Arm.Insn
+module Sysreg = Arm.Sysreg
+module Interp = Arm.Interp
+module Encode = Arm.Encode
+
+let base = 0x8_0000L
+let page = 0x5_0000L
+
+(* A compiler's output for a hypervisor routine: read the exit syndrome,
+   stash the VM's translation state, re-arm the trap controls. *)
+let image =
+  List.map Encode.encode
+    [ Insn.Mrs (0, Sysreg.direct Sysreg.ESR_EL2);
+      Insn.Mrs (1, Sysreg.direct Sysreg.ELR_EL2);
+      Insn.Mrs (2, Sysreg.direct Sysreg.TTBR0_EL1);
+      Insn.Mrs (3, Sysreg.direct Sysreg.TCR_EL1);
+      Insn.Msr (Sysreg.direct Sysreg.HCR_EL2, Insn.Reg 0);
+      Insn.Msr (Sysreg.direct Sysreg.VTTBR_EL2, Insn.Reg 1);
+      Insn.Msr (Sysreg.direct Sysreg.CPTR_EL2, Insn.Reg 2);
+      Insn.Mrs (4, Sysreg.direct Sysreg.CurrentEL);
+      Insn.Nop ]
+  |> Array.of_list
+
+let show_disassembly mem count =
+  List.iter
+    (fun (addr, text) -> Fmt.pr "  %Lx: %s@." addr text)
+    (Interp.disassemble mem ~base ~count)
+
+let run_variant label config patch =
+  let cpu = Arm.Cpu.create ~features:(Hyp.Config.hw_features config) () in
+  cpu.Arm.Cpu.el2_handler <- Some (fun c _ -> Arm.Cpu.do_eret c);
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2
+    (if Hyp.Config.is_paravirt config then 0L
+     else Hyp.Config.target_hcr config);
+  if Hyp.Config.is_neve config && not (Hyp.Config.is_paravirt config) then
+    Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 (Int64.logor page 1L);
+  cpu.Arm.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1;
+  Arm.Cpu.set_reg cpu 28 page (* the patching convention: x28 = page base *);
+  let text =
+    if patch then Hyp.Paravirt.patch_text config ~page_base:page image
+    else image
+  in
+  Interp.load cpu.Arm.Cpu.mem ~base text;
+  Fmt.pr "@.%s:@." label;
+  show_disassembly cpu.Arm.Cpu.mem (Array.length image);
+  (match Interp.run cpu ~entry:base ~max_insns:200 with
+   | Interp.Breakpoint ->
+     Fmt.pr "  -> ran to completion: %d traps, %d cycles@."
+       cpu.Arm.Cpu.meter.Cost.traps cpu.Arm.Cpu.meter.Cost.cycles;
+     Fmt.pr "  -> CurrentEL read back as EL%Ld (the v8.3 disguise)@."
+       (Int64.shift_right_logical (Arm.Cpu.get_reg cpu 4) 2)
+   | o -> Fmt.pr "  -> %a@." Interp.pp_outcome o);
+  cpu
+
+let () =
+  Fmt.pr "Binary patching a guest-hypervisor image (Section 4)@.";
+  Fmt.pr "=====================================================@.";
+
+  (* the unmodified image on v8.0: crashes on the first EL2 access *)
+  Fmt.pr "@.unmodified image on ARMv8.0 (the Section 2 crash):@.";
+  let cpu = Arm.Cpu.create () in
+  cpu.Arm.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1;
+  Interp.load cpu.Arm.Cpu.mem ~base image;
+  (try ignore (Interp.run cpu ~entry:base ~max_insns:200)
+   with Arm.Cpu.Undefined_instruction (insn, el) ->
+     Fmt.pr "  -> UNDEFINED: %s at %s — \"likely leading to a software crash\"@."
+       (Insn.to_string insn) (Arm.Pstate.el_name el));
+
+  let v83 =
+    run_variant "patched for ARMv8.3 (hvc replacement), run on v8.0"
+      (Hyp.Config.v Hyp.Config.Pv_v8_3) true
+  in
+  let neve =
+    run_variant "patched for NEVE (loads/stores + EL1 redirects), run on v8.0"
+      (Hyp.Config.v Hyp.Config.Pv_neve) true
+  in
+  let hw =
+    run_variant "unmodified image on real NEVE hardware (ARMv8.4)"
+      (Hyp.Config.v Hyp.Config.Hw_neve) false
+  in
+  Fmt.pr
+    "@.trap counts: v8.3-patched %d, NEVE-patched %d, NEVE hardware %d@."
+    v83.Arm.Cpu.meter.Cost.traps neve.Arm.Cpu.meter.Cost.traps
+    hw.Arm.Cpu.meter.Cost.traps;
+  Fmt.pr
+    "the NEVE-patched image and real NEVE hardware behave identically —@.";
+  Fmt.pr "the paper's methodology (Section 3), demonstrated on raw machine code.@."

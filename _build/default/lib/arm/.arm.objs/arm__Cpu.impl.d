@@ -1,0 +1,1 @@
+lib/arm/cpu.ml: Array Cost Exn Features Fmt Hcr Insn Int64 List Memory Pstate Sysreg Sysreg_file Trap_rules

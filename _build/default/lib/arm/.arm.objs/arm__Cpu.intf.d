@@ -1,0 +1,1 @@
+lib/arm/cpu.mli: Cost Exn Features Format Hcr Insn Memory Pstate Sysreg Sysreg_file Trap_rules

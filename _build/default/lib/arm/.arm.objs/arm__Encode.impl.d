@@ -1,0 +1,1 @@
+lib/arm/encode.ml: Insn Int64 Sysreg

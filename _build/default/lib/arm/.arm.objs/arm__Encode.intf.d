@@ -1,0 +1,1 @@
+lib/arm/encode.mli: Insn Sysreg

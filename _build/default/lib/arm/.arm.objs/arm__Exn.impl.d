@@ -1,0 +1,1 @@
+lib/arm/exn.ml: Fmt Int64 Pstate Sysreg

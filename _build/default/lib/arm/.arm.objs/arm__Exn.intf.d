@@ -1,0 +1,1 @@
+lib/arm/exn.mli: Format Pstate Sysreg

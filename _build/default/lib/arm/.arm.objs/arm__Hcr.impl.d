@@ -1,0 +1,1 @@
+lib/arm/hcr.ml: Fmt Int64 List

@@ -1,0 +1,1 @@
+lib/arm/interp.ml: Array Cpu Encode Fmt Insn Int64 List Memory Printf

@@ -1,0 +1,1 @@
+lib/arm/memory.ml: Hashtbl Int64 List Option Printf

@@ -1,0 +1,1 @@
+lib/arm/pstate.ml: Fmt Int Int64

@@ -1,0 +1,1 @@
+lib/arm/sysreg.ml: Filename Fmt Hashtbl List Printf Pstate String

@@ -1,0 +1,1 @@
+lib/arm/sysreg_file.ml: Hashtbl Int64 List Sysreg

@@ -1,0 +1,1 @@
+lib/arm/sysreg_file.mli: Hashtbl Sysreg

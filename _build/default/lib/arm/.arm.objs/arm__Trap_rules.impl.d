@@ -1,0 +1,1 @@
+lib/arm/trap_rules.ml: Cost Exn Features Fmt Hcr Insn Int64 Pstate Sysreg

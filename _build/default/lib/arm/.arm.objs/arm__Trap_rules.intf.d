@@ -1,0 +1,1 @@
+lib/arm/trap_rules.mli: Cost Exn Features Format Hcr Insn Pstate Sysreg

@@ -1,0 +1,41 @@
+(* Architecture revisions and the virtualization features each one brings.
+
+   The paper spans four points of the ARMv8 timeline:
+   - v8.0: the hardware the authors actually ran on (HP Moonshot / Atlas);
+     Virtualization Extensions (EL2) but neither VHE nor nested support.
+   - v8.1: Virtualization Host Extensions (VHE): E2H redirection, the
+     *_EL12/_EL02 access instructions, extra EL2 registers.
+   - v8.3: nested virtualization (FEAT_NV): trapping EL2 instructions
+     executed at EL1, the CurrentEL disguise, EL2 page-table format at EL1.
+   - v8.4: NEVE (FEAT_NV2): VNCR_EL2 and transparent rewriting of system
+     register accesses into memory accesses / EL1 accesses. *)
+
+type revision = V8_0 | V8_1 | V8_3 | V8_4
+
+let revision_name = function
+  | V8_0 -> "ARMv8.0"
+  | V8_1 -> "ARMv8.1"
+  | V8_3 -> "ARMv8.3"
+  | V8_4 -> "ARMv8.4"
+
+let compare_revision a b =
+  let rank = function V8_0 -> 0 | V8_1 -> 1 | V8_3 -> 2 | V8_4 -> 3 in
+  Int.compare (rank a) (rank b)
+
+type t = {
+  revision : revision;
+  gicv3 : bool;  (* system-register GIC interface (v2 is memory-mapped) *)
+}
+
+let v ?(gicv3 = true) revision = { revision; gicv3 }
+
+let has_vhe t = compare_revision t.revision V8_1 >= 0
+let has_nv t = compare_revision t.revision V8_3 >= 0
+let has_nv2 t = compare_revision t.revision V8_4 >= 0
+
+let pp ppf t =
+  Fmt.pf ppf "%s%s%s%s (%s)" (revision_name t.revision)
+    (if has_vhe t then "+VHE" else "")
+    (if has_nv t then "+NV" else "")
+    (if has_nv2 t then "+NV2" else "")
+    (if t.gicv3 then "GICv3" else "GICv2")

@@ -1,0 +1,75 @@
+(* HCR_EL2 bit definitions and decoded view.
+
+   Bit positions follow the ARM ARM.  The bits the paper's mechanisms hinge
+   on: TVM/TRVM (trap EL1 VM-register accesses — the "existing ARMv8.0
+   mechanisms" of Section 4), TGE, E2H (VHE), and NV/NV1/NV2 (ARMv8.3
+   nested virtualization and ARMv8.4 NEVE). *)
+
+let bit n = Int64.shift_left 1L n
+
+let vm = bit 0      (* stage-2 translation enable *)
+let fmo = bit 3     (* route FIQ to EL2 *)
+let imo = bit 4     (* route IRQ to EL2 *)
+let amo = bit 5
+let twi = bit 13    (* trap WFI *)
+let twe = bit 14    (* trap WFE *)
+let tsc = bit 19    (* trap SMC *)
+let tvm = bit 26    (* trap writes to EL1 VM registers *)
+let tge = bit 27    (* trap general exceptions *)
+let trvm = bit 30   (* trap reads of EL1 VM registers *)
+let e2h = bit 34    (* VHE: EL2 host *)
+let nv = bit 42     (* ARMv8.3: nested virtualization *)
+let nv1 = bit 43    (* ARMv8.3: NV behaviour tweak for non-VHE guests *)
+let at = bit 44     (* trap address-translation instructions *)
+let nv2 = bit 45    (* ARMv8.4: NEVE register-access transformation *)
+
+let is_set v b = Int64.logand v b <> 0L
+let set v b = Int64.logor v b
+let clear_bit v b = Int64.logand v (Int64.lognot b)
+
+type view = {
+  h_vm : bool;
+  h_imo : bool;
+  h_fmo : bool;
+  h_twi : bool;
+  h_tsc : bool;
+  h_tvm : bool;
+  h_tge : bool;
+  h_trvm : bool;
+  h_e2h : bool;
+  h_nv : bool;
+  h_nv1 : bool;
+  h_nv2 : bool;
+}
+
+let decode v = {
+  h_vm = is_set v vm;
+  h_imo = is_set v imo;
+  h_fmo = is_set v fmo;
+  h_twi = is_set v twi;
+  h_tsc = is_set v tsc;
+  h_tvm = is_set v tvm;
+  h_tge = is_set v tge;
+  h_trvm = is_set v trvm;
+  h_e2h = is_set v e2h;
+  h_nv = is_set v nv;
+  h_nv1 = is_set v nv1;
+  h_nv2 = is_set v nv2;
+}
+
+let encode h =
+  let add acc (b, on) = if on then set acc b else acc in
+  List.fold_left add 0L
+    [ (vm, h.h_vm); (imo, h.h_imo); (fmo, h.h_fmo); (twi, h.h_twi);
+      (tsc, h.h_tsc); (tvm, h.h_tvm); (tge, h.h_tge); (trvm, h.h_trvm);
+      (e2h, h.h_e2h); (nv, h.h_nv); (nv1, h.h_nv1); (nv2, h.h_nv2) ]
+
+let pp ppf h =
+  let flags =
+    [ ("VM", h.h_vm); ("IMO", h.h_imo); ("FMO", h.h_fmo); ("TWI", h.h_twi);
+      ("TSC", h.h_tsc); ("TVM", h.h_tvm); ("TGE", h.h_tge);
+      ("TRVM", h.h_trvm); ("E2H", h.h_e2h); ("NV", h.h_nv);
+      ("NV1", h.h_nv1); ("NV2", h.h_nv2) ]
+    |> List.filter_map (fun (n, b) -> if b then Some n else None)
+  in
+  Fmt.pf ppf "HCR{%a}" Fmt.(list ~sep:(any "|") string) flags

@@ -1,0 +1,88 @@
+(* Fetch-decode-execute over A64-encoded memory.
+
+   Programs are stored as 32-bit words in simulated physical memory
+   (packed two per 64-bit word); the interpreter fetches at PC, decodes
+   (Encode.decode) and executes (Cpu.exec), with all the trap machinery
+   applying.  This is what makes the binary-patching flavour of the
+   paper's paravirtualization (Section 4) a real execution path: a guest
+   hypervisor image can be patched word-for-word in memory and then run
+   from memory. *)
+
+type outcome =
+  | Halted of int64   (* fetched an unencodable word at this address *)
+  | Breakpoint        (* executed the halt marker *)
+  | Limit             (* instruction budget exhausted *)
+
+let pp_outcome ppf = function
+  | Halted a -> Fmt.pf ppf "halted at 0x%Lx" a
+  | Breakpoint -> Fmt.string ppf "breakpoint"
+  | Limit -> Fmt.string ppf "limit"
+
+(* The halt marker: an architecturally-valid instruction a test program
+   ends with ([hvc #0x3f] would be a real hypercall, so use a branch-to-
+   self, the canonical "parking" instruction). *)
+let halt_marker = Encode.encode (Insn.B 0)
+
+(* --- program memory --- *)
+
+let fetch32 mem addr =
+  let word = Memory.read64 mem (Int64.logand addr (Int64.lognot 7L)) in
+  let hi = Int64.logand addr 4L <> 0L in
+  Int64.to_int
+    (Int64.logand
+       (if hi then Int64.shift_right_logical word 32 else word)
+       0xffff_ffffL)
+
+let store32 mem addr v =
+  let base = Int64.logand addr (Int64.lognot 7L) in
+  let word = Memory.read64 mem base in
+  let v64 = Int64.logand (Int64.of_int v) 0xffff_ffffL in
+  let word' =
+    if Int64.logand addr 4L <> 0L then
+      Int64.logor
+        (Int64.logand word 0x0000_0000_ffff_ffffL)
+        (Int64.shift_left v64 32)
+    else Int64.logor (Int64.logand word 0xffff_ffff_0000_0000L) v64
+  in
+  Memory.write64 mem base word'
+
+(* Load an encoded program at [base]; appends the halt marker. *)
+let load mem ~base (words : int array) =
+  Array.iteri
+    (fun i w -> store32 mem (Int64.add base (Int64.of_int (i * 4))) w)
+    words;
+  store32 mem (Int64.add base (Int64.of_int (Array.length words * 4))) halt_marker
+
+(* Assemble a program (encode each instruction) and load it. *)
+let load_program mem ~base insns =
+  load mem ~base (Array.of_list (List.map Encode.encode insns))
+
+(* Run from [entry] until the halt marker, an unencodable word, or the
+   instruction budget runs out. *)
+let run (cpu : Cpu.t) ~entry ~max_insns =
+  cpu.Cpu.pc <- entry;
+  let rec step budget =
+    if budget = 0 then Limit
+    else
+      let w = fetch32 cpu.Cpu.mem cpu.Cpu.pc in
+      if w = halt_marker then Breakpoint
+      else
+        match Encode.decode w with
+        | Encode.D_unknown _ -> Halted cpu.Cpu.pc
+        | Encode.D_insn insn ->
+          Cpu.exec cpu insn;
+          step (budget - 1)
+  in
+  step max_insns
+
+(* Disassemble a range of memory, for debugging and the examples. *)
+let disassemble mem ~base ~count =
+  List.init count (fun i ->
+      let addr = Int64.add base (Int64.of_int (i * 4)) in
+      let w = fetch32 mem addr in
+      let text =
+        match Encode.decode w with
+        | Encode.D_insn insn -> Insn.to_string insn
+        | Encode.D_unknown w -> Printf.sprintf ".word 0x%08x" w
+      in
+      (addr, text))

@@ -1,0 +1,31 @@
+(** Fetch-decode-execute over A64-encoded memory.
+
+    Programs live as 32-bit words in simulated physical memory; the
+    interpreter fetches at PC, decodes and executes through {!Cpu.exec},
+    so all the trap machinery applies.  This makes the binary-patching
+    flavour of the paper's paravirtualization (Section 4) a real
+    execution path: patch a guest-hypervisor image word-for-word in
+    memory ({!Hyp.Paravirt.patch_text}) and run it from memory. *)
+
+type outcome =
+  | Halted of int64  (** fetched an unencodable word at this address *)
+  | Breakpoint       (** reached the halt marker *)
+  | Limit            (** instruction budget exhausted *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val halt_marker : int
+(** The parking instruction ([b .+0]) terminating loaded programs. *)
+
+val fetch32 : Memory.t -> int64 -> int
+val store32 : Memory.t -> int64 -> int -> unit
+
+val load : Memory.t -> base:int64 -> int array -> unit
+(** Store an encoded program and append the halt marker. *)
+
+val load_program : Memory.t -> base:int64 -> Insn.t list -> unit
+(** Assemble (encode) and load. *)
+
+val run : Cpu.t -> entry:int64 -> max_insns:int -> outcome
+
+val disassemble : Memory.t -> base:int64 -> count:int -> (int64 * string) list

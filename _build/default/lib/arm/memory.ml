@@ -1,0 +1,43 @@
+(* Sparse physical memory: 64-bit words addressed by byte address.
+
+   Addresses must be 8-byte aligned; the simulator only performs aligned
+   64-bit accesses (the deferred access page is defined in 8-byte slots). *)
+
+type t = {
+  words : (int64, int64) Hashtbl.t;
+  mutable mmio : (int64 * int64 * string) list;
+      (* [start, start+len) regions with no backing store; accesses to them
+         are what stage-2 leaves unmapped so they fault for emulation *)
+}
+
+let create () = { words = Hashtbl.create 1024; mmio = [] }
+
+let check_aligned addr =
+  if Int64.rem addr 8L <> 0L then
+    invalid_arg (Printf.sprintf "Memory: unaligned access at 0x%Lx" addr)
+
+let read64 t addr =
+  check_aligned addr;
+  Option.value ~default:0L (Hashtbl.find_opt t.words addr)
+
+let write64 t addr v =
+  check_aligned addr;
+  Hashtbl.replace t.words addr v
+
+let add_mmio_region t ~start ~len ~name =
+  t.mmio <- (start, Int64.add start len, name) :: t.mmio
+
+let mmio_region_of t addr =
+  List.find_map
+    (fun (lo, hi, name) -> if addr >= lo && addr < hi then Some name else None)
+    t.mmio
+
+let clear t = Hashtbl.reset t.words
+
+(* Zero an aligned range (used to initialize deferred access pages). *)
+let zero_range t ~start ~len =
+  check_aligned start;
+  let words = Int64.to_int len / 8 in
+  for i = 0 to words - 1 do
+    Hashtbl.remove t.words (Int64.add start (Int64.of_int (i * 8)))
+  done

@@ -1,0 +1,30 @@
+(** Sparse physical memory: 64-bit words addressed by byte address.
+
+    The simulator only performs aligned 64-bit accesses (the deferred
+    access page is defined in 8-byte slots); unaligned addresses raise. *)
+
+type t = {
+  words : (int64, int64) Hashtbl.t;
+  mutable mmio : (int64 * int64 * string) list;
+}
+
+val create : unit -> t
+
+val read64 : t -> int64 -> int64
+(** Unbacked addresses read as zero.
+    @raise Invalid_argument on unaligned access. *)
+
+val write64 : t -> int64 -> int64 -> unit
+(** @raise Invalid_argument on unaligned access. *)
+
+val add_mmio_region : t -> start:int64 -> len:int64 -> name:string -> unit
+(** Register a device region (left unmapped at stage 2 so accesses fault
+    for emulation). *)
+
+val mmio_region_of : t -> int64 -> string option
+(** Name of the device region containing an address, if any. *)
+
+val clear : t -> unit
+
+val zero_range : t -> start:int64 -> len:int64 -> unit
+(** Zero an aligned range (page initialization). *)

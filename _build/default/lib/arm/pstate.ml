@@ -1,0 +1,67 @@
+(* Process state: the parts of PSTATE the exception model needs. *)
+
+type el = EL0 | EL1 | EL2
+
+let el_name = function EL0 -> "EL0" | EL1 -> "EL1" | EL2 -> "EL2"
+
+let el_level = function EL0 -> 0 | EL1 -> 1 | EL2 -> 2
+
+let compare_el a b = Int.compare (el_level a) (el_level b)
+
+(* Encoding of PSTATE.EL as read through CurrentEL (bits [3:2]). *)
+let currentel_bits = function EL0 -> 0L | EL1 -> 4L | EL2 -> 8L
+
+type t = {
+  el : el;
+  sp_sel : bool;   (* true: SP_ELx, false: SP_EL0 *)
+  irq_masked : bool;  (* PSTATE.I *)
+  fiq_masked : bool;  (* PSTATE.F *)
+  nzcv : int;      (* condition flags, bits [3:0] = N Z C V *)
+}
+
+let reset = { el = EL2; sp_sel = true; irq_masked = true; fiq_masked = true; nzcv = 0 }
+
+let at el = { reset with el }
+
+(* SPSR-style encoding used when PSTATE is saved on exception entry.
+   M[3:0] selects the EL and stack pointer; DAIF occupy bits [9:6]. *)
+let to_spsr t =
+  let m =
+    match (t.el, t.sp_sel) with
+    | EL0, _ -> 0L
+    | EL1, false -> 4L
+    | EL1, true -> 5L
+    | EL2, false -> 8L
+    | EL2, true -> 9L
+  in
+  let bit b v = if b then v else 0L in
+  Int64.logor m
+    (Int64.logor
+       (bit t.irq_masked 0x80L)
+       (Int64.logor (bit t.fiq_masked 0x40L)
+          (Int64.shift_left (Int64.of_int (t.nzcv land 0xf)) 28)))
+
+let of_spsr v =
+  let m = Int64.to_int (Int64.logand v 0xfL) in
+  let el, sp_sel =
+    match m with
+    | 0 -> (EL0, false)
+    | 4 -> (EL1, false)
+    | 5 -> (EL1, true)
+    | 8 -> (EL2, false)
+    | 9 -> (EL2, true)
+    | _ -> invalid_arg "Pstate.of_spsr: illegal mode bits"
+  in
+  {
+    el;
+    sp_sel;
+    irq_masked = Int64.logand v 0x80L <> 0L;
+    fiq_masked = Int64.logand v 0x40L <> 0L;
+    nzcv = Int64.to_int (Int64.logand (Int64.shift_right_logical v 28) 0xfL);
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "%s%s%s%s" (el_name t.el)
+    (if t.sp_sel then "h" else "t")
+    (if t.irq_masked then " I" else "")
+    (if t.fiq_masked then " F" else "")

@@ -1,0 +1,47 @@
+(* Hardware system-register storage.
+
+   One value per register identity.  Reset values are architectural where it
+   matters (MPIDR/MIDR identification, CurrentEL is synthesized from PSTATE
+   by the CPU, ICH_VTR advertises the number of list registers). *)
+
+type t = { values : (Sysreg.t, int64) Hashtbl.t }
+
+let ich_vtr_reset =
+  (* ListRegs field [4:0] = number of LRs - 1. *)
+  Int64.of_int (Sysreg.lr_count - 1)
+
+let reset_value (r : Sysreg.t) =
+  match r with
+  | MPIDR_EL1 -> 0x8000_0000L (* uniprocessor-format affinity, cpu 0 *)
+  | MIDR_EL1 -> 0x410f_d070L  (* an ARM Ltd part number *)
+  | CNTFRQ_EL0 -> 24_000_000L
+  | ICH_VTR_EL2 -> ich_vtr_reset
+  | _ -> 0L
+
+let create () = { values = Hashtbl.create 128 }
+
+let read t r =
+  match Hashtbl.find_opt t.values r with
+  | Some v -> v
+  | None -> reset_value r
+
+let write t r v =
+  if Sysreg.read_only r then () else Hashtbl.replace t.values r v
+
+(* Unchecked write, for hardware-internal updates (e.g. the CPU setting
+   ESR_EL2 on exception entry, the GIC updating ICH_MISR). *)
+let hw_write t r v = Hashtbl.replace t.values r v
+
+let reset t = Hashtbl.reset t.values
+
+(* Copy a register set between two files (used by world switches performed
+   by the host hypervisor outside the measured guest). *)
+let copy ~src ~dst regs =
+  List.iter (fun r -> hw_write dst r (read src r)) regs
+
+let dump t =
+  Sysreg.all
+  |> List.filter_map (fun r ->
+      match Hashtbl.find_opt t.values r with
+      | Some v when v <> 0L -> Some (r, v)
+      | _ -> None)

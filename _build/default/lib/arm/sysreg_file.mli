@@ -1,0 +1,30 @@
+(** Hardware system-register storage: one value per register identity,
+    with architectural reset values where they matter (MPIDR/MIDR
+    identification, ICH_VTR's list-register count). *)
+
+type t = { values : (Sysreg.t, int64) Hashtbl.t }
+
+val ich_vtr_reset : int64
+(** ICH_VTR advertising {!Sysreg.lr_count} list registers. *)
+
+val reset_value : Sysreg.t -> int64
+
+val create : unit -> t
+
+val read : t -> Sysreg.t -> int64
+(** Unwritten registers read their reset value. *)
+
+val write : t -> Sysreg.t -> int64 -> unit
+(** Software write: ignored for {!Sysreg.read_only} registers. *)
+
+val hw_write : t -> Sysreg.t -> int64 -> unit
+(** Unchecked write for hardware-internal updates (exception entry setting
+    ESR, the GIC updating status registers). *)
+
+val reset : t -> unit
+
+val copy : src:t -> dst:t -> Sysreg.t list -> unit
+(** Copy a register set between files (host-side world switches). *)
+
+val dump : t -> (Sysreg.t * int64) list
+(** Non-zero registers, for debugging. *)

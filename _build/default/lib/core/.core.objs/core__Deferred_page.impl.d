@@ -1,0 +1,1 @@
+lib/core/deferred_page.ml: Arm Fmt Int64 List Vncr

@@ -1,0 +1,1 @@
+lib/core/neve.ml: Arm Deferred_page Fmt Vncr

@@ -1,0 +1,1 @@
+lib/core/neve.mli: Arm Deferred_page Format Vncr

@@ -1,0 +1,1 @@
+lib/core/vncr.ml: Arm Fmt Int64 Printf

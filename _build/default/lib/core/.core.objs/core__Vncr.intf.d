@@ -1,0 +1,1 @@
+lib/core/vncr.mli: Arm Format

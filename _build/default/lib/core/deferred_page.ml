@@ -1,0 +1,59 @@
+(* The deferred access page (Section 6.1).
+
+   A page of normal memory, named by VNCR_EL2.BADDR, in which the hardware
+   stores the values of VM system registers while NEVE is enabled.  Each
+   register has a well-defined 8-byte slot (Arm.Sysreg.vncr_offset).
+
+   The host hypervisor:
+   - populates the page with the virtual-EL2 register values before running
+     the guest hypervisor;
+   - reads the page when it needs those values (e.g. on a trapped eret, to
+     load the nested VM's state into hardware);
+   - refreshes cached copies (trap-on-write registers) after emulating a
+     trapped write. *)
+
+module Sysreg = Arm.Sysreg
+module Memory = Arm.Memory
+
+type t = {
+  base : int64;          (* physical address, page-aligned *)
+  mem : Memory.t;
+}
+
+exception Unmapped_register of Sysreg.t
+
+let create mem ~base =
+  if Int64.logand base 0xfffL <> 0L then
+    invalid_arg "Deferred_page.create: base must be page-aligned";
+  Memory.zero_range mem ~start:base ~len:(Int64.of_int Sysreg.page_size);
+  { base; mem }
+
+let slot_addr t r =
+  match Sysreg.vncr_offset r with
+  | Some off -> Int64.add t.base (Int64.of_int off)
+  | None -> raise (Unmapped_register r)
+
+let has_slot r = Sysreg.vncr_offset r <> None
+
+let read t r = Memory.read64 t.mem (slot_addr t r)
+let write t r v = Memory.write64 t.mem (slot_addr t r) v
+
+(* Populate the page from a register-valued function (typically the
+   virtual-EL2 state the host hypervisor maintains for the vCPU). *)
+let populate t ~read_virtual =
+  List.iter (fun r -> write t r (read_virtual r)) Sysreg.vncr_layout
+
+(* Drain the page back into a register sink (typically the virtual-EL2
+   state), e.g. when the guest hypervisor is descheduled or erets into the
+   nested VM and the host needs the authoritative values. *)
+let drain t ~write_virtual =
+  List.iter (fun r -> write_virtual r (read t r)) Sysreg.vncr_layout
+
+(* Registers the host must push into hardware EL1 state when entering the
+   nested VM: the Table 3 "VM Execution Control" subset that lives in the
+   page but is real EL1 machine state for the nested VM. *)
+let vm_execution_state = Sysreg.table3_vm_execution_control
+
+let vncr_value t ~enable = Vncr.encode (Vncr.v ~baddr:t.base ~enable)
+
+let pp ppf t = Fmt.pf ppf "deferred-page@0x%Lx" t.base

@@ -1,0 +1,74 @@
+(* NEVE public API: the typical workflow of Section 6.1, packaged for a
+   host hypervisor.
+
+   In a typical workflow, the host hypervisor:
+   1. allocates a deferred access page and populates it with the initial
+      virtual-EL2 register values,
+   2. programs VNCR_EL2 with the page base and Enable=1, and sets
+      HCR_EL2.{NV,NV2} (NV1 too for a non-VHE guest hypervisor),
+   3. runs the guest hypervisor — its VM-register accesses become memory
+      accesses; redirected registers hit EL1 state,
+   4. on a trapped eret, reads the page, loads the nested VM's state into
+      hardware EL1 registers, *disables* NEVE (the nested VM must see its
+      real EL1 registers), and enters the nested VM,
+   5. on the next exit from the nested VM, copies EL1 state back into the
+      page, re-enables NEVE and resumes the guest hypervisor. *)
+
+module Sysreg = Arm.Sysreg
+module Cpu = Arm.Cpu
+module Hcr = Arm.Hcr
+
+type t = {
+  page : Deferred_page.t;
+  cpu : Cpu.t;
+  mutable active : bool;
+}
+
+let create cpu ~page_base =
+  { page = Deferred_page.create cpu.Cpu.mem ~base:page_base; cpu; active = false }
+
+let page t = t.page
+
+(* Step 2: arm the hardware for a guest-hypervisor run. *)
+let enable t ~guest_vhe =
+  Vncr.program t.cpu (Vncr.v ~baddr:t.page.Deferred_page.base ~enable:true);
+  let hcr = Cpu.peek_sysreg t.cpu Sysreg.HCR_EL2 in
+  let hcr = Hcr.set hcr Hcr.nv in
+  let hcr = Hcr.set hcr Hcr.nv2 in
+  let hcr = if guest_vhe then Hcr.clear_bit hcr Hcr.nv1 else Hcr.set hcr Hcr.nv1 in
+  Cpu.poke_sysreg t.cpu Sysreg.HCR_EL2 hcr;
+  t.active <- true
+
+(* Step 4: turn redirection off while the nested VM (or anything that must
+   see real EL1 registers) runs. *)
+let disable t =
+  Vncr.disable t.cpu;
+  t.active <- false
+
+let is_active t = t.active
+
+(* Populate the page from the vCPU's virtual-EL2 state. *)
+let sync_to_page t ~read_virtual = Deferred_page.populate t.page ~read_virtual
+
+(* Pull the authoritative values out of the page. *)
+let sync_from_page t ~write_virtual = Deferred_page.drain t.page ~write_virtual
+
+(* Read one value the host hypervisor needs right now (e.g. the virtual
+   HCR_EL2 of the guest hypervisor when handling its eret). *)
+let read_deferred t r = Deferred_page.read t.page r
+let write_deferred t r v = Deferred_page.write t.page r v
+
+(* Recursive virtualization (Section 6.2): the L1 guest hypervisor's write
+   of its (virtual) VNCR_EL2 was itself deferred to the page.  To run an L2
+   guest hypervisor with hardware NEVE, the host translates the L1-physical
+   BADDR to a machine address and programs it into the real VNCR_EL2. *)
+let recursive_vncr t ~translate_ipa =
+  let virt = Vncr.decode (Deferred_page.read t.page Sysreg.VNCR_EL2) in
+  if not virt.Vncr.enable then None
+  else
+    match translate_ipa virt.Vncr.baddr with
+    | None -> None
+    | Some machine_baddr -> Some (Vncr.v ~baddr:machine_baddr ~enable:true)
+
+let pp ppf t =
+  Fmt.pf ppf "NEVE{%a active=%b}" Deferred_page.pp t.page t.active

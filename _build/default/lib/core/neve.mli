@@ -1,0 +1,57 @@
+(** NEVE public API: the typical host-hypervisor workflow of Section 6.1.
+
+    {ol
+    {- allocate a deferred access page ({!create}) and populate it with
+       the initial virtual-EL2 register values ({!sync_to_page});}
+    {- arm the hardware ({!enable}): program VNCR_EL2 and set
+       HCR_EL2.{{!Arm.Hcr.nv}NV}/{{!Arm.Hcr.nv2}NV2} (and NV1 for a
+       non-VHE guest hypervisor);}
+    {- run the guest hypervisor: its VM-register accesses become memory
+       accesses, redirected registers hit EL1 state;}
+    {- on its trapped eret, read the page ({!sync_from_page} or
+       {!read_deferred}), load the nested VM's state into hardware, and
+       {!disable} NEVE while the nested VM runs;}
+    {- on the next nested-VM exit, repopulate and re-enable.}} *)
+
+type t = {
+  page : Deferred_page.t;
+  cpu : Arm.Cpu.t;
+  mutable active : bool;
+}
+
+val create : Arm.Cpu.t -> page_base:int64 -> t
+(** Allocate the deferred access page at [page_base] on the CPU's memory.
+    @raise Invalid_argument if [page_base] is not page-aligned. *)
+
+val page : t -> Deferred_page.t
+
+val enable : t -> guest_vhe:bool -> unit
+(** Program VNCR_EL2 (Enable=1) and the HCR_EL2 NV/NV1/NV2 bits for a
+    guest-hypervisor run. *)
+
+val disable : t -> unit
+(** Clear VNCR_EL2.Enable — required while the nested VM (or anything that
+    must see real EL1 registers) runs. *)
+
+val is_active : t -> bool
+
+val sync_to_page : t -> read_virtual:(Arm.Sysreg.t -> int64) -> unit
+val sync_from_page : t -> write_virtual:(Arm.Sysreg.t -> int64 -> unit) -> unit
+
+val read_deferred : t -> Arm.Sysreg.t -> int64
+(** Read one deferred value directly (e.g. the guest hypervisor's virtual
+    HCR_EL2 when handling its eret). *)
+
+val write_deferred : t -> Arm.Sysreg.t -> int64 -> unit
+(** Refresh one cached copy (after emulating a trapped write). *)
+
+val recursive_vncr :
+  t -> translate_ipa:(int64 -> int64 option) -> Vncr.t option
+(** Recursive virtualization (Section 6.2): the guest hypervisor's own
+    VNCR_EL2 write was deferred into the page.  Read it back, translate
+    its guest-physical BADDR with [translate_ipa] (the guest's stage-2),
+    and return the value to program into the hardware VNCR_EL2 so an
+    L2 guest hypervisor gets the same trap savings.  [None] when the
+    virtual VNCR is disabled or the address does not translate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(* VNCR_EL2: the one new register NEVE adds (Section 6.1, Table 2).
+
+   Fields: bits [52:12] BADDR (physical base address of the deferred access
+   page), bits [11:1] reserved, bit [0] Enable.  The architecture mandates a
+   page-aligned BADDR so the implementation needs no alignment checks or
+   translation-fault handling on redirected accesses (Section 6.3); we
+   enforce that at construction. *)
+
+module Sysreg = Arm.Sysreg
+
+type t = { baddr : int64; enable : bool }
+
+let baddr_mask = 0x000f_ffff_ffff_f000L
+
+exception Invalid_vncr of string
+
+let v ~baddr ~enable =
+  if Int64.logand baddr 0xfffL <> 0L then
+    raise (Invalid_vncr (Printf.sprintf "BADDR 0x%Lx is not page-aligned" baddr));
+  if Int64.logand baddr (Int64.lognot baddr_mask) <> 0L then
+    raise (Invalid_vncr (Printf.sprintf "BADDR 0x%Lx exceeds bits [52:12]" baddr));
+  { baddr; enable }
+
+let encode t =
+  Int64.logor (Int64.logand t.baddr baddr_mask) (if t.enable then 1L else 0L)
+
+let decode v =
+  { baddr = Int64.logand v baddr_mask; enable = Int64.logand v 1L <> 0L }
+
+let enabled v = Int64.logand v 1L <> 0L
+let baddr v = Int64.logand v baddr_mask
+
+let disabled_value = 0L
+
+(* Program the hardware VNCR_EL2 of a simulated CPU.  This is a host
+   hypervisor (EL2) operation; it is performed as a raw write because the
+   host owns the register. *)
+let program (cpu : Arm.Cpu.t) t =
+  Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 (encode t)
+
+let disable (cpu : Arm.Cpu.t) =
+  Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 disabled_value
+
+let read (cpu : Arm.Cpu.t) = decode (Arm.Cpu.peek_sysreg cpu Sysreg.VNCR_EL2)
+
+let pp ppf t =
+  Fmt.pf ppf "VNCR{baddr=0x%Lx enable=%b}" t.baddr t.enable

@@ -1,0 +1,1 @@
+lib/gic/cpuif.ml: Dist Fmt List

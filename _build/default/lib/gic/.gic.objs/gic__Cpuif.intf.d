@@ -1,0 +1,1 @@
+lib/gic/cpuif.mli: Dist Format

@@ -1,0 +1,1 @@
+lib/gic/dist.ml: Hashtbl Irq Option

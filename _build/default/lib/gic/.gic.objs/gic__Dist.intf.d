@@ -1,0 +1,1 @@
+lib/gic/dist.mli: Hashtbl Irq

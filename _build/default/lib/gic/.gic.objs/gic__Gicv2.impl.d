@@ -1,0 +1,1 @@
+lib/gic/gicv2.ml: Arm Int64 Printf

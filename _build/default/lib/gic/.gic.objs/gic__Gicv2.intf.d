@@ -1,0 +1,1 @@
+lib/gic/gicv2.mli: Arm

@@ -1,0 +1,1 @@
+lib/gic/vgic.ml: Array Fmt Int64 Irq List

@@ -1,0 +1,58 @@
+(* GIC CPU interface: the per-CPU front end of the physical GIC.
+
+   Sits between the distributor and the processor: applies the priority
+   mask (ICC_PMR), tracks the running priority of the active interrupt,
+   and implements the acknowledge / EOI handshake with priority-drop
+   semantics.  The *virtual* CPU interface the VMs use is in {!Vgic};
+   this is the physical one the host hypervisor owns. *)
+
+type t = {
+  cpu : int;
+  dist : Dist.t;
+  mutable pmr : int;                 (* priority mask, 0 = mask everything *)
+  mutable running : int list;       (* priority stack of active interrupts *)
+  mutable enabled : bool;
+}
+
+let idle_priority = 0xff
+
+let create dist ~cpu =
+  { cpu; dist; pmr = idle_priority; running = []; enabled = true }
+
+let running_priority t =
+  match t.running with [] -> idle_priority | p :: _ -> p
+
+(* The signal to the processor: is an interrupt pending that beats both
+   the mask and the running priority? *)
+let irq_pending t =
+  t.enabled
+  &&
+  match Dist.best_pending t.dist ~cpu:t.cpu with
+  | None -> false
+  | Some intid ->
+    let prio = (Dist.record t.dist ~cpu:t.cpu ~intid).Dist.priority in
+    prio < t.pmr && prio < running_priority t
+
+(* Acknowledge: take the best pending interrupt if it passes the mask and
+   the running priority; push its priority. *)
+let acknowledge t =
+  if not (irq_pending t) then None
+  else
+    match Dist.acknowledge t.dist ~cpu:t.cpu with
+    | None -> None
+    | Some intid ->
+      let prio = (Dist.record t.dist ~cpu:t.cpu ~intid).Dist.priority in
+      t.running <- prio :: t.running;
+      Some intid
+
+(* EOI with priority drop: pop the running priority and deactivate. *)
+let eoi t ~intid =
+  (match t.running with [] -> () | _ :: rest -> t.running <- rest);
+  Dist.eoi t.dist ~cpu:t.cpu ~intid
+
+let set_pmr t v = t.pmr <- v land 0xff
+let pmr t = t.pmr
+
+let pp ppf t =
+  Fmt.pf ppf "cpuif%d{pmr=0x%x rp=0x%x depth=%d}" t.cpu t.pmr
+    (running_priority t) (List.length t.running)

@@ -1,0 +1,25 @@
+(** GIC CPU interface: the physical per-CPU front end — priority masking
+    (ICC_PMR), running priority, and the acknowledge/EOI handshake with
+    priority drop.  The virtual interface VMs use is {!Vgic}. *)
+
+type t = {
+  cpu : int;
+  dist : Dist.t;
+  mutable pmr : int;
+  mutable running : int list;  (** priority stack of active interrupts *)
+  mutable enabled : bool;
+}
+
+val idle_priority : int
+val create : Dist.t -> cpu:int -> t
+val running_priority : t -> int
+
+val irq_pending : t -> bool
+(** Is an interrupt signalled to the processor (beats the mask and the
+    running priority)? *)
+
+val acknowledge : t -> int option
+val eoi : t -> intid:int -> unit
+val set_pmr : t -> int -> unit
+val pmr : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+(* GIC distributor: tracks interrupt state per (cpu, intid) for banked
+   SGI/PPI and globally for SPI, decides the highest-priority pending
+   interrupt for each CPU, and generates SGIs (IPIs). *)
+
+type irq_record = {
+  mutable state : Irq.state;
+  mutable enabled : bool;
+  mutable priority : int;  (* 0 = highest *)
+  mutable target : int;    (* CPU for SPIs *)
+}
+
+let fresh_record () =
+  { state = Irq.Inactive; enabled = false; priority = 0xa0; target = 0 }
+
+type t = {
+  ncpus : int;
+  (* banked SGI/PPI state: (cpu, intid<32) -> record; SPI: intid -> record *)
+  banked : (int * int, irq_record) Hashtbl.t;
+  shared : (int, irq_record) Hashtbl.t;
+  mutable enabled : bool;
+}
+
+let create ~ncpus =
+  { ncpus; banked = Hashtbl.create 64; shared = Hashtbl.create 64; enabled = true }
+
+let record t ~cpu ~intid =
+  if intid < 32 then begin
+    match Hashtbl.find_opt t.banked (cpu, intid) with
+    | Some r -> r
+    | None ->
+      let r = fresh_record () in
+      Hashtbl.replace t.banked (cpu, intid) r;
+      r
+  end
+  else begin
+    match Hashtbl.find_opt t.shared intid with
+    | Some r -> r
+    | None ->
+      let r = fresh_record () in
+      Hashtbl.replace t.shared intid r;
+      r
+  end
+
+let enable t ~cpu ~intid = (record t ~cpu ~intid).enabled <- true
+let disable t ~cpu ~intid = (record t ~cpu ~intid).enabled <- false
+
+let set_priority t ~cpu ~intid p = (record t ~cpu ~intid).priority <- p
+let set_target t ~intid ~cpu = (record t ~cpu ~intid).target <- cpu
+
+(* Make an interrupt pending.  For SPIs the registered target CPU receives
+   it; for SGI/PPI the caller names the CPU. *)
+let raise_irq t ~cpu ~intid =
+  let r = record t ~cpu ~intid in
+  r.state <- Irq.add_pending r.state
+
+(* Send an SGI (IPI) from [src] to [dst]: the distributor makes the SGI
+   pending on the destination CPU's bank. *)
+let send_sgi t ~src:_ ~dst ~intid =
+  if intid >= 16 then invalid_arg "Dist.send_sgi: not an SGI";
+  raise_irq t ~cpu:dst ~intid
+
+(* Highest-priority pending enabled interrupt for a CPU, if any. *)
+let best_pending t ~cpu =
+  if not t.enabled then None
+  else begin
+    let best = ref None in
+    let consider intid (r : irq_record) =
+      let pending =
+        r.enabled
+        && (r.state = Irq.Pending || r.state = Irq.Pending_and_active)
+      in
+      if pending then
+        match !best with
+        | Some (_, bp) when bp <= r.priority -> ()
+        | _ -> best := Some (intid, r.priority)
+    in
+    Hashtbl.iter (fun (c, intid) r -> if c = cpu then consider intid r) t.banked;
+    Hashtbl.iter (fun intid r -> if r.target = cpu then consider intid r) t.shared;
+    Option.map fst !best
+  end
+
+(* CPU interface acknowledge: pending -> active, returns the intid. *)
+let acknowledge t ~cpu =
+  match best_pending t ~cpu with
+  | None -> None
+  | Some intid ->
+    let r = record t ~cpu ~intid in
+    r.state <- Irq.activate r.state;
+    Some intid
+
+(* End of interrupt: active -> inactive (or back to pending). *)
+let eoi t ~cpu ~intid =
+  let r = record t ~cpu ~intid in
+  r.state <- Irq.deactivate r.state
+
+let state t ~cpu ~intid = (record t ~cpu ~intid).state

@@ -1,0 +1,40 @@
+(** GIC distributor: interrupt state per (cpu, intid) with banked SGI/PPI
+    and shared SPI records, priority-ordered delivery, and SGI (IPI)
+    generation. *)
+
+type irq_record = {
+  mutable state : Irq.state;
+  mutable enabled : bool;
+  mutable priority : int;  (** 0 = highest *)
+  mutable target : int;    (** CPU, for SPIs *)
+}
+
+type t = {
+  ncpus : int;
+  banked : (int * int, irq_record) Hashtbl.t;
+  shared : (int, irq_record) Hashtbl.t;
+  mutable enabled : bool;
+}
+
+val create : ncpus:int -> t
+val record : t -> cpu:int -> intid:int -> irq_record
+val enable : t -> cpu:int -> intid:int -> unit
+val disable : t -> cpu:int -> intid:int -> unit
+val set_priority : t -> cpu:int -> intid:int -> int -> unit
+val set_target : t -> intid:int -> cpu:int -> unit
+
+val raise_irq : t -> cpu:int -> intid:int -> unit
+(** Make an interrupt pending (banked for SGI/PPI, shared for SPI). *)
+
+val send_sgi : t -> src:int -> dst:int -> intid:int -> unit
+(** Pend an SGI on the destination CPU's bank.
+    @raise Invalid_argument if [intid] is not an SGI. *)
+
+val best_pending : t -> cpu:int -> int option
+(** Highest-priority pending enabled interrupt for a CPU. *)
+
+val acknowledge : t -> cpu:int -> int option
+(** Pending -> active; returns the acknowledged intid. *)
+
+val eoi : t -> cpu:int -> intid:int -> unit
+val state : t -> cpu:int -> intid:int -> Irq.state

@@ -1,0 +1,32 @@
+(** Interrupt identifiers and per-interrupt state, GIC style. *)
+
+type kind = SGI | PPI | SPI
+
+val kind_of_intid : int -> kind
+(** SGI: 0-15, PPI: 16-31, SPI: 32+.
+    @raise Invalid_argument on negative ids. *)
+
+val kind_name : kind -> string
+
+(** Well-known ids used by the machine model. *)
+
+val virtual_timer_ppi : int
+val hyp_timer_ppi : int
+val maintenance_ppi : int
+val virtio_net_spi : int
+val virtio_blk_spi : int
+
+type state = Inactive | Pending | Active | Pending_and_active
+
+val state_name : state -> string
+
+val state_bits : state -> int
+(** GICv3 list-register state encoding (bits [63:62]). *)
+
+val state_of_bits : int -> state
+
+val add_pending : state -> state
+val activate : state -> state
+val deactivate : state -> state
+
+val pp : Format.formatter -> int * state -> unit

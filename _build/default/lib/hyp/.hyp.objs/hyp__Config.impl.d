@@ -1,0 +1,1 @@
+lib/hyp/config.ml: Arm Fmt List Printf

@@ -1,0 +1,1 @@
+lib/hyp/config.mli: Arm Format

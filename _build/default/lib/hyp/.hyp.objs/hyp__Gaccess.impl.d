@@ -1,0 +1,1 @@
+lib/hyp/gaccess.ml: Arm Config Cost Gic List Paravirt World_switch

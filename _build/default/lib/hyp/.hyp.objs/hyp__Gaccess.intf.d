@@ -1,0 +1,1 @@
+lib/hyp/gaccess.mli: Arm Config World_switch

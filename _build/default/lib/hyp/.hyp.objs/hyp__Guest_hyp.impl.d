@@ -1,0 +1,1 @@
+lib/hyp/guest_hyp.ml: Arm Config Cost Gaccess Gic Int64 List Logs Queue Reglists Vcpu World_switch

@@ -1,0 +1,1 @@
+lib/hyp/guest_hyp.mli: Arm Gaccess Queue Vcpu World_switch

@@ -1,0 +1,1 @@
+lib/hyp/host_hyp.ml: Arm Config Core Cost Fmt Fun Gaccess Gic Guest_hyp Int64 List Logs Mmu Option Paravirt Reglists Vcpu World_switch

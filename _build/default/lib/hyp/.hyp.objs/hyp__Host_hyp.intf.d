@@ -1,0 +1,1 @@
+lib/hyp/host_hyp.mli: Arm Config Core Cost Format Mmu Vcpu

@@ -1,0 +1,1 @@
+lib/hyp/machine.ml: Arm Array Config Cost Gaccess Gic Guest_hyp Host_hyp Int64 List Mmu Reglists Vcpu

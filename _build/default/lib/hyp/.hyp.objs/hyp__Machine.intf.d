@@ -1,0 +1,1 @@
+lib/hyp/machine.mli: Arm Config Cost Guest_hyp Host_hyp Mmu

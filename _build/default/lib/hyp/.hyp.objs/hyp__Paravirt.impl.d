@@ -1,0 +1,1 @@
+lib/hyp/paravirt.ml: Arm Array Config Hashtbl Int64 List Printf Reglists

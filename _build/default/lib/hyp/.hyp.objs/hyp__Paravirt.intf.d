@@ -1,0 +1,1 @@
+lib/hyp/paravirt.mli: Arm Config

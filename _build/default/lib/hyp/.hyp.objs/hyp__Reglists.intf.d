@@ -1,0 +1,1 @@
+lib/hyp/reglists.mli: Arm

@@ -1,0 +1,1 @@
+lib/hyp/vcpu.ml: Arm Fmt Int64 Printf

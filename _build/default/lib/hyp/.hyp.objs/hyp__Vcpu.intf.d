@@ -1,0 +1,1 @@
+lib/hyp/vcpu.mli: Arm Format

@@ -1,0 +1,1 @@
+lib/hyp/world_switch.ml: Arm Gic Int64 List Reglists

@@ -1,0 +1,1 @@
+lib/hyp/world_switch.mli: Arm

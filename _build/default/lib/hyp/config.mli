@@ -1,0 +1,47 @@
+(** Nested-virtualization configurations under test.
+
+    A configuration names the architecture mechanism providing nested
+    support and the guest hypervisor's design.  Each hardware mechanism
+    has a paravirtualized twin that runs on simulated ARMv8.0 with the
+    guest hypervisor's instructions rewritten (paper Sections 4 and 6.4);
+    the test suite asserts the twins behave identically — the paper's
+    methodological claim. *)
+
+type mechanism =
+  | Hw_v8_3  (** ARMv8.3 FEAT_NV hardware, unmodified guest hypervisor *)
+  | Pv_v8_3  (** ARMv8.0, hypervisor instructions rewritten to hvc *)
+  | Hw_neve  (** ARMv8.4 FEAT_NV2 hardware, unmodified guest hypervisor *)
+  | Pv_neve  (** ARMv8.0, accesses rewritten to loads/stores + EL1 regs *)
+
+type t = {
+  mech : mechanism;
+  guest_vhe : bool;
+  gicv2 : bool;
+      (** memory-mapped hypervisor control interface: guest accesses trap
+          via stage-2 instead of as system registers (Section 4) *)
+}
+
+val v : ?guest_vhe:bool -> ?gicv2:bool -> mechanism -> t
+
+val is_neve : t -> bool
+val is_paravirt : t -> bool
+
+val hw_features : t -> Arm.Features.t
+(** The physical hardware the configuration runs on (v8.0 for the
+    paravirtualized mechanisms). *)
+
+val target_features : t -> Arm.Features.t
+(** The architecture whose behaviour the guest hypervisor experiences —
+    for paravirtualized runs, the architecture being mimicked. *)
+
+val target_hcr : t -> int64
+(** HCR_EL2 the host programs before running the guest hypervisor under
+    the target architecture: NV always, NV2 for NEVE, NV1 + TVM/TRVM for
+    non-VHE guests on plain v8.3 (the "existing ARMv8.0 mechanisms"). *)
+
+val mechanism_name : mechanism -> string
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all_nested : t list
+(** The four nested hardware configurations of the paper's tables. *)

@@ -1,0 +1,93 @@
+(* Guest-hypervisor access funnel.
+
+   Every architectural interaction the guest hypervisor (L1) performs goes
+   through this module as an instruction executed on the simulated CPU at
+   EL1.  Under a hardware mechanism (Hw_v8_3 / Hw_neve) the instruction is
+   executed as written and the CPU's trap router does the rest; under a
+   paravirtualized mechanism the instruction is first rewritten
+   (Paravirt.rewrite) exactly as the paper's compile-time wrappers do. *)
+
+module Cpu = Arm.Cpu
+module Insn = Arm.Insn
+module Sysreg = Arm.Sysreg
+
+type t = {
+  cpu : Cpu.t;
+  config : Config.t;
+  page_base : int64;  (* shared page / deferred access page base *)
+}
+
+let v cpu config ~page_base = { cpu; config; page_base }
+
+let exec t insn =
+  if Config.is_paravirt t.config then
+    List.iter (Cpu.exec t.cpu)
+      (Paravirt.rewrite t.config ~page_base:t.page_base insn)
+  else Cpu.exec t.cpu insn
+
+(* Data-moving register for MRS results and MSR sources. *)
+let data_reg = 10
+
+let rd t access =
+  exec t (Insn.Mrs (data_reg, access));
+  Cpu.get_reg t.cpu data_reg
+
+let wr t access v =
+  Cpu.set_reg t.cpu data_reg v;
+  exec t (Insn.Msr (access, Insn.Reg data_reg))
+
+(* Plain memory accesses (to the hypervisor's own data structures). *)
+let ld t addr =
+  exec t (Insn.Ldr (data_reg, Insn.Abs addr));
+  Cpu.get_reg t.cpu data_reg
+
+let st t addr v =
+  Cpu.set_reg t.cpu data_reg v;
+  exec t (Insn.Str (data_reg, Insn.Abs addr))
+
+let hvc t imm = exec t (Insn.Hvc imm)
+let eret t = exec t Insn.Eret
+let isb t = exec t Insn.Isb
+
+(* GICv2: the hypervisor control interface is a memory-mapped frame.  The
+   host leaves it unmapped at stage 2 for deprivileged software, so every
+   access from the guest hypervisor takes a data abort to EL2 — the
+   "trivially traps" path of Section 4.  The emulated value moves through
+   [data_reg], matching the host's MMIO-emulation convention. *)
+let gich_access t (reg : Sysreg.t) ~is_write =
+  match Gic.Gicv2.of_ich reg with
+  | None -> invalid_arg ("Gaccess.gich_access: " ^ Sysreg.name reg)
+  | Some gich ->
+    let addr = Gic.Gicv2.address_of gich in
+    let cpu = t.cpu in
+    if cpu.Cpu.pstate.Arm.Pstate.el = Arm.Pstate.EL2 then
+      (* the host maps the frame for itself: a plain device access *)
+      Cost.charge cpu.Cpu.meter (Cpu.table cpu).Cost.gic_mmio_access
+    else begin
+      Cost.record_trap ~detail:(Sysreg.name reg) cpu.Cpu.meter Cost.Trap_mmio;
+      Cost.charge cpu.Cpu.meter (Cpu.table cpu).Cost.insn_base;
+      Cpu.exception_entry cpu
+        { Arm.Exn.target = Arm.Pstate.EL2; ec = Arm.Exn.EC_dabt_lower;
+          iss = (if is_write then 0x40 else 0); fault_addr = Some addr }
+    end
+
+let gicv2_gic t : World_switch.gic_ops =
+  {
+    World_switch.gic_rd =
+      (fun r ->
+        gich_access t r ~is_write:false;
+        Cpu.get_reg t.cpu data_reg);
+    gic_wr =
+      (fun r v ->
+        Cpu.set_reg t.cpu data_reg v;
+        gich_access t r ~is_write:true);
+  }
+
+(* The world-switch operation record used by World_switch. *)
+let ops t : World_switch.ops =
+  {
+    World_switch.rd = rd t;
+    wr = wr t;
+    ld = ld t;
+    st = st t;
+  }

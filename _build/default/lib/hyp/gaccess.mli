@@ -1,0 +1,43 @@
+(** Guest-hypervisor access funnel.
+
+    Every architectural interaction the guest hypervisor performs goes
+    through this module as an instruction executed on the simulated CPU at
+    EL1.  Under a hardware mechanism the instruction executes as written
+    and the trap router does the rest; under a paravirtualized mechanism
+    it is first rewritten ({!Paravirt.rewrite}), exactly as the paper's
+    compile-time wrappers do (Section 4). *)
+
+module Cpu = Arm.Cpu
+module Insn = Arm.Insn
+module Sysreg = Arm.Sysreg
+
+type t = {
+  cpu : Cpu.t;
+  config : Config.t;
+  page_base : int64;  (** deferred access / shared page base *)
+}
+
+val v : Cpu.t -> Config.t -> page_base:int64 -> t
+
+val exec : t -> Insn.t -> unit
+
+val data_reg : int
+(** x10: carries MRS results and MSR sources through the funnel. *)
+
+val rd : t -> Sysreg.access -> int64
+val wr : t -> Sysreg.access -> int64 -> unit
+val ld : t -> int64 -> int64
+val st : t -> int64 -> int64 -> unit
+val hvc : t -> int -> unit
+val eret : t -> unit
+val isb : t -> unit
+
+val gich_access : t -> Sysreg.t -> is_write:bool -> unit
+(** A GICv2 GICH frame access: a plain device access at EL2, a stage-2
+    data abort when deprivileged (the "trivially traps" path of
+    Section 4).  The value moves through {!data_reg}. *)
+
+val gicv2_gic : t -> World_switch.gic_ops
+(** vGIC accessors backed by the memory-mapped interface. *)
+
+val ops : t -> World_switch.ops

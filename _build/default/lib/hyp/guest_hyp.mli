@@ -1,0 +1,67 @@
+(** The guest hypervisor: a KVM/ARM-shaped L1 hypervisor running
+    deprivileged in virtual EL2.
+
+    Its control flow is host-language code, but every architectural
+    interaction is an instruction executed on the simulated CPU through
+    {!Gaccess}, so which accesses trap is decided by the configuration
+    under test while the code paths are identical across ARMv8.3 and NEVE
+    runs.
+
+    Non-VHE exit handling follows the split KVM design: virtual-EL2 entry
+    -> read exit info -> save the nested VM and restore the host kernel ->
+    eret to the kernel at vEL1 -> handle -> hvc back to vEL2 -> switch
+    back -> eret to the nested VM.  VHE handles everything in vEL2, host
+    state stays in (virtual) EL2 registers, VM state goes through [_EL12]
+    and the VM timer through [_EL02]. *)
+
+module Sysreg = Arm.Sysreg
+module WS = World_switch
+
+type t = {
+  ga : Gaccess.t;
+  vhe : bool;
+  vm_ctx : int64;    (** its software struct holding the nested VM state *)
+  host_ctx : int64;  (** its host kernel's saved context *)
+  mutable used_lrs : int;
+  mutable cntvoff : int64;
+  pending_virqs : int Queue.t;
+      (** interrupts awaiting a free list register; drained on entry *)
+  mutable nested_elr : int64;
+  mutable nested_spsr : int64;
+  mutable exits_handled : int;
+  mutable debug_active : bool;  (** the nested VM is being debugged *)
+
+  mutable pmu_active : bool;    (** perf events counting in the VM *)
+
+  mutable on_mmio : (addr:int64 -> is_write:bool -> unit) option;
+      (** the device backend for emulated MMIO exits *)
+}
+
+val vector_base : int64
+(** The vEL2 vector the host jumps to on injection (symbolic). *)
+
+val create : Gaccess.t -> vcpu:Vcpu.t -> t
+
+val nested_hcr : int64
+(** The HCR value the guest hypervisor programs for its nested VM. *)
+
+val virtual_vttbr : int64
+(** Its virtual stage-2 root (shadowed by the host). *)
+
+val gic : t -> World_switch.gic_ops option
+(** The memory-mapped interface on GICv2 machines; [None] selects the
+    system-register interface. *)
+
+val read_exit_info : t -> unit
+val switch_to_host : t -> unit
+val eret_to_kernel : t -> unit
+val kernel_to_lowvisor : t -> unit
+val handle_in_kernel : t -> Vcpu.nested_exit -> unit
+val switch_to_guest : t -> unit
+val enter_nested : t -> unit
+
+val handle_exit : t -> Vcpu.nested_exit -> unit
+(** The full exit path; installed as the host's [on_vel2_entry] hook. *)
+
+val launch_nested : t -> entry:int64 -> unit
+(** First entry into the nested VM (no prior exit to unwind). *)

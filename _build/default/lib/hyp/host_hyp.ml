@@ -1,0 +1,634 @@
+(* The host hypervisor (L0): a KVM/ARM-shaped hypervisor owning EL2.
+
+   It multiplexes one virtual EL1 context and one virtual EL2 context per
+   vCPU onto the hardware (Section 4): when the guest hypervisor runs, the
+   hardware EL1 registers hold its virtual-EL2 execution mapping; when the
+   guest hypervisor erets into its nested VM, the host loads the nested
+   VM's EL1 state into hardware.  Every trap from EL1 lands in [handler],
+   which performs the full non-VHE KVM exit path (save guest EL1 state,
+   restore host state, dispatch, reverse) — the reason each trap costs
+   thousands of cycles and the exit-multiplication problem hurts so much.
+
+   NEVE changes only the boundaries: the host populates the deferred
+   access page before running the guest hypervisor and drains it on the
+   trapped eret; the trap handler itself sees six times fewer traps. *)
+
+module Sysreg = Arm.Sysreg
+module Cpu = Arm.Cpu
+module Insn = Arm.Insn
+module Exn = Arm.Exn
+module Hcr = Arm.Hcr
+module Memory = Arm.Memory
+module WS = World_switch
+
+let src = Logs.Src.create "neve.host" ~doc:"host hypervisor (L0)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type scenario = Single_vm | Nested
+
+type t = {
+  cpu : Cpu.t;
+  config : Config.t;
+  scenario : scenario;
+  vcpu : Vcpu.t;
+  page : Core.Deferred_page.t;
+  l0_ctx : int64;          (* the host's own saved EL1 context *)
+  guest_stash : int64;     (* where l0_enter parks the guest's EL1 state *)
+  mutable shadow_vttbr : int64;
+  mutable on_vel2_entry : (Vcpu.nested_exit -> unit) option;
+  mutable in_l1 : bool;
+  mutable exits : int;
+  mutable send_ipi : (target:int -> intid:int -> unit) option;
+  mutable pending_irq : int option;  (* payload for the next EC_irq *)
+  (* shadow stage-2 translation (Section 4, memory virtualization):
+     guest stage-2 x host stage-2 collapsed into the hardware tables *)
+  mutable shadow : (Mmu.Shadow.t * Mmu.Stage2.t * Mmu.Stage2.t) option;
+  (* recursive virtualization (Section 6.2): the nested VM is itself a
+     hypervisor; run it with the NV bits armed and forward its hypervisor
+     instructions to the guest hypervisor *)
+  mutable l2_is_hyp : bool;
+  (* the machine-physical VNCR value to program while the L2 hypervisor
+     runs: L1's virtual VNCR with its BADDR translated through the
+     stage-2 tables (the Section 6.2 workflow) *)
+  mutable l2_vncr : int64 option;
+}
+
+let table t = Cpu.table t.cpu
+
+(* HCR_EL2 value in hardware while guest code runs at EL1. *)
+let basic_hcr = Hcr.(List.fold_left set 0L [ vm; imo; fmo; tsc; twi ])
+
+let hcr_for t ~vel2 =
+  if vel2 then
+    if Config.is_paravirt t.config then basic_hcr
+    else Config.target_hcr t.config
+  else if t.l2_is_hyp then
+    (* the nested VM is itself a hypervisor: it runs with the same
+       nesting support the guest hypervisor gets ("the host hypervisor
+       emulates the same virtual execution environment as the underlying
+       machine including the ... nesting support", Section 6.2) *)
+    if Config.is_paravirt t.config then basic_hcr
+    else Config.target_hcr t.config
+  else basic_hcr
+
+(* World-switch operations executed by the host at EL2 (never trap). *)
+let l0_ops t : WS.ops =
+  {
+    WS.rd = (fun a -> Cpu.mrs t.cpu a);
+    wr = (fun a v -> Cpu.msr t.cpu a v);
+    ld =
+      (fun addr ->
+        Cpu.exec t.cpu (Insn.Ldr (Cpu.scratch_reg, Insn.Abs addr));
+        Cpu.get_reg t.cpu Cpu.scratch_reg);
+    st =
+      (fun addr v ->
+        Cpu.set_reg t.cpu Cpu.scratch_reg v;
+        Cpu.exec t.cpu (Insn.Str (Cpu.scratch_reg, Insn.Abs addr)));
+  }
+
+(* --- virtual EL2 register storage ---
+
+   Where the guest hypervisor's virtual EL2 register values live depends on
+   the configuration (Section 6.1):
+   - redirect-class registers are backed by the hardware EL1 twin whenever
+     the guest accesses them without trapping (VHE guests always; NEVE for
+     everyone);
+   - page-resident registers are authoritative in the deferred access page
+     while NEVE is enabled;
+   - everything else lives in the software virtual-EL2 file. *)
+
+let twin_backed t (r : Sysreg.t) =
+  match Sysreg.neve_class r with
+  | Sysreg.NV_redirect twin | Sysreg.NV_redirect_vhe twin ->
+    if t.config.Config.guest_vhe || Config.is_neve t.config then Some twin
+    else None
+  | Sysreg.NV_redirect_or_trap twin ->
+    if t.config.Config.guest_vhe then Some twin else None
+  | _ -> None
+
+let page_backed t r =
+  Config.is_neve t.config && t.vcpu.Vcpu.in_vel2
+  && Core.Deferred_page.has_slot r
+
+(* Read a virtual-EL2 register value from wherever it currently lives.
+   Reads of twin-backed registers must use the *stash* when the hardware
+   has already been switched away (the caller passes ~from_stash). *)
+let vel2_read ?(from_stash = false) t r =
+  match twin_backed t r with
+  | Some twin ->
+    if from_stash then
+      Memory.read64 t.cpu.Cpu.mem
+        (Int64.add t.guest_stash (Int64.of_int (Reglists.ctx_slot twin)))
+    else Cpu.mrs t.cpu (Sysreg.direct twin)
+  | None ->
+    if page_backed t r then begin
+      Cost.charge t.cpu.Cpu.meter (table t).Cost.mem_load;
+      Core.Deferred_page.read t.page r
+    end
+    else Vcpu.read_vel2 t.vcpu r
+
+let vel2_write ?(to_hw = true) t r v =
+  Vcpu.write_vel2 t.vcpu r v;
+  (match twin_backed t r with
+   | Some twin when to_hw -> Cpu.msr t.cpu (Sysreg.direct twin) v
+   | _ -> ());
+  if page_backed t r then begin
+    Cost.charge t.cpu.Cpu.meter (table t).Cost.mem_store;
+    Core.Deferred_page.write t.page r v
+  end
+
+(* --- the host's own full exit path (non-VHE KVM): runs on EVERY trap --- *)
+
+let stash_slot t r = Int64.add t.guest_stash (Int64.of_int (Reglists.ctx_slot r))
+
+let l0_enter t =
+  let o = l0_ops t in
+  Cost.charge t.cpu.Cpu.meter (table t).Cost.l0_exit_dispatch;
+  (* save whoever was running at EL1 *)
+  WS.save_list o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el1_state;
+  WS.save_list o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el0_state;
+  (* restore the host's EL1 world *)
+  WS.restore_list o ~ctx:t.l0_ctx ~via:Sysreg.direct Reglists.el1_state;
+  WS.deactivate_traps o ~vhe:false
+
+let l0_exit t =
+  let o = l0_ops t in
+  (* put the interrupted guest context back *)
+  WS.restore_list o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el1_state;
+  WS.restore_list o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el0_state;
+  WS.activate_traps o ~vhe:false ~hcr:(hcr_for t ~vel2:t.vcpu.Vcpu.in_vel2);
+  WS.write_stage2 o ~vttbr:t.shadow_vttbr
+
+(* Bookkeeping view of the stashed guest EL1 state (cost already paid by
+   l0_enter's stores). *)
+let stash_read t r = Memory.read64 t.cpu.Cpu.mem (stash_slot t r)
+
+(* --- virtual EL2 <-> hardware transitions --- *)
+
+(* The register pairs forming the virtual-EL2 execution mapping: while the
+   guest hypervisor runs at EL1, hardware EL1 register [twin] holds the
+   value of its virtual [el2_reg]. *)
+let exec_mapping = Core.Classify.redirected_pairs
+
+let used_lrs_of_vel2 t =
+  let n = ref 0 in
+  for i = 0 to Reglists.vgic_lrs_in_use - 1 do
+    if not (Gic.Vgic.lr_is_free (Vcpu.read_vel2 t.vcpu (Sysreg.ICH_LR_EL2 i)))
+    then n := i + 1
+  done;
+  !n
+
+(* Populate the NEVE deferred access page before running the guest
+   hypervisor: EL2 slots from the virtual EL2 file, EL1/EL0 slots from the
+   nested VM's state (Section 6.1 workflow). *)
+let neve_populate t =
+  let read_virtual r =
+    if Sysreg.min_el r = Arm.Pstate.EL2 then Vcpu.read_vel2 t.vcpu r
+    else Vcpu.read_vel1 t.vcpu r
+  in
+  Core.Deferred_page.populate t.page ~read_virtual;
+  Cost.charge t.cpu.Cpu.meter
+    (List.length Sysreg.vncr_layout * (table t).Cost.mem_store)
+
+let neve_drain t =
+  let write_virtual r v =
+    if Sysreg.min_el r = Arm.Pstate.EL2 then Vcpu.write_vel2 t.vcpu r v
+    else Vcpu.write_vel1 t.vcpu r v
+  in
+  Core.Deferred_page.drain t.page ~write_virtual;
+  Cost.charge t.cpu.Cpu.meter
+    (List.length Sysreg.vncr_layout * (table t).Cost.mem_load)
+
+let neve_on t = Config.is_neve t.config
+
+let set_vncr t ~enable =
+  match t.config.Config.mech with
+  | Config.Hw_neve ->
+    Cpu.poke_sysreg t.cpu Sysreg.VNCR_EL2
+      (if enable then Core.Deferred_page.vncr_value t.page ~enable:true
+       else Core.Vncr.disabled_value)
+  | _ -> ()
+
+(* Switch the vCPU from "nested VM running" to "guest hypervisor running"
+   and deliver a virtual EL2 exception describing [reason].  The guest's
+   EL1 state was already parked in the stash by l0_enter. *)
+let inject_vel2 t (reason : Vcpu.nested_exit) =
+  let c = table t in
+  let o = l0_ops t in
+  Log.debug (fun m ->
+      m "vcpu%d: inject %s into virtual EL2" t.vcpu.Vcpu.id
+        (Vcpu.exit_name reason));
+  Cost.charge t.cpu.Cpu.meter c.Cost.l0_inject_vel2;
+  (* the stashed EL1 state is the nested VM's (or vEL1 kernel's) state *)
+  List.iter
+    (fun r -> Vcpu.write_vel1 t.vcpu r (stash_read t r))
+    (Reglists.el1_state @ Reglists.el0_state);
+  (* save the hardware list registers into the virtual EL2 vgic *)
+  let used = max (used_lrs_of_vel2 t) t.vcpu.Vcpu.used_lrs in
+  for i = 0 to used - 1 do
+    Vcpu.write_vel2 t.vcpu (Sysreg.ICH_LR_EL2 i)
+      (Cpu.mrs t.cpu (Sysreg.direct (Sysreg.ICH_LR_EL2 i)))
+  done;
+  t.vcpu.Vcpu.in_vel2 <- true;
+  (* virtual exception bookkeeping: syndrome, return address, SPSR *)
+  let esr =
+    match reason with
+    | Vcpu.Exit_hypercall -> Exn.esr ~ec:Exn.EC_hvc64 ~iss:0
+    | Vcpu.Exit_mmio { addr = _; is_write } ->
+      Exn.esr ~ec:Exn.EC_dabt_lower ~iss:(if is_write then 0x40 else 0)
+    | Vcpu.Exit_virq _ -> Exn.esr ~ec:Exn.EC_irq ~iss:0
+    | Vcpu.Exit_sgi _ -> Exn.esr ~ec:Exn.EC_sysreg ~iss:0
+    | Vcpu.Exit_wfi -> Exn.esr ~ec:Exn.EC_wfx ~iss:0
+    | Vcpu.Exit_hyp_insn { access; rt; is_read } ->
+      Exn.esr ~ec:Exn.EC_sysreg ~iss:(Exn.sysreg_iss ~access ~rt ~is_read)
+    | Vcpu.Exit_hyp_eret -> Exn.esr ~ec:Exn.EC_eret ~iss:0
+  in
+  vel2_write t Sysreg.ESR_EL2 esr;
+  vel2_write t Sysreg.ELR_EL2 (Cpu.peek_sysreg t.cpu Sysreg.ELR_EL2);
+  vel2_write t Sysreg.SPSR_EL2 (Cpu.peek_sysreg t.cpu Sysreg.SPSR_EL2);
+  (match reason with
+   | Vcpu.Exit_mmio { addr; _ } ->
+     vel2_write t Sysreg.FAR_EL2 addr;
+     vel2_write t Sysreg.HPFAR_EL2 (Int64.shift_right_logical addr 8)
+   | _ -> ());
+  (* load the virtual-EL2 execution mapping into hardware EL1 *)
+  List.iter
+    (fun (el2r, twin) ->
+      Cpu.msr t.cpu (Sysreg.direct twin) (Vcpu.read_vel2 t.vcpu el2r))
+    exec_mapping;
+  if neve_on t then begin
+    neve_populate t;
+    set_vncr t ~enable:true
+  end;
+  (* enter the guest hypervisor at its (virtual) EL2 vector *)
+  Cpu.poke_sysreg t.cpu Sysreg.ELR_EL2 Guest_hyp.vector_base;
+  Cpu.poke_sysreg t.cpu Sysreg.SPSR_EL2
+    (Arm.Pstate.to_spsr (Arm.Pstate.at Arm.Pstate.EL1));
+  WS.activate_traps o ~vhe:false ~hcr:(hcr_for t ~vel2:true);
+  Cpu.do_eret t.cpu;
+  (* run the guest hypervisor's handler, unless this is the guest
+     hypervisor's own kernel->lowvisor transition *)
+  if not t.in_l1 then begin
+    match t.on_vel2_entry with
+    | Some hook ->
+      t.in_l1 <- true;
+      Fun.protect ~finally:(fun () -> t.in_l1 <- false) (fun () -> hook reason)
+    | None -> ()
+  end
+
+(* The guest hypervisor executed eret: switch to the virtual EL1 context
+   (its host kernel or its nested VM — the host does not care which). *)
+let emulate_eret t =
+  let c = table t in
+  let o = l0_ops t in
+  Log.debug (fun m -> m "vcpu%d: trapped eret, entering virtual EL1/0"
+                t.vcpu.Vcpu.id);
+  Cost.charge t.cpu.Cpu.meter c.Cost.l0_eret_emulate;
+  (* where does the guest hypervisor want to go? *)
+  let target_elr = vel2_read ~from_stash:true t Sysreg.ELR_EL2 in
+  let target_spsr = vel2_read ~from_stash:true t Sysreg.SPSR_EL2 in
+  (* the stashed hardware EL1 state is the virtual-EL2 execution mapping:
+     fold it back into the virtual EL2 file *)
+  List.iter
+    (fun (el2r, twin) -> Vcpu.write_vel2 t.vcpu el2r (stash_read t twin))
+    exec_mapping;
+  if neve_on t then begin
+    neve_drain t;
+    set_vncr t ~enable:false
+  end;
+  t.vcpu.Vcpu.in_vel2 <- false;
+  (* load the virtual EL1 context into hardware *)
+  List.iter
+    (fun r -> Cpu.msr t.cpu (Sysreg.direct r) (Vcpu.read_vel1 t.vcpu r))
+    (Reglists.el1_state @ Reglists.el0_state);
+  (* program the hardware vgic from the virtual EL2 interface *)
+  let used = used_lrs_of_vel2 t in
+  t.vcpu.Vcpu.used_lrs <- used;
+  Cpu.msr t.cpu (Sysreg.direct Sysreg.ICH_HCR_EL2)
+    (Vcpu.read_vel2 t.vcpu Sysreg.ICH_HCR_EL2);
+  Cpu.msr t.cpu (Sysreg.direct Sysreg.ICH_VMCR_EL2)
+    (Vcpu.read_vel2 t.vcpu Sysreg.ICH_VMCR_EL2);
+  for i = 0 to used - 1 do
+    Cpu.msr t.cpu (Sysreg.direct (Sysreg.ICH_LR_EL2 i))
+      (Vcpu.read_vel2 t.vcpu (Sysreg.ICH_LR_EL2 i))
+  done;
+  Cpu.msr t.cpu (Sysreg.direct Sysreg.CNTVOFF_EL2)
+    (Vcpu.read_vel2 t.vcpu Sysreg.CNTVOFF_EL2);
+  (* shadow stage-2 for the nested VM *)
+  WS.write_stage2 o ~vttbr:t.shadow_vttbr;
+  WS.activate_traps o ~vhe:false ~hcr:(hcr_for t ~vel2:false);
+  (* Section 6.2: while an L2 hypervisor runs, the hardware VNCR points at
+     the page owned by the L1 guest hypervisor (BADDR translated by L0) *)
+  (match (t.l2_is_hyp, t.l2_vncr) with
+   | true, Some v -> Cpu.poke_sysreg t.cpu Sysreg.VNCR_EL2 v
+   | _ -> ());
+  t.vcpu.Vcpu.nested_launched <- true;
+  Cpu.poke_sysreg t.cpu Sysreg.ELR_EL2 target_elr;
+  Cpu.poke_sysreg t.cpu Sysreg.SPSR_EL2 target_spsr;
+  Cpu.do_eret t.cpu
+
+(* --- trapped system-register emulation --- *)
+
+(* Returns true when the emulation switched the vCPU to a different
+   context (so the caller must not unwind with l0_exit + eret). *)
+let emulate_sysreg t ~(access : Sysreg.access) ~rt ~is_read =
+  let c = table t in
+  Cost.charge t.cpu.Cpu.meter c.Cost.l0_sysreg_emulate;
+  let r = access.Sysreg.reg in
+  (* The nested VM sending an IPI is special: forward it. *)
+  if r = Sysreg.ICC_SGI1R_EL1 && not is_read then begin
+    Cost.charge t.cpu.Cpu.meter c.Cost.l0_ipi_send;
+    let v = Cpu.get_trapped_reg t.cpu rt in
+    let target = Int64.to_int (Int64.logand v 0xffL) in
+    let intid =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v 24) 0xfL)
+    in
+    if t.vcpu.Vcpu.in_vel2 || t.in_l1 || t.scenario = Single_vm then begin
+      (* the (guest) hypervisor or a plain VM sends: deliver physically *)
+      (match t.send_ipi with
+       | Some f -> f ~target ~intid
+       | None -> ());
+      false
+    end
+    else begin
+      (* the nested VM sends: the guest hypervisor must emulate it *)
+      inject_vel2 t (Vcpu.Exit_sgi { target; intid });
+      true
+    end
+  end
+  else begin
+    let vel2_target =
+      match access.Sysreg.alias with
+      | Sysreg.EL12 | Sysreg.EL02 -> false
+      | Sysreg.Direct -> Sysreg.min_el r = Arm.Pstate.EL2
+    in
+    (* timer accesses carry the cost of multiplexing the (VHE-only) EL2
+       virtual timer with the VM's EL1 virtual timer *)
+    if access.Sysreg.alias = Sysreg.EL02 || Sysreg.is_el2_timer r then
+      Cost.charge t.cpu.Cpu.meter c.Cost.l0_timer_emulate;
+    (if is_read then begin
+       let v =
+         if vel2_target then
+           match twin_backed t r with
+           | Some twin -> stash_read t twin
+           | None -> Vcpu.read_vel2 t.vcpu r
+         else Vcpu.read_vel1 t.vcpu r
+       in
+       Cpu.set_trapped_reg t.cpu rt v
+     end
+     else begin
+       let v = Cpu.get_trapped_reg t.cpu rt in
+       if vel2_target then begin
+         Vcpu.write_vel2 t.vcpu r v;
+         (match twin_backed t r with
+          | Some twin ->
+            Memory.write64 t.cpu.Cpu.mem (stash_slot t twin) v
+          | None -> ());
+         (* keep the deferred page's cached copy fresh (trap-on-write) *)
+         if neve_on t && Core.Deferred_page.has_slot r then
+           Core.Deferred_page.write t.page r v;
+         (* GIC writes are sanitized and translated (Section 4) *)
+         if Sysreg.is_gic_ich r then
+           Cost.charge t.cpu.Cpu.meter c.Cost.l0_vgic_sync;
+         match r with
+         | Sysreg.ICH_LR_EL2 i ->
+           if v <> 0L then
+             t.vcpu.Vcpu.used_lrs <- max t.vcpu.Vcpu.used_lrs (i + 1)
+         | _ -> ()
+       end
+       else Vcpu.write_vel1 t.vcpu r v
+     end);
+    false
+  end
+
+(* --- top-level trap dispatch --- *)
+
+let handle_hvc t operand =
+  let c = table t in
+  if operand >= 64 then begin
+    (* paravirtualized hypervisor instruction (Section 4) *)
+    match Paravirt.decode_op operand with
+    | Paravirt.Op_sysreg { access; rt; is_read } ->
+      let switched = emulate_sysreg t ~access ~rt ~is_read in
+      if not switched then begin
+        l0_exit t;
+        Cpu.do_eret t.cpu
+      end
+    | Paravirt.Op_eret -> emulate_eret t
+    | Paravirt.Op_hypercall _ -> assert false
+  end
+  else
+    match (t.scenario, t.vcpu.Vcpu.in_vel2) with
+    | Single_vm, _ ->
+      Cost.charge t.cpu.Cpu.meter c.Cost.l0_hvc_handle;
+      l0_exit t;
+      Cpu.do_eret t.cpu
+    | Nested, false -> inject_vel2 t Vcpu.Exit_hypercall
+    | Nested, true ->
+      (* a hypercall from the guest hypervisor itself (e.g. PSCI) *)
+      Cost.charge t.cpu.Cpu.meter c.Cost.l0_hvc_handle;
+      l0_exit t;
+      Cpu.do_eret t.cpu
+
+let handle_irq t =
+  let c = table t in
+  let intid = Option.value ~default:Gic.Irq.virtio_net_spi t.pending_irq in
+  t.pending_irq <- None;
+  match t.scenario with
+  | Single_vm ->
+    (* inject a virtual interrupt directly into a hardware list register *)
+    Cost.charge t.cpu.Cpu.meter c.Cost.l0_vgic_sync;
+    let lr =
+      Gic.Vgic.encode_lr
+        { Gic.Vgic.empty_lr with Gic.Vgic.lr_state = Gic.Irq.Pending;
+                                 lr_vintid = intid }
+    in
+    Cpu.msr t.cpu (Sysreg.direct (Sysreg.ICH_LR_EL2 0)) lr;
+    t.vcpu.Vcpu.used_lrs <- max t.vcpu.Vcpu.used_lrs 1;
+    l0_exit t;
+    Cpu.do_eret t.cpu
+  | Nested ->
+    if t.vcpu.Vcpu.in_vel2 then begin
+      (* interrupt while the guest hypervisor ran: it is for the nested VM;
+         queue it and resume — modeled as immediate redelivery after the
+         guest hypervisor finishes, so just resume here *)
+      l0_exit t;
+      Cpu.do_eret t.cpu
+    end
+    else inject_vel2 t (Vcpu.Exit_virq intid)
+
+let handle_dabt t (e : Exn.entry) =
+  let c = table t in
+  let addr = Option.value ~default:Gic.Gicv2.gich_base e.Exn.fault_addr in
+  let is_write = e.Exn.iss land 0x40 <> 0 in
+  (* Shadow stage-2 refill: a nested-VM translation fault the host can
+     resolve alone by collapsing the guest and host stage-2 tables — no
+     guest-hypervisor involvement, like Turtles. *)
+  let shadow_resolved () =
+    match (t.scenario, t.vcpu.Vcpu.in_vel2, t.shadow) with
+    | Nested, false, Some (sh, guest_s2, host_s2) -> begin
+        match
+          Mmu.Shadow.handle_fault sh ~guest_s2 ~host_s2 ~l2_ipa:addr ~is_write
+        with
+        | Mmu.Shadow.Resolved _ ->
+          Cost.charge t.cpu.Cpu.meter c.Cost.l0_mem_fault;
+          true
+        | Mmu.Shadow.Guest_s2_fault _ | Mmu.Shadow.Host_s2_fault _ -> false
+      end
+    | _ -> false
+  in
+  if shadow_resolved () then begin
+    l0_exit t;
+    Cpu.do_eret t.cpu
+  end
+  else
+  match t.scenario with
+  | Single_vm ->
+    Cost.charge t.cpu.Cpu.meter c.Cost.l0_io_emulate;
+    l0_exit t;
+    Cpu.do_eret t.cpu
+  | Nested ->
+    if t.vcpu.Vcpu.in_vel2 then begin
+      (* GICv2: the guest hypervisor's memory-mapped GICH access traps via
+         stage-2; emulate against the virtual EL2 vgic state *)
+      (match Gic.Gicv2.decode_access addr with
+       | Some gich ->
+         Cost.charge t.cpu.Cpu.meter c.Cost.l0_vgic_sync;
+         (match Gic.Gicv2.to_ich gich with
+          | Some ich ->
+            if is_write then begin
+              let v = Cpu.get_trapped_reg t.cpu Gaccess.data_reg in
+              (* the coherent writer: also refreshes the NEVE page's
+                 cached copy, as the system-register trap path does *)
+              vel2_write ~to_hw:false t ich v;
+              match ich with
+              | Sysreg.ICH_LR_EL2 i ->
+                if not (Gic.Vgic.lr_is_free v) then
+                  t.vcpu.Vcpu.used_lrs <- max t.vcpu.Vcpu.used_lrs (i + 1)
+              | _ -> ()
+            end
+            else
+              Cpu.set_trapped_reg t.cpu Gaccess.data_reg
+                (vel2_read ~from_stash:true t ich)
+          | None -> ())
+       | None -> Cost.charge t.cpu.Cpu.meter c.Cost.l0_io_emulate);
+      l0_exit t;
+      Cpu.do_eret t.cpu
+    end
+    else inject_vel2 t (Vcpu.Exit_mmio { addr; is_write })
+
+let handle_wfi t =
+  match (t.scenario, t.vcpu.Vcpu.in_vel2) with
+  | Nested, false -> inject_vel2 t Vcpu.Exit_wfi
+  | _ ->
+    l0_exit t;
+    Cpu.do_eret t.cpu
+
+let handler t _cpu (e : Exn.entry) =
+  t.exits <- t.exits + 1;
+  Log.debug (fun m ->
+      m "vcpu%d: exit #%d, %a" t.vcpu.Vcpu.id t.exits Exn.pp_entry e);
+  l0_enter t;
+  match e.Exn.ec with
+  | Exn.EC_sysreg ->
+    let d = Exn.decode_sysreg_iss e.Exn.iss in
+    let access =
+      match Sysreg.of_enc d.Exn.ds_enc with
+      | Some reg -> Sysreg.direct reg
+      | None -> begin
+          (* op1=5 alias space *)
+          let op0, _, crn, crm, op2 = d.Exn.ds_enc in
+          match Sysreg.of_enc (op0, 0, crn, crm, op2) with
+          | Some reg -> Sysreg.el12 reg
+          | None -> begin
+              match Sysreg.of_enc (op0, 3, crn, crm, op2) with
+              | Some reg -> Sysreg.el02 reg
+              | None ->
+                invalid_arg "Host_hyp: trapped access to unknown register"
+            end
+        end
+    in
+    if t.l2_is_hyp && (not t.vcpu.Vcpu.in_vel2) && not t.in_l1 then
+      (* the L2 hypervisor executed a hypervisor instruction: forward it
+         to the L1 guest hypervisor for emulation (Section 4: "trap on
+         hypervisor instructions to the L0 host hypervisor, which can
+         then forward it to the L1 guest hypervisor") *)
+      inject_vel2 t
+        (Vcpu.Exit_hyp_insn
+           { access; rt = d.Exn.ds_rt; is_read = d.Exn.ds_is_read })
+    else begin
+      let switched =
+        emulate_sysreg t ~access ~rt:d.Exn.ds_rt ~is_read:d.Exn.ds_is_read
+      in
+      if not switched then begin
+        l0_exit t;
+        Cpu.do_eret t.cpu
+      end
+    end
+  | Exn.EC_hvc64 -> handle_hvc t (e.Exn.iss land 0xffff)
+  | Exn.EC_eret ->
+    if t.l2_is_hyp && (not t.vcpu.Vcpu.in_vel2) && not t.in_l1 then
+      (* the L2 hypervisor's eret into its own nested VM (L3): also the
+         L1 guest hypervisor's to emulate *)
+      inject_vel2 t Vcpu.Exit_hyp_eret
+    else emulate_eret t
+  | Exn.EC_irq -> handle_irq t
+  | Exn.EC_dabt_lower -> handle_dabt t e
+  | Exn.EC_wfx -> handle_wfi t
+  | Exn.EC_smc64 | Exn.EC_svc64 | Exn.EC_unknown | Exn.EC_iabt_lower ->
+    l0_exit t;
+    Cpu.do_eret t.cpu
+
+(* --- construction --- *)
+
+let create ?(id = 0) cpu config scenario =
+  let vcpu = Vcpu.create ~id in
+  let page = Core.Deferred_page.create cpu.Cpu.mem ~base:vcpu.Vcpu.page_base in
+  let t =
+    {
+      cpu;
+      config;
+      scenario;
+      vcpu;
+      page;
+      l0_ctx = Int64.add vcpu.Vcpu.host_ctx_base 0x0L;
+      guest_stash = Int64.add vcpu.Vcpu.host_ctx_base 0x2000L;
+      shadow_vttbr = 0x6000_0000L;
+      on_vel2_entry = None;
+      in_l1 = false;
+      exits = 0;
+      send_ipi = None;
+      pending_irq = None;
+      shadow = None;
+      l2_is_hyp = false;
+      l2_vncr = None;
+    }
+  in
+  cpu.Cpu.el2_handler <- Some (fun cpu e -> handler t cpu e);
+  cpu.Cpu.features <- Config.hw_features config;
+  t
+
+(* Put the machine in "guest hypervisor running in virtual EL2" state,
+   ready for the first nested launch. *)
+let start_guest_hypervisor t =
+  if t.config.Config.guest_vhe then
+    Vcpu.write_vel2 t.vcpu Sysreg.HCR_EL2 Hcr.e2h;
+  t.vcpu.Vcpu.in_vel2 <- true;
+  Cpu.poke_sysreg t.cpu Sysreg.HCR_EL2 (hcr_for t ~vel2:true);
+  if neve_on t then begin
+    neve_populate t;
+    set_vncr t ~enable:true
+  end;
+  t.cpu.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1
+
+(* Put the machine in "plain VM running" state. *)
+let start_vm t =
+  t.vcpu.Vcpu.in_vel2 <- false;
+  Cpu.poke_sysreg t.cpu Sysreg.HCR_EL2 basic_hcr;
+  t.cpu.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1
+
+let pp ppf t =
+  Fmt.pf ppf "host{%a %s exits=%d}" Config.pp t.config
+    (match t.scenario with Single_vm -> "vm" | Nested -> "nested")
+    t.exits

@@ -1,0 +1,102 @@
+(** The host hypervisor (L0): a KVM/ARM-shaped hypervisor owning EL2.
+
+    It multiplexes one virtual EL1 context and one virtual EL2 context
+    per vCPU onto the hardware (paper Section 4): while the guest
+    hypervisor runs, the hardware EL1 registers hold its virtual-EL2
+    execution mapping; when it erets into its nested VM, the host loads
+    the nested VM's EL1 state instead.  Every trap from EL1 runs the full
+    non-VHE KVM exit path (save guest EL1 state, restore host state,
+    dispatch, reverse) — why each trap costs thousands of cycles and exit
+    multiplication hurts.
+
+    NEVE changes only the boundaries: the host populates the deferred
+    access page before running the guest hypervisor and drains it on the
+    trapped eret; the handler sees ~9x fewer traps. *)
+
+module Sysreg = Arm.Sysreg
+module Cpu = Arm.Cpu
+module Exn = Arm.Exn
+
+type scenario = Single_vm | Nested
+
+type t = {
+  cpu : Cpu.t;
+  config : Config.t;
+  scenario : scenario;
+  vcpu : Vcpu.t;
+  page : Core.Deferred_page.t;
+  l0_ctx : int64;       (** the host's own saved EL1 context *)
+  guest_stash : int64;  (** where l0_enter parks the guest's EL1 state *)
+  mutable shadow_vttbr : int64;
+  mutable on_vel2_entry : (Vcpu.nested_exit -> unit) option;
+      (** hook running the guest hypervisor's exit handler *)
+  mutable in_l1 : bool;
+      (** inside the guest hypervisor's handling: vEL1 hvc/SGI activity
+          is the L1 kernel's own, not a fresh nested exit *)
+  mutable exits : int;
+  mutable send_ipi : (target:int -> intid:int -> unit) option;
+  mutable pending_irq : int option;
+  mutable shadow : (Mmu.Shadow.t * Mmu.Stage2.t * Mmu.Stage2.t) option;
+      (** shadow stage-2: (shadow, guest stage-2, host stage-2) *)
+  mutable l2_is_hyp : bool;
+      (** recursive virtualization: the nested VM is itself a hypervisor,
+          run with the NV bits armed; its hypervisor instructions are
+          forwarded to the guest hypervisor (Section 6.2) *)
+  mutable l2_vncr : int64 option;
+      (** machine-physical VNCR to program while the L2 hypervisor runs:
+          L1's virtual VNCR with a translated BADDR *)
+}
+
+val table : t -> Cost.table
+val basic_hcr : int64
+val hcr_for : t -> vel2:bool -> int64
+
+val vel2_read : ?from_stash:bool -> t -> Sysreg.t -> int64
+(** Read a virtual-EL2 register from wherever it currently lives:
+    hardware EL1 twin, the deferred access page, or the software file.
+    [from_stash] reads twin-backed registers from the stash after
+    l0_enter switched the hardware away. *)
+
+val vel2_write : ?to_hw:bool -> t -> Sysreg.t -> int64 -> unit
+
+val l0_enter : t -> unit
+(** The host's exit path, run on every trap: save the interrupted EL1
+    context to the stash, restore the host's EL1 world. *)
+
+val l0_exit : t -> unit
+(** Reverse of {!l0_enter}: restore the stashed context and re-arm the
+    trap controls. *)
+
+val stash_read : t -> Sysreg.t -> int64
+
+val inject_vel2 : t -> Vcpu.nested_exit -> unit
+(** Switch the vCPU to "guest hypervisor running", deliver a virtual EL2
+    exception describing the exit, populate the NEVE page, and run the
+    [on_vel2_entry] hook (unless this is the guest hypervisor's own
+    kernel-to-lowvisor transition). *)
+
+val emulate_eret : t -> unit
+(** The guest hypervisor executed eret: fold its execution mapping back
+    into the virtual EL2 file, drain the NEVE page, load the virtual EL1
+    context into hardware, program the hardware vGIC and shadow stage-2,
+    and enter the nested VM. *)
+
+val emulate_sysreg :
+  t -> access:Sysreg.access -> rt:int -> is_read:bool -> bool
+(** Emulate one trapped access against the virtual state; true when the
+    emulation switched context (nested-VM SGI forwarding), telling the
+    caller not to unwind. *)
+
+val handler : t -> Cpu.t -> Exn.entry -> unit
+(** The EL2 exception handler installed on the CPU. *)
+
+val create : ?id:int -> Cpu.t -> Config.t -> scenario -> t
+
+val start_guest_hypervisor : t -> unit
+(** Put the machine in "guest hypervisor running in virtual EL2" state,
+    ready for the first nested launch. *)
+
+val start_vm : t -> unit
+(** Put the machine in "plain VM running" state (Table 1's VM column). *)
+
+val pp : Format.formatter -> t -> unit

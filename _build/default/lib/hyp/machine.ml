@@ -1,0 +1,183 @@
+(* A multi-core ARM machine with a full virtualization stack assembled on
+   it: shared physical memory, one simulated CPU per core, a host
+   hypervisor instance per core, and — in nested scenarios — a guest
+   hypervisor per core, wired so IPIs cross cores.
+
+   This module also provides the guest-side operations workloads use:
+   hypercalls, MMIO accesses, IPIs, and virtual interrupt ack/EOI. *)
+
+module Cpu = Arm.Cpu
+module Insn = Arm.Insn
+module Sysreg = Arm.Sysreg
+module Exn = Arm.Exn
+
+type t = {
+  mem : Arm.Memory.t;
+  cpus : Cpu.t array;
+  hosts : Host_hyp.t array;
+  ghyps : Guest_hyp.t option array;
+  config : Config.t;
+  scenario : Host_hyp.scenario;
+}
+
+let ncpus t = Array.length t.cpus
+
+let create ?(ncpus = 1) ?table config scenario =
+  let mem = Arm.Memory.create () in
+  let cpus =
+    Array.init ncpus (fun _ -> Cpu.create ~mem ?table ())
+  in
+  let hosts =
+    Array.mapi (fun i cpu -> Host_hyp.create ~id:i cpu config scenario) cpus
+  in
+  let ghyps =
+    Array.mapi
+      (fun i host ->
+        match scenario with
+        | Host_hyp.Single_vm -> None
+        | Host_hyp.Nested ->
+          let ga =
+            Gaccess.v cpus.(i) config
+              ~page_base:host.Host_hyp.vcpu.Vcpu.page_base
+          in
+          let g = Guest_hyp.create ga ~vcpu:host.Host_hyp.vcpu in
+          host.Host_hyp.on_vel2_entry <- Some (Guest_hyp.handle_exit g);
+          Some g)
+      hosts
+  in
+  let t = { mem; cpus; hosts; ghyps; config; scenario } in
+  (* wire cross-CPU IPI delivery *)
+  Array.iter
+    (fun (host : Host_hyp.t) ->
+      host.Host_hyp.send_ipi <-
+        Some
+          (fun ~target ~intid ->
+            if target >= 0 && target < ncpus then begin
+              t.hosts.(target).Host_hyp.pending_irq <- Some intid;
+              ignore (Cpu.deliver_irq t.cpus.(target))
+            end))
+    hosts;
+  t
+
+(* Bring the stack up: plain VM scenarios just start the VM; nested
+   scenarios start the guest hypervisor and have it launch its nested VM
+   end to end (the launch path runs through the full trap machinery). *)
+let boot t =
+  Array.iteri
+    (fun i host ->
+      match t.scenario with
+      | Host_hyp.Single_vm -> Host_hyp.start_vm host
+      | Host_hyp.Nested ->
+        Host_hyp.start_guest_hypervisor host;
+        (match t.ghyps.(i) with
+         | Some g -> Guest_hyp.launch_nested g ~entry:0x9000_0000L
+         | None -> ()))
+    t.hosts
+
+(* --- guest-side operations (what the benchmarked VM/nested VM does) --- *)
+
+let hypercall t ~cpu = Cpu.exec t.cpus.(cpu) (Insn.Hvc 0)
+
+(* An MMIO access to an emulated device: the address is not mapped at
+   stage 2, so the access takes a data abort to EL2 (Section 4, memory
+   virtualization). *)
+let mmio_access t ~cpu ~addr ~is_write =
+  let c = t.cpus.(cpu) in
+  Cost.record_trap ~detail:"mmio" c.Cpu.meter Cost.Trap_mmio;
+  Cost.charge c.Cpu.meter (Cpu.table c).Cost.insn_base;
+  Cpu.exception_entry c
+    { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_dabt_lower;
+      iss = (if is_write then 0x40 else 0); fault_addr = Some addr }
+
+(* A data abort at stage 2 that is *not* an emulated-device access: either
+   a shadow-table miss the host refills, or a fault reflected to the guest
+   hypervisor. *)
+let data_abort t ~cpu ~addr ~is_write =
+  let c = t.cpus.(cpu) in
+  Cost.record_trap ~detail:"s2-fault" c.Cpu.meter Cost.Trap_mem_fault;
+  Cost.charge c.Cpu.meter (Cpu.table c).Cost.insn_base;
+  Cpu.exception_entry c
+    { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_dabt_lower;
+      iss = (if is_write then 0x40 else 0); fault_addr = Some addr }
+
+(* Configure shadow stage-2 translation for a CPU's nested VM: the guest
+   hypervisor's stage-2 (L2 IPA -> L1 PA) and the host's stage-2
+   (L1 PA -> machine PA), collapsed lazily on faults. *)
+let install_shadow t ~cpu ~guest_s2 ~host_s2 =
+  let alloc = Mmu.Walk.allocator ~start:0x9_0000_0000L in
+  let sh = Mmu.Shadow.create t.mem alloc ~vmid:(0x100 + cpu) in
+  t.hosts.(cpu).Host_hyp.shadow <- Some (sh, guest_s2, host_s2);
+  t.hosts.(cpu).Host_hyp.shadow_vttbr <- Mmu.Shadow.vttbr sh;
+  sh
+
+(* Send an IPI: a write to ICC_SGI1R_EL1, which traps to the hypervisor on
+   every configuration (IPIs are always emulated). *)
+let send_ipi t ~cpu ~target ~intid =
+  let payload =
+    Int64.logor (Int64.of_int target) (Int64.shift_left (Int64.of_int intid) 24)
+  in
+  Cpu.exec t.cpus.(cpu) (Insn.Msr (Sysreg.direct Sysreg.ICC_SGI1R_EL1, Insn.Imm payload))
+
+(* Acknowledge the highest-priority pending virtual interrupt: served by
+   the GIC virtual CPU interface against the list registers — no trap. *)
+let vm_ack t ~cpu =
+  let c = t.cpus.(cpu) in
+  let lrs =
+    Array.init Reglists.vgic_lrs_in_use (fun i ->
+        Cpu.peek_sysreg c (Sysreg.ICH_LR_EL2 i))
+  in
+  let result = Gic.Vgic.v_acknowledge lrs in
+  Array.iteri (fun i v -> Cpu.poke_sysreg c (Sysreg.ICH_LR_EL2 i) v) lrs;
+  Cost.charge c.Cpu.meter (Cpu.table c).Cost.sysreg_read;
+  result
+
+(* Complete a virtual interrupt (Virtual EOI): hardware-only, the constant
+   71-cycle operation of Tables 1 and 6. *)
+let vm_eoi t ~cpu ~vintid =
+  let c = t.cpus.(cpu) in
+  let lrs =
+    Array.init Reglists.vgic_lrs_in_use (fun i ->
+        Cpu.peek_sysreg c (Sysreg.ICH_LR_EL2 i))
+  in
+  let found = Gic.Vgic.v_eoi lrs ~vintid in
+  Array.iteri (fun i v -> Cpu.poke_sysreg c (Sysreg.ICH_LR_EL2 i) v) lrs;
+  Cost.charge c.Cpu.meter (Cpu.table c).Cost.arm_virtual_eoi;
+  found
+
+(* Deliver an external (device) interrupt to a CPU, as the NIC would. *)
+let device_irq t ~cpu ~intid =
+  t.hosts.(cpu).Host_hyp.pending_irq <- Some intid;
+  ignore (Cpu.deliver_irq t.cpus.(cpu))
+
+(* Guest does some plain computation: n generic instructions. *)
+let compute t ~cpu ~insns =
+  let c = t.cpus.(cpu) in
+  Cost.charge c.Cpu.meter (insns * (Cpu.table c).Cost.insn_base);
+  c.Cpu.meter.Cost.insns <- c.Cpu.meter.Cost.insns + insns
+
+(* --- measurement helpers --- *)
+
+let snapshot t = Array.to_list (Array.map (fun c -> Cost.snapshot c.Cpu.meter) t.cpus)
+
+let delta_since t snaps =
+  let deltas =
+    List.mapi (fun i s -> Cost.delta_since t.cpus.(i).Cpu.meter s) snaps
+  in
+  List.fold_left
+    (fun (acc : Cost.delta) (d : Cost.delta) ->
+      {
+        Cost.d_cycles = acc.Cost.d_cycles + d.Cost.d_cycles;
+        d_insns = acc.Cost.d_insns + d.Cost.d_insns;
+        d_traps = acc.Cost.d_traps + d.Cost.d_traps;
+        d_by_kind =
+          List.map2
+            (fun (k, a) (_, b) -> (k, a + b))
+            acc.Cost.d_by_kind d.Cost.d_by_kind;
+      })
+    (List.hd deltas) (List.tl deltas)
+
+let total_cycles t =
+  Array.fold_left (fun acc c -> acc + c.Cpu.meter.Cost.cycles) 0 t.cpus
+
+let total_traps t =
+  Array.fold_left (fun acc c -> acc + c.Cpu.meter.Cost.traps) 0 t.cpus

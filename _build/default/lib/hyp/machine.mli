@@ -1,0 +1,72 @@
+(** A multi-core ARM machine with a full virtualization stack: shared
+    physical memory, one simulated CPU per core, a host hypervisor per
+    core and — in nested scenarios — a guest hypervisor per core, wired
+    so IPIs cross cores.  Also provides the guest-side operations the
+    workloads and microbenchmarks use. *)
+
+module Cpu = Arm.Cpu
+
+type t = {
+  mem : Arm.Memory.t;
+  cpus : Cpu.t array;
+  hosts : Host_hyp.t array;
+  ghyps : Guest_hyp.t option array;
+  config : Config.t;
+  scenario : Host_hyp.scenario;
+}
+
+val ncpus : t -> int
+
+val create :
+  ?ncpus:int -> ?table:Cost.table -> Config.t -> Host_hyp.scenario -> t
+
+val boot : t -> unit
+(** Bring the stack up; nested scenarios launch the nested VM end to end
+    through the real trap machinery. *)
+
+(** {1 Guest-side operations} *)
+
+val hypercall : t -> cpu:int -> unit
+(** The Hypercall microbenchmark's [hvc #0] from the innermost guest. *)
+
+val mmio_access : t -> cpu:int -> addr:int64 -> is_write:bool -> unit
+(** An access to an emulated device: unmapped at stage 2, aborts to EL2
+    (the Device I/O microbenchmark). *)
+
+val data_abort : t -> cpu:int -> addr:int64 -> is_write:bool -> unit
+(** A stage-2 fault that is not a device access: a shadow miss the host
+    refills, or a fault reflected to the guest hypervisor. *)
+
+val install_shadow :
+  t -> cpu:int -> guest_s2:Mmu.Stage2.t -> host_s2:Mmu.Stage2.t ->
+  Mmu.Shadow.t
+(** Configure Turtles-style shadow stage-2 translation for a CPU's nested
+    VM. *)
+
+val send_ipi : t -> cpu:int -> target:int -> intid:int -> unit
+(** ICC_SGI1R_EL1 write — traps and is emulated in every configuration
+    (the Virtual IPI microbenchmark's sending half). *)
+
+val vm_ack : t -> cpu:int -> int option
+(** Acknowledge the highest-priority pending virtual interrupt against
+    the hardware list registers — no trap. *)
+
+val vm_eoi : t -> cpu:int -> vintid:int -> bool
+(** Complete a virtual interrupt: the constant-cost, trap-free Virtual
+    EOI of Tables 1 and 6. *)
+
+val device_irq : t -> cpu:int -> intid:int -> unit
+(** Deliver an external (device) interrupt, as the NIC would. *)
+
+val compute : t -> cpu:int -> insns:int -> unit
+(** Plain guest computation, charged without simulating each
+    instruction. *)
+
+(** {1 Measurement helpers} *)
+
+val snapshot : t -> Cost.snapshot list
+val delta_since : t -> Cost.snapshot list -> Cost.delta
+(** Summed across all CPUs. *)
+
+val total_cycles : t -> int
+val total_traps : t -> int

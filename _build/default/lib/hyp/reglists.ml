@@ -1,0 +1,144 @@
+(* The world-switch register lists.
+
+   These mirror KVM/ARM's sysreg save/restore sets (arch/arm64/kvm/hyp/
+   sysreg-sr.c in the Linux 4.10 era).  The *lengths* of these lists are
+   what drives exit multiplication on ARMv8.3: each element is a system
+   register access the guest hypervisor performs per exit, and each access
+   traps unless NEVE removes the trap.  Keeping them as data makes the
+   ablation "how do trap counts scale with context size?" a one-line
+   change. *)
+
+module Sysreg = Arm.Sysreg
+
+(* EL1 context saved/restored when switching between a VM and the host on a
+   non-VHE hypervisor, and between two VMs on any hypervisor: the
+   __sysreg_save_state set. *)
+let el1_state : Sysreg.t list =
+  [
+    Sysreg.CSSELR_EL1;
+    Sysreg.SCTLR_EL1;
+    Sysreg.ACTLR_EL1;
+    Sysreg.CPACR_EL1;
+    Sysreg.TTBR0_EL1;
+    Sysreg.TTBR1_EL1;
+    Sysreg.TCR_EL1;
+    Sysreg.ESR_EL1;
+    Sysreg.AFSR0_EL1;
+    Sysreg.AFSR1_EL1;
+    Sysreg.FAR_EL1;
+    Sysreg.MAIR_EL1;
+    Sysreg.VBAR_EL1;
+    Sysreg.CONTEXTIDR_EL1;
+    Sysreg.AMAIR_EL1;
+    Sysreg.CNTKCTL_EL1;
+    Sysreg.PAR_EL1;
+    Sysreg.TPIDR_EL1;
+    Sysreg.SP_EL1;
+    Sysreg.ELR_EL1;
+    Sysreg.SPSR_EL1;
+    Sysreg.MDSCR_EL1;
+  ]
+
+(* EL0-accessible context (thread pointers, user stack): switched by the
+   guest hypervisor directly; never traps at EL1. *)
+let el0_state : Sysreg.t list =
+  [ Sysreg.SP_EL0; Sysreg.TPIDR_EL0; Sysreg.TPIDRRO_EL0 ]
+
+(* The subset of [el1_state] that has a VHE _EL12 access form.  A VHE
+   hypervisor uses these to reach the VM's EL1 registers while E2H
+   redirection sends plain EL1 accesses to its own EL2 registers. *)
+let el12_capable : Sysreg.t list =
+  [
+    Sysreg.SCTLR_EL1; Sysreg.CPACR_EL1; Sysreg.TTBR0_EL1; Sysreg.TTBR1_EL1;
+    Sysreg.TCR_EL1; Sysreg.ESR_EL1; Sysreg.AFSR0_EL1; Sysreg.AFSR1_EL1;
+    Sysreg.FAR_EL1; Sysreg.MAIR_EL1; Sysreg.VBAR_EL1; Sysreg.CONTEXTIDR_EL1;
+    Sysreg.AMAIR_EL1; Sysreg.CNTKCTL_EL1; Sysreg.ELR_EL1; Sysreg.SPSR_EL1;
+  ]
+
+(* EL1-context registers with no _EL12 form; a VHE hypervisor reaches these
+   with plain accesses too (they are not E2H-redirected). *)
+let el1_state_no_el12 =
+  List.filter (fun r -> not (List.mem r el12_capable)) el1_state
+
+(* VM trap-control registers the hypervisor programs when entering a VM and
+   clears when returning to the host. *)
+let vm_trap_controls : Sysreg.t list =
+  [
+    Sysreg.HCR_EL2;
+    Sysreg.CPTR_EL2;
+    Sysreg.MDCR_EL2;
+    Sysreg.HSTR_EL2;
+    Sysreg.VTTBR_EL2;
+    Sysreg.VTCR_EL2;
+  ]
+
+(* ID-register virtualization: programmed once per VM entry on this era's
+   KVM. *)
+let vpidr_controls : Sysreg.t list = [ Sysreg.VPIDR_EL2; Sysreg.VMPIDR_EL2 ]
+
+(* vGIC state saved on exit (reads) — the hypervisor control interface.
+   KVM uses 4 list registers on this hardware. *)
+let vgic_lrs_in_use = 4
+
+let vgic_save_reads : Sysreg.t list =
+  [ Sysreg.ICH_VMCR_EL2; Sysreg.ICH_MISR_EL2; Sysreg.ICH_EISR_EL2;
+    Sysreg.ICH_ELRSR_EL2; Sysreg.ICH_AP1R_EL2 0 ]
+  @ List.init vgic_lrs_in_use (fun n -> Sysreg.ICH_LR_EL2 n)
+
+(* vGIC writes on exit: disable the virtual interface. *)
+let vgic_save_writes : Sysreg.t list = [ Sysreg.ICH_HCR_EL2 ]
+
+(* vGIC state restored on entry (writes). *)
+let vgic_restore_writes : Sysreg.t list =
+  [ Sysreg.ICH_HCR_EL2; Sysreg.ICH_VMCR_EL2; Sysreg.ICH_AP1R_EL2 0 ]
+  @ List.init vgic_lrs_in_use (fun n -> Sysreg.ICH_LR_EL2 n)
+
+(* Timer handling per switch: the VM's EL1 virtual timer (EL0-accessible
+   CNTV registers) plus the EL2 controls. *)
+let timer_el0_state : Sysreg.t list =
+  [ Sysreg.CNTV_CTL_EL0; Sysreg.CNTV_CVAL_EL0 ]
+
+let timer_el2_controls : Sysreg.t list =
+  [ Sysreg.CNTVOFF_EL2; Sysreg.CNTHCTL_EL2 ]
+
+(* A VHE hypervisor additionally manages its own EL2 virtual timer
+   (Section 7.1): it programs it with EL1 access instructions redirected by
+   E2H; reaching the *VM's* EL1 virtual timer then needs EL02 forms. *)
+let vhe_hyp_timer : Sysreg.t list =
+  [ Sysreg.CNTHV_CTL_EL2; Sysreg.CNTHV_CVAL_EL2 ]
+
+(* Self-hosted debug state: context-switched per world switch only when
+   the VM is being debugged (KVM's debug-dirty flag); MDSCR is part of
+   the base EL1 context already. *)
+let debug_state : Sysreg.t list =
+  List.concat
+    (List.init Sysreg.debug_bkpts (fun n ->
+         [ Sysreg.DBGBVR_EL1 n; Sysreg.DBGBCR_EL1 n; Sysreg.DBGWVR_EL1 n;
+           Sysreg.DBGWCR_EL1 n ]))
+
+(* PMU state: switched when perf events are active in the VM.  The
+   EL0-accessible counters never trap; the EL1 interrupt-enable registers
+   do (and are NV2-deferred). *)
+let pmu_state : Sysreg.t list =
+  [ Sysreg.PMCR_EL0; Sysreg.PMCNTENSET_EL0; Sysreg.PMOVSCLR_EL0;
+    Sysreg.PMCCNTR_EL0; Sysreg.PMCCFILTR_EL0; Sysreg.PMUSERENR_EL0;
+    Sysreg.PMSELR_EL0; Sysreg.PMINTENSET_EL1 ]
+  @ List.init Sysreg.pmu_counters (fun n -> Sysreg.PMEVCNTR_EL0 n)
+  @ List.init Sysreg.pmu_counters (fun n -> Sysreg.PMEVTYPER_EL0 n)
+
+(* Exit-syndrome registers read at the top of every exit. *)
+let exit_info_reads : Sysreg.t list =
+  [ Sysreg.ESR_EL2; Sysreg.ELR_EL2; Sysreg.SPSR_EL2; Sysreg.FAR_EL2;
+    Sysreg.HPFAR_EL2 ]
+
+(* Offsets of each register in a vCPU's in-memory context-save area; the
+   world-switch code stores to and loads from these slots. *)
+let ctx_slot : Sysreg.t -> int =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun i r -> Hashtbl.replace tbl r (8 * i)) Sysreg.all;
+  fun r ->
+    match Hashtbl.find_opt tbl r with
+    | Some off -> off
+    | None -> invalid_arg ("Reglists.ctx_slot: " ^ Sysreg.name r)
+
+let ctx_area_size = 8 * List.length Sysreg.all

@@ -1,0 +1,54 @@
+(** The world-switch register lists, mirroring KVM/ARM's sysreg
+    save/restore sets (Linux 4.10 era).
+
+    The {e lengths} of these lists drive exit multiplication on ARMv8.3:
+    every element is a system-register access the guest hypervisor
+    performs per exit, and each access traps unless NEVE removes the
+    trap.  Keeping them as data makes trap-count scaling a one-line
+    ablation. *)
+
+module Sysreg = Arm.Sysreg
+
+val el1_state : Sysreg.t list
+(** The EL1 context switched between a VM and the host (non-VHE) and
+    between VMs: the __sysreg_save_state set, 22 registers. *)
+
+val el0_state : Sysreg.t list
+(** EL0-accessible context (thread pointers, user SP): switched directly,
+    never traps at EL1. *)
+
+val el12_capable : Sysreg.t list
+(** The subset of {!el1_state} with a VHE [_EL12] access form (16). *)
+
+val el1_state_no_el12 : Sysreg.t list
+
+val vm_trap_controls : Sysreg.t list
+(** Registers programmed on VM entry / cleared on return to the host. *)
+
+val vpidr_controls : Sysreg.t list
+
+val vgic_lrs_in_use : int
+(** List registers KVM uses on this hardware: 4. *)
+
+val vgic_save_reads : Sysreg.t list
+val vgic_save_writes : Sysreg.t list
+val vgic_restore_writes : Sysreg.t list
+
+val timer_el0_state : Sysreg.t list
+(** The VM's EL1 virtual timer (EL0-accessible CNTV registers). *)
+
+val timer_el2_controls : Sysreg.t list
+val vhe_hyp_timer : Sysreg.t list
+val debug_state : Sysreg.t list
+(** Breakpoint/watchpoint registers, switched only for debugged VMs. *)
+
+val pmu_state : Sysreg.t list
+(** Performance-monitor state, switched when perf events are active. *)
+
+val exit_info_reads : Sysreg.t list
+
+val ctx_slot : Sysreg.t -> int
+(** Byte offset of a register in a context save area; unique per
+    register. *)
+
+val ctx_area_size : int

@@ -1,0 +1,1 @@
+lib/mmu/pte.ml: Fmt Int64 List

@@ -1,0 +1,1 @@
+lib/mmu/shadow.ml: List Pte Stage2 Walk

@@ -1,0 +1,1 @@
+lib/mmu/shadow.mli: Arm Stage2 Walk

@@ -1,0 +1,1 @@
+lib/mmu/stage1.ml: Arm Int64 Stage2 Walk

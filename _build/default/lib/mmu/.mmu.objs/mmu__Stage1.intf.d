@@ -1,0 +1,1 @@
+lib/mmu/stage1.mli: Arm Pte Stage2 Walk

@@ -1,0 +1,1 @@
+lib/mmu/stage2.ml: Arm Int64 Walk

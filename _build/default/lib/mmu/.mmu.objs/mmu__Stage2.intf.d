@@ -1,0 +1,1 @@
+lib/mmu/stage2.mli: Arm Pte Walk

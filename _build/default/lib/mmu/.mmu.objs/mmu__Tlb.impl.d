@@ -1,0 +1,1 @@
+lib/mmu/tlb.ml: Hashtbl Int64 List Pte Walk

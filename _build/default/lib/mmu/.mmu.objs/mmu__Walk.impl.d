@@ -1,0 +1,1 @@
+lib/mmu/walk.ml: Arm Fmt Int64 Pte

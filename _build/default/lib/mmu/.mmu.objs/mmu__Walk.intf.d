@@ -1,0 +1,1 @@
+lib/mmu/walk.mli: Arm Format Pte

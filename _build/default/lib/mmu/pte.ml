@@ -1,0 +1,85 @@
+(* Page-table descriptors.
+
+   The simulator models 4 KB granule, 3-level tables (level 1..3, 39-bit
+   input addresses), which is what KVM/ARM uses by default for stage-2 on
+   the paper's hardware.  Descriptors follow the VMSAv8-64 format closely
+   enough to exercise real walk logic: valid bit, table/block/page
+   distinction, output address, and access permissions. *)
+
+type kind = Invalid | Table | Block | Page
+
+type perms = {
+  readable : bool;
+  writable : bool;
+  executable : bool;
+}
+
+let rw = { readable = true; writable = true; executable = false }
+let rwx = { readable = true; writable = true; executable = true }
+let ro = { readable = true; writable = false; executable = false }
+
+type t = {
+  kind : kind;
+  output : int64;  (* next-level table address or output block/page address *)
+  perms : perms;
+}
+
+let invalid = { kind = Invalid; output = 0L; perms = { readable = false; writable = false; executable = false } }
+
+let bit n = Int64.shift_left 1L n
+let is_set v n = Int64.logand v (bit n) <> 0L
+
+let addr_mask = 0x0000_ffff_ffff_f000L
+
+(* Encoding: bit 0 = valid, bit 1 = table/page (vs block), bits [47:12]
+   output address, bit 6 = S2AP write (inverted here: set means writable),
+   bit 7 = read, bit 54 = XN. *)
+let encode ~level d =
+  match d.kind with
+  | Invalid -> 0L
+  | Table ->
+    if level >= 3 then invalid_arg "Pte.encode: table descriptor at level 3";
+    Int64.logor 3L (Int64.logand d.output addr_mask)
+  | Page ->
+    if level <> 3 then invalid_arg "Pte.encode: page descriptor below level 3";
+    List.fold_left Int64.logor 3L
+      [ Int64.logand d.output addr_mask;
+        (if d.perms.readable then bit 7 else 0L);
+        (if d.perms.writable then bit 6 else 0L);
+        (if d.perms.executable then 0L else bit 54) ]
+  | Block ->
+    if level = 3 then invalid_arg "Pte.encode: block descriptor at level 3";
+    List.fold_left Int64.logor 1L
+      [ Int64.logand d.output addr_mask;
+        (if d.perms.readable then bit 7 else 0L);
+        (if d.perms.writable then bit 6 else 0L);
+        (if d.perms.executable then 0L else bit 54) ]
+
+let decode ~level v =
+  if not (is_set v 0) then invalid
+  else
+    let output = Int64.logand v addr_mask in
+    let perms =
+      {
+        readable = is_set v 7;
+        writable = is_set v 6;
+        executable = not (is_set v 54);
+      }
+    in
+    if is_set v 1 then
+      if level = 3 then { kind = Page; output; perms }
+      else { kind = Table; output; perms = rwx }
+    else if level = 3 then invalid
+    else { kind = Block; output; perms }
+
+let kind_name = function
+  | Invalid -> "invalid"
+  | Table -> "table"
+  | Block -> "block"
+  | Page -> "page"
+
+let pp ppf d =
+  Fmt.pf ppf "%s -> 0x%Lx%s%s%s" (kind_name d.kind) d.output
+    (if d.perms.readable then " r" else "")
+    (if d.perms.writable then "w" else "")
+    (if d.perms.executable then "x" else "")

@@ -1,0 +1,66 @@
+(* Shadow stage-2 page tables for nested virtualization (Section 4).
+
+   ARM hardware translates through at most two stages, but a nested VM
+   needs three: L2 VA -> L2 PA (guest OS stage-1), L2 PA -> L1 PA (the
+   guest hypervisor's stage-2), L1 PA -> L0 PA (the host hypervisor's
+   stage-2).  The host hypervisor collapses the last two into a *shadow*
+   stage-2 mapping L2 PA -> L0 PA, built lazily on stage-2 faults exactly
+   like Turtles does on x86.
+
+   The shadow must be invalidated when the guest hypervisor changes its
+   virtual stage-2 tables (observed via trapped TLBI or VTTBR writes). *)
+
+type t = {
+  shadow : Stage2.t;              (* L2 IPA -> L0 PA, installed in hardware *)
+  mutable faults : int;           (* shadow misses handled *)
+  mutable entries : int64 list;   (* L2 IPAs currently shadowed *)
+}
+
+let create mem alloc ~vmid = { shadow = Stage2.create mem alloc ~vmid; faults = 0; entries = [] }
+
+let vttbr t = Stage2.vttbr t.shadow
+
+(* Resolve an L2 IPA through the guest hypervisor's virtual stage-2 and the
+   host's stage-2, installing the collapsed mapping.  Returns the final PA
+   or the stage at which translation legitimately failed (which the host
+   hypervisor forwards to the guest hypervisor as a virtual stage-2
+   fault). *)
+type resolve_result =
+  | Resolved of int64
+  | Guest_s2_fault of Walk.fault   (* reflect to the guest hypervisor *)
+  | Host_s2_fault of Walk.fault    (* host bug or truly unmapped (MMIO) *)
+
+let handle_fault t ~(guest_s2 : Stage2.t) ~(host_s2 : Stage2.t) ~l2_ipa
+    ~is_write =
+  t.faults <- t.faults + 1;
+  match Stage2.translate guest_s2 ~ipa:l2_ipa ~is_write with
+  | Error f -> Guest_s2_fault f
+  | Ok g -> begin
+      match Stage2.translate host_s2 ~ipa:g.Walk.t_pa ~is_write with
+      | Error f -> Host_s2_fault f
+      | Ok h ->
+        let perms =
+          (* intersect permissions of both stages *)
+          {
+            Pte.readable = g.Walk.t_perms.Pte.readable && h.Walk.t_perms.Pte.readable;
+            Pte.writable = g.Walk.t_perms.Pte.writable && h.Walk.t_perms.Pte.writable;
+            Pte.executable =
+              g.Walk.t_perms.Pte.executable && h.Walk.t_perms.Pte.executable;
+          }
+        in
+        let pa_page = Walk.page_base h.Walk.t_pa in
+        Stage2.map_page t.shadow ~ipa:(Walk.page_base l2_ipa) ~pa:pa_page ~perms;
+        t.entries <- Walk.page_base l2_ipa :: t.entries;
+        Resolved h.Walk.t_pa
+    end
+
+let translate t ~l2_ipa ~is_write = Stage2.translate t.shadow ~ipa:l2_ipa ~is_write
+
+(* The guest hypervisor invalidated (part of) its stage-2: drop everything.
+   A finer-grained model could track reverse mappings; full invalidation is
+   what KVM/ARM's nested support did initially. *)
+let invalidate t =
+  List.iter (fun ipa -> Stage2.unmap_page t.shadow ~ipa) t.entries;
+  t.entries <- []
+
+let shadowed_pages t = List.length t.entries

@@ -1,0 +1,39 @@
+(** Shadow stage-2 page tables for nested virtualization (paper Section 4).
+
+    Hardware translates through at most two stages but a nested VM needs
+    three; the host hypervisor collapses the guest hypervisor's stage-2
+    (L2 IPA -> L1 PA) and its own stage-2 (L1 PA -> machine PA) into
+    shadow entries (L2 IPA -> machine PA), lazily on faults, as Turtles
+    does on x86. *)
+
+type t = {
+  shadow : Stage2.t;            (** the collapsed table, used by hardware *)
+  mutable faults : int;         (** shadow misses handled *)
+  mutable entries : int64 list; (** L2 IPAs currently shadowed *)
+}
+
+val create : Arm.Memory.t -> Walk.allocator -> vmid:int -> t
+
+val vttbr : t -> int64
+(** What the host programs into the hardware VTTBR_EL2 when the nested VM
+    runs. *)
+
+type resolve_result =
+  | Resolved of int64            (** collapsed entry installed *)
+  | Guest_s2_fault of Walk.fault (** reflect to the guest hypervisor *)
+  | Host_s2_fault of Walk.fault  (** truly unmapped (MMIO) or host bug *)
+
+val handle_fault :
+  t -> guest_s2:Stage2.t -> host_s2:Stage2.t -> l2_ipa:int64 ->
+  is_write:bool -> resolve_result
+(** Resolve a nested-VM stage-2 fault: translate through both tables,
+    intersect permissions, install the shadow entry. *)
+
+val translate :
+  t -> l2_ipa:int64 -> is_write:bool -> (Walk.translation, Walk.fault) result
+
+val invalidate : t -> unit
+(** Drop every shadow entry — required when the guest hypervisor changes
+    its virtual stage-2 tables (trapped TLBI / VTTBR writes). *)
+
+val shadowed_pages : t -> int

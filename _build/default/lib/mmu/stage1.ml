@@ -1,0 +1,45 @@
+module Memory = Arm.Memory
+
+(* Stage-1 translation regime: VA -> IPA under a TTBR-rooted table.
+
+   The guest OS owns these tables; the hypervisor never traps stage-1
+   updates (Section 2).  Combined with Stage2 this yields the two-stage
+   translation of a VM; nested VMs add a third logical stage collapsed by
+   Shadow. *)
+
+type t = {
+  mem : Memory.t;
+  alloc : Walk.allocator;
+  base : int64;  (* TTBR0 base *)
+  asid : int;
+}
+
+let create mem alloc ~asid =
+  let base = Walk.alloc_page alloc mem in
+  { mem; alloc; base; asid }
+
+let ttbr t =
+  Int64.logor (Int64.shift_left (Int64.of_int t.asid) 48) t.base
+
+let translate t ~va ~is_write = Walk.walk t.mem ~base:t.base ~ia:va ~is_write
+
+let map_page t ~va ~ipa ~perms =
+  Walk.map_page t.mem t.alloc ~base:t.base ~ia:va ~pa:ipa ~perms
+
+let map_range t ~va ~ipa ~len ~perms =
+  Walk.map_range t.mem t.alloc ~base:t.base ~ia:va ~pa:ipa ~len ~perms
+
+let unmap_page t ~va = Walk.unmap_page t.mem ~base:t.base ~ia:va
+
+(* Full two-stage translation: VA -> IPA via this stage-1, then IPA -> PA
+   via the given stage-2.  Either stage may fault. *)
+type two_stage_fault = S1_fault of Walk.fault | S2_fault of Walk.fault
+
+let translate_two_stage t (s2 : Stage2.t) ~va ~is_write =
+  match translate t ~va ~is_write with
+  | Error f -> Error (S1_fault f)
+  | Ok tr1 -> begin
+      match Stage2.translate s2 ~ipa:tr1.Walk.t_pa ~is_write with
+      | Error f -> Error (S2_fault f)
+      | Ok tr2 -> Ok tr2
+    end

@@ -1,0 +1,30 @@
+(** Stage-1 translation regime: VA -> IPA under a TTBR-rooted table, owned
+    by the guest OS and never trapped (paper Section 2). *)
+
+module Memory = Arm.Memory
+
+type t = {
+  mem : Memory.t;
+  alloc : Walk.allocator;
+  base : int64;
+  asid : int;
+}
+
+val create : Memory.t -> Walk.allocator -> asid:int -> t
+val ttbr : t -> int64
+
+val translate :
+  t -> va:int64 -> is_write:bool -> (Walk.translation, Walk.fault) result
+
+val map_page : t -> va:int64 -> ipa:int64 -> perms:Pte.perms -> unit
+val map_range :
+  t -> va:int64 -> ipa:int64 -> len:int64 -> perms:Pte.perms -> unit
+val unmap_page : t -> va:int64 -> unit
+
+type two_stage_fault = S1_fault of Walk.fault | S2_fault of Walk.fault
+
+val translate_two_stage :
+  t -> Stage2.t -> va:int64 -> is_write:bool ->
+  (Walk.translation, two_stage_fault) result
+(** The full VM translation: VA through this stage-1, then the resulting
+    IPA through the given stage-2; the fault names the failing stage. *)

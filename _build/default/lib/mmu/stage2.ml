@@ -1,0 +1,32 @@
+module Memory = Arm.Memory
+
+(* Stage-2 translation regime: IPA -> PA under a VTTBR-rooted table.
+
+   A stage-2 translation fault is how MMIO emulation works: the hypervisor
+   leaves device IPAs unmapped so guest accesses abort to EL2 with a
+   syndrome (EC_dabt_lower) carrying the faulting IPA in HPFAR. *)
+
+type t = {
+  mem : Memory.t;
+  alloc : Walk.allocator;
+  base : int64;  (* VTTBR_EL2 base address *)
+  vmid : int;
+}
+
+let create mem alloc ~vmid =
+  let base = Walk.alloc_page alloc mem in
+  { mem; alloc; base; vmid }
+
+let vttbr t =
+  (* VMID in bits [63:48], base address below. *)
+  Int64.logor (Int64.shift_left (Int64.of_int t.vmid) 48) t.base
+
+let translate t ~ipa ~is_write = Walk.walk t.mem ~base:t.base ~ia:ipa ~is_write
+
+let map_page t ~ipa ~pa ~perms =
+  Walk.map_page t.mem t.alloc ~base:t.base ~ia:ipa ~pa ~perms
+
+let map_range t ~ipa ~pa ~len ~perms =
+  Walk.map_range t.mem t.alloc ~base:t.base ~ia:ipa ~pa ~len ~perms
+
+let unmap_page t ~ipa = Walk.unmap_page t.mem ~base:t.base ~ia:ipa

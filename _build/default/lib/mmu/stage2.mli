@@ -1,0 +1,28 @@
+(** Stage-2 translation regime: IPA -> PA under a VTTBR-rooted table.
+
+    A stage-2 translation fault is how MMIO emulation works: the
+    hypervisor leaves device IPAs unmapped so guest accesses abort to EL2
+    with the faulting IPA in HPFAR (paper Section 4). *)
+
+module Memory = Arm.Memory
+
+type t = {
+  mem : Memory.t;
+  alloc : Walk.allocator;
+  base : int64;
+  vmid : int;
+}
+
+val create : Memory.t -> Walk.allocator -> vmid:int -> t
+
+val vttbr : t -> int64
+(** VMID in bits [63:48], table base below — the value written to
+    VTTBR_EL2. *)
+
+val translate :
+  t -> ipa:int64 -> is_write:bool -> (Walk.translation, Walk.fault) result
+
+val map_page : t -> ipa:int64 -> pa:int64 -> perms:Pte.perms -> unit
+val map_range :
+  t -> ipa:int64 -> pa:int64 -> len:int64 -> perms:Pte.perms -> unit
+val unmap_page : t -> ipa:int64 -> unit

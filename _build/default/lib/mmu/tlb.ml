@@ -1,0 +1,50 @@
+(* TLB model: caches completed translations keyed by (VMID, ASID, page).
+
+   The simulator uses it to decide whether a memory access needs a walk;
+   TLBI instructions executed on the CPU invalidate entries by VMID. *)
+
+type key = { vmid : int; asid : int; page : int64 }
+
+type entry = { pa_page : int64; perms : Pte.perms }
+
+type t = {
+  entries : (key, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  capacity : int;
+}
+
+let create ?(capacity = 512) () =
+  { entries = Hashtbl.create capacity; hits = 0; misses = 0; capacity }
+
+let key ~vmid ~asid addr =
+  { vmid; asid; page = Walk.page_base addr }
+
+let lookup t ~vmid ~asid addr =
+  match Hashtbl.find_opt t.entries (key ~vmid ~asid addr) with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    Some (Int64.add e.pa_page (Walk.page_offset addr), e.perms)
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let insert t ~vmid ~asid ~va ~pa ~perms =
+  if Hashtbl.length t.entries >= t.capacity then
+    (* crude replacement: drop everything; a real TLB evicts one way *)
+    Hashtbl.reset t.entries;
+  Hashtbl.replace t.entries (key ~vmid ~asid va)
+    { pa_page = Walk.page_base pa; perms }
+
+let invalidate_vmid t ~vmid =
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if k.vmid = vmid then k :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) doomed
+
+let invalidate_all t = Hashtbl.reset t.entries
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total

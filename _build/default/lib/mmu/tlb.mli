@@ -1,0 +1,25 @@
+(** TLB model: caches completed translations keyed by (VMID, ASID, page),
+    invalidated by TLBI instructions. *)
+
+type key = { vmid : int; asid : int; page : int64 }
+type entry = { pa_page : int64; perms : Pte.perms }
+
+type t = {
+  entries : (key, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> t
+val key : vmid:int -> asid:int -> int64 -> key
+
+val lookup : t -> vmid:int -> asid:int -> int64 -> (int64 * Pte.perms) option
+(** Hit returns the full PA (page + offset); hits/misses are counted. *)
+
+val insert :
+  t -> vmid:int -> asid:int -> va:int64 -> pa:int64 -> perms:Pte.perms -> unit
+
+val invalidate_vmid : t -> vmid:int -> unit
+val invalidate_all : t -> unit
+val hit_rate : t -> float

@@ -1,0 +1,1 @@
+lib/riscv/csr.mli: Format

@@ -1,0 +1,1 @@
+lib/riscv/nested.ml: Cost Csr Fmt Hashtbl List

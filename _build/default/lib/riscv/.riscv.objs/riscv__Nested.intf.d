@@ -1,0 +1,1 @@
+lib/riscv/nested.mli: Cost Csr Format Hashtbl

@@ -1,0 +1,162 @@
+(* RISC-V hypervisor-extension CSRs.
+
+   The paper closes by calling NEVE "an important counterpoint to x86
+   practices" for RISC-style architectures and names RISC-V as one where
+   "virtualization support is being explored" (Section 8).  This module
+   makes the counterpoint concrete: the H-extension's CSR file and the
+   property that matters for nested virtualization — when HS-level
+   software is deprivileged into VS-mode, its s* CSR accesses are
+   *hardware-aliased* to the vs* bank (no traps), so only the h* CSRs
+   need trapping.  RISC-V thus starts where ARM needed VHE+NEVE to
+   arrive.
+
+   CSR addresses follow the RISC-V privileged specification. *)
+
+type t =
+  (* supervisor CSRs (aliased to vs* when V=1) *)
+  | Sstatus
+  | Sie
+  | Stvec
+  | Sscratch
+  | Sepc
+  | Scause
+  | Stval
+  | Sip
+  | Satp
+  (* hypervisor CSRs (HS-mode only) *)
+  | Hstatus
+  | Hedeleg
+  | Hideleg
+  | Hie
+  | Hcounteren
+  | Hgeie
+  | Htval
+  | Hip
+  | Hvip
+  | Htinst
+  | Hgatp
+  | Hgeip
+  (* virtual-supervisor bank (the VS context the hypervisor switches) *)
+  | Vsstatus
+  | Vsie
+  | Vstvec
+  | Vsscratch
+  | Vsepc
+  | Vscause
+  | Vstval
+  | Vsip
+  | Vsatp
+
+let name = function
+  | Sstatus -> "sstatus"
+  | Sie -> "sie"
+  | Stvec -> "stvec"
+  | Sscratch -> "sscratch"
+  | Sepc -> "sepc"
+  | Scause -> "scause"
+  | Stval -> "stval"
+  | Sip -> "sip"
+  | Satp -> "satp"
+  | Hstatus -> "hstatus"
+  | Hedeleg -> "hedeleg"
+  | Hideleg -> "hideleg"
+  | Hie -> "hie"
+  | Hcounteren -> "hcounteren"
+  | Hgeie -> "hgeie"
+  | Htval -> "htval"
+  | Hip -> "hip"
+  | Hvip -> "hvip"
+  | Htinst -> "htinst"
+  | Hgatp -> "hgatp"
+  | Hgeip -> "hgeip"
+  | Vsstatus -> "vsstatus"
+  | Vsie -> "vsie"
+  | Vstvec -> "vstvec"
+  | Vsscratch -> "vsscratch"
+  | Vsepc -> "vsepc"
+  | Vscause -> "vscause"
+  | Vstval -> "vstval"
+  | Vsip -> "vsip"
+  | Vsatp -> "vsatp"
+
+(* CSR addresses per the privileged specification. *)
+let addr = function
+  | Sstatus -> 0x100
+  | Sie -> 0x104
+  | Stvec -> 0x105
+  | Sscratch -> 0x140
+  | Sepc -> 0x141
+  | Scause -> 0x142
+  | Stval -> 0x143
+  | Sip -> 0x144
+  | Satp -> 0x180
+  | Hstatus -> 0x600
+  | Hedeleg -> 0x602
+  | Hideleg -> 0x603
+  | Hie -> 0x604
+  | Hcounteren -> 0x606
+  | Hgeie -> 0x607
+  | Htval -> 0x643
+  | Hip -> 0x644
+  | Hvip -> 0x645
+  | Htinst -> 0x64a
+  | Hgatp -> 0x680
+  | Hgeip -> 0xe12
+  | Vsstatus -> 0x200
+  | Vsie -> 0x204
+  | Vstvec -> 0x205
+  | Vsscratch -> 0x240
+  | Vsepc -> 0x241
+  | Vscause -> 0x242
+  | Vstval -> 0x243
+  | Vsip -> 0x244
+  | Vsatp -> 0x280
+
+let all =
+  [ Sstatus; Sie; Stvec; Sscratch; Sepc; Scause; Stval; Sip; Satp; Hstatus;
+    Hedeleg; Hideleg; Hie; Hcounteren; Hgeie; Htval; Hip; Hvip; Htinst;
+    Hgatp; Hgeip; Vsstatus; Vsie; Vstvec; Vsscratch; Vsepc; Vscause; Vstval;
+    Vsip; Vsatp ]
+
+(* The hardware alias: when V=1 (executing in a virtual machine), s* CSR
+   accesses operate on the vs* bank — the H-extension's built-in
+   equivalent of ARM VHE's E2H redirection. *)
+let vs_alias_of = function
+  | Sstatus -> Some Vsstatus
+  | Sie -> Some Vsie
+  | Stvec -> Some Vstvec
+  | Sscratch -> Some Vsscratch
+  | Sepc -> Some Vsepc
+  | Scause -> Some Vscause
+  | Stval -> Some Vstval
+  | Sip -> Some Vsip
+  | Satp -> Some Vsatp
+  | _ -> None
+
+type group = Supervisor | Hypervisor | Virtual_supervisor
+
+let group_of r =
+  let a = addr r in
+  if a >= 0x600 && a < 0x700 || a = 0xe12 then Hypervisor
+  else if a land 0x200 <> 0 && a < 0x600 then Virtual_supervisor
+  else Supervisor
+
+(* A hypothetical NEVE-for-RISC-V classification: which h*/vs* CSRs only
+   prepare state for the next world and could be deferred to memory (the
+   analogue of Table 3), and which have immediate effect. *)
+type nv_class =
+  | RV_deferrable   (* no effect on the deprivileged hypervisor itself *)
+  | RV_immediate    (* interrupt/trap state the hardware updates *)
+  | RV_aliased      (* already trap-free through the vs* alias *)
+
+let nv_class r =
+  match group_of r with
+  | Supervisor -> RV_aliased
+  | Virtual_supervisor -> RV_deferrable (* the VS bank is pure VM context *)
+  | Hypervisor -> begin
+      match r with
+      | Hip | Hgeip | Hvip -> RV_immediate (* live interrupt state *)
+      | _ -> RV_deferrable
+    end
+
+let pp ppf r = Fmt.string ppf (name r)

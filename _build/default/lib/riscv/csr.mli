@@ -1,0 +1,63 @@
+(** RISC-V hypervisor-extension CSRs: the counterpoint architecture of the
+    paper's Section 8.
+
+    The property that matters for nested virtualization: when HS-level
+    software runs deprivileged with V=1, its s* CSR accesses are
+    hardware-aliased to the vs* bank — the H-extension's built-in
+    equivalent of ARM VHE's E2H redirection — so only the h* CSRs need
+    trapping, and a VNCR-like extension could defer most of those. *)
+
+type t =
+  | Sstatus
+  | Sie
+  | Stvec
+  | Sscratch
+  | Sepc
+  | Scause
+  | Stval
+  | Sip
+  | Satp
+  | Hstatus
+  | Hedeleg
+  | Hideleg
+  | Hie
+  | Hcounteren
+  | Hgeie
+  | Htval
+  | Hip
+  | Hvip
+  | Htinst
+  | Hgatp
+  | Hgeip
+  | Vsstatus
+  | Vsie
+  | Vstvec
+  | Vsscratch
+  | Vsepc
+  | Vscause
+  | Vstval
+  | Vsip
+  | Vsatp
+
+val name : t -> string
+
+val addr : t -> int
+(** CSR address per the RISC-V privileged specification. *)
+
+val all : t list
+
+val vs_alias_of : t -> t option
+(** The vs* CSR an s* access reaches when V=1. *)
+
+type group = Supervisor | Hypervisor | Virtual_supervisor
+
+val group_of : t -> group
+
+(** A hypothetical NEVE-for-RISC-V classification. *)
+type nv_class =
+  | RV_deferrable  (** only prepares state for the next world *)
+  | RV_immediate   (** live interrupt state: must trap *)
+  | RV_aliased     (** already trap-free through the vs* alias *)
+
+val nv_class : t -> nv_class
+val pp : Format.formatter -> t -> unit

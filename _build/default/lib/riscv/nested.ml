@@ -1,0 +1,124 @@
+(* Nested virtualization on the RISC-V H-extension: the counterpoint
+   experiment.
+
+   A guest hypervisor written for HS-mode is deprivileged into VS-mode.
+   The H-extension's design gives it two things ARM only reached with
+   VHE + NEVE:
+
+   - its s* CSR accesses are hardware-aliased to the vs* bank: trap-free
+     access to its own supervisor state (ARM: VHE E2H redirection);
+   - only its h* CSR and vs* bank accesses need intercepting — and a
+     VNCR-like deferral could remove most of those too.
+
+   This module runs a KVM-shaped RISC-V world switch (the vs*-bank
+   save/restore plus h* control programming, mirroring Linux's
+   kvm/riscv vcpu switch) under three configurations and counts traps:
+
+   - [Baseline]: every h* and vs* access from the deprivileged hypervisor
+     traps (virtual-instruction exception) — plain H-extension nesting;
+   - [Deferred]: a NEVE-like extension defers the RV_deferrable class to
+     memory; only live interrupt state traps;
+   - for context, the ARM numbers from the main model. *)
+
+type mechanism = Baseline | Deferred
+
+let mechanism_name = function
+  | Baseline -> "H-extension"
+  | Deferred -> "H-ext + NEVE-like deferral"
+
+type machine = {
+  meter : Cost.meter;
+  mech : mechanism;
+  csrs : (Csr.t, int64) Hashtbl.t;      (* hardware CSR file *)
+  page : (Csr.t, int64) Hashtbl.t;      (* the deferred page *)
+}
+
+let create ?table mech =
+  {
+    meter = Cost.make_meter ?table ();
+    mech;
+    csrs = Hashtbl.create 64;
+    page = Hashtbl.create 64;
+  }
+
+(* One CSR access by the deprivileged guest hypervisor (executing with
+   V=1). *)
+let access m (r : Csr.t) ~is_read:_ =
+  let c = m.meter.Cost.table in
+  match Csr.nv_class r with
+  | Csr.RV_aliased ->
+    (* hardware alias to the vs* bank: plain CSR access *)
+    Cost.charge_insn m.meter c.Cost.sysreg_read
+  | Csr.RV_deferrable when m.mech = Deferred ->
+    (* NEVE-like: the access becomes a memory access to the page *)
+    Hashtbl.replace m.page r 0L;
+    Cost.charge_insn m.meter c.Cost.mem_store
+  | Csr.RV_deferrable | Csr.RV_immediate ->
+    (* virtual-instruction exception to the host hypervisor, which runs
+       its (RISC-V KVM) exit path; costs mirror the ARM host constants *)
+    Cost.record_trap ~detail:(Csr.name r) m.meter Cost.Trap_sysreg_el2;
+    Cost.charge m.meter
+      (c.Cost.trap_entry + c.Cost.l0_exit_dispatch + c.Cost.l0_sysreg_emulate
+       + c.Cost.trap_return)
+
+(* The deprivileged hypervisor's exit path for one hypercall from its
+   nested VM, shaped like kvm/riscv's vcpu_switch:
+   - read the exit cause (scause/sepc/stval: aliased, trap-free);
+   - save the nested VM's vs* bank (9 CSRs), restore its own context
+     (aliased);
+   - save/restore the h* controls;
+   - program hgatp (the stage-2 root) and sret back in. *)
+let vs_bank =
+  [ Csr.Vsstatus; Csr.Vsie; Csr.Vstvec; Csr.Vsscratch; Csr.Vsepc;
+    Csr.Vscause; Csr.Vstval; Csr.Vsip; Csr.Vsatp ]
+
+let h_controls =
+  [ Csr.Hstatus; Csr.Hedeleg; Csr.Hideleg; Csr.Hie; Csr.Hvip; Csr.Hgatp ]
+
+let handle_nested_exit m =
+  let c = m.meter.Cost.table in
+  (* the initial hypercall trap from the nested VM *)
+  Cost.record_trap ~detail:"ecall" m.meter Cost.Trap_hvc;
+  Cost.charge m.meter
+    (c.Cost.trap_entry + c.Cost.l0_exit_dispatch + c.Cost.l0_inject_vel2
+     + c.Cost.trap_return);
+  (* read exit information: aliased s* accesses, trap-free *)
+  List.iter (fun r -> access m r ~is_read:true) [ Csr.Scause; Csr.Sepc; Csr.Stval ];
+  (* save the nested VM's VS bank; restore it for re-entry *)
+  List.iter (fun r -> access m r ~is_read:true) vs_bank;
+  List.iter (fun r -> access m r ~is_read:false) vs_bank;
+  (* h* trap controls: clear on exit, re-arm on entry *)
+  List.iter (fun r -> access m r ~is_read:false) h_controls;
+  List.iter (fun r -> access m r ~is_read:false) h_controls;
+  (* the guest hypervisor's own context: all aliased, trap-free *)
+  List.iter (fun r -> access m r ~is_read:true)
+    [ Csr.Sstatus; Csr.Stvec; Csr.Sscratch; Csr.Satp ];
+  (* sret back into the nested VM: trapped and emulated by the host *)
+  Cost.record_trap ~detail:"sret" m.meter Cost.Trap_eret;
+  Cost.charge m.meter
+    (c.Cost.trap_entry + c.Cost.l0_exit_dispatch + c.Cost.l0_eret_emulate
+     + c.Cost.trap_return)
+
+type result = {
+  r_label : string;
+  r_traps : int;
+  r_cycles : int;
+}
+
+let measure ?table mech =
+  let m = create ?table mech in
+  handle_nested_exit m;
+  Cost.reset m.meter;
+  handle_nested_exit m;
+  {
+    r_label = mechanism_name mech;
+    r_traps = m.meter.Cost.traps;
+    r_cycles = m.meter.Cost.cycles;
+  }
+
+let run () = [ measure Baseline; measure Deferred ]
+
+let pp ppf results =
+  List.iter
+    (fun r -> Fmt.pf ppf "%-28s %4d traps %9d cycles@." r.r_label r.r_traps r.r_cycles)
+    results

@@ -1,0 +1,91 @@
+(* ARM generic timers.
+
+   Each CPU has an EL1 physical timer (CNTP), an EL1 virtual timer (CNTV,
+   offset by CNTVOFF_EL2), an EL2 physical timer (CNTHP), and — only with
+   VHE — an EL2 *virtual* timer (CNTHV).  The VHE-only timer matters to the
+   paper: a VHE guest hypervisor programs its own EL2 virtual timer with
+   EL1 access instructions (redirected by E2H) and the VM's EL1 virtual
+   timer with EL02 instructions that always trap, which is why the NEVE
+   VHE trap counts differ from non-VHE (Section 7.1, Table 7).
+
+   Time is the simulated cycle count; the CPU's CNTVCT read already applies
+   CNTVOFF.  This module interprets the CTL/CVAL register values and
+   decides which timer interrupts should fire. *)
+
+module Sysreg = Arm.Sysreg
+
+type timer_id = Phys_el1 | Virt_el1 | Phys_el2 | Virt_el2
+
+let timer_name = function
+  | Phys_el1 -> "CNTP(EL1)"
+  | Virt_el1 -> "CNTV(EL1)"
+  | Phys_el2 -> "CNTHP(EL2)"
+  | Virt_el2 -> "CNTHV(EL2,VHE)"
+
+let ctl_reg = function
+  | Phys_el1 -> Sysreg.CNTP_CTL_EL0
+  | Virt_el1 -> Sysreg.CNTV_CTL_EL0
+  | Phys_el2 -> Sysreg.CNTHP_CTL_EL2
+  | Virt_el2 -> Sysreg.CNTHV_CTL_EL2
+
+let cval_reg = function
+  | Phys_el1 -> Sysreg.CNTP_CVAL_EL0
+  | Virt_el1 -> Sysreg.CNTV_CVAL_EL0
+  | Phys_el2 -> Sysreg.CNTHP_CVAL_EL2
+  | Virt_el2 -> Sysreg.CNTHV_CVAL_EL2
+
+let ppi_of = function
+  | Phys_el1 -> 30
+  | Virt_el1 -> Gic.Irq.virtual_timer_ppi
+  | Phys_el2 -> Gic.Irq.hyp_timer_ppi
+  | Virt_el2 -> 28
+
+(* CNT*_CTL bits: 0 = ENABLE, 1 = IMASK, 2 = ISTATUS (RO). *)
+let ctl_enable = 1L
+let ctl_imask = 2L
+let ctl_istatus = 4L
+
+let enabled ctl = Int64.logand ctl ctl_enable <> 0L
+let masked ctl = Int64.logand ctl ctl_imask <> 0L
+
+(* The count a timer compares against: virtual timers subtract CNTVOFF. *)
+let count_for (cpu : Arm.Cpu.t) = function
+  | Virt_el1 | Virt_el2 ->
+    Int64.sub
+      (Int64.of_int cpu.Arm.Cpu.meter.Cost.cycles)
+      (Arm.Cpu.peek_sysreg cpu Sysreg.CNTVOFF_EL2)
+  | Phys_el1 | Phys_el2 -> Int64.of_int cpu.Arm.Cpu.meter.Cost.cycles
+
+(* Is the timer's condition met (count >= CVAL, enabled, unmasked)? *)
+let fires cpu timer =
+  let ctl = Arm.Cpu.peek_sysreg cpu (ctl_reg timer) in
+  enabled ctl && (not (masked ctl))
+  && count_for cpu timer >= Arm.Cpu.peek_sysreg cpu (cval_reg timer)
+
+(* Update ISTATUS bits and return the timers currently asserting their
+   interrupt line (the machine model turns these into GIC PPIs). *)
+let tick cpu ~vhe =
+  let timers =
+    if vhe then [ Phys_el1; Virt_el1; Phys_el2; Virt_el2 ]
+    else [ Phys_el1; Virt_el1; Phys_el2 ]
+  in
+  List.filter
+    (fun timer ->
+      let ctl = Arm.Cpu.peek_sysreg cpu (ctl_reg timer) in
+      let met =
+        enabled ctl && count_for cpu timer >= Arm.Cpu.peek_sysreg cpu (cval_reg timer)
+      in
+      let ctl' =
+        if met then Int64.logor ctl ctl_istatus
+        else Int64.logand ctl (Int64.lognot ctl_istatus)
+      in
+      Arm.Cpu.poke_sysreg cpu (ctl_reg timer) ctl';
+      met && not (masked ctl))
+    timers
+
+(* Program a timer to fire [delta] cycles from now (software helper used by
+   workloads). *)
+let arm_timer cpu timer ~delta =
+  let now = count_for cpu timer in
+  Arm.Cpu.poke_sysreg cpu (cval_reg timer) (Int64.add now delta);
+  Arm.Cpu.poke_sysreg cpu (ctl_reg timer) ctl_enable

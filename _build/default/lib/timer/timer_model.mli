@@ -1,0 +1,43 @@
+(** ARM generic timers.
+
+    Each CPU has an EL1 physical timer (CNTP), an EL1 virtual timer (CNTV,
+    offset by CNTVOFF_EL2), an EL2 physical timer (CNTHP), and — only with
+    VHE — an EL2 {e virtual} timer (CNTHV).  The VHE-only timer matters to
+    the paper: a VHE guest hypervisor programs its own EL2 virtual timer
+    through E2H-redirected CNTV accesses and the VM's EL1 virtual timer
+    through [_EL02] instructions that always trap (Section 7.1), which is
+    why VHE and non-VHE NEVE trap profiles differ.
+
+    Time is the simulated cycle count. *)
+
+module Sysreg = Arm.Sysreg
+
+type timer_id = Phys_el1 | Virt_el1 | Phys_el2 | Virt_el2
+
+val timer_name : timer_id -> string
+val ctl_reg : timer_id -> Sysreg.t
+val cval_reg : timer_id -> Sysreg.t
+val ppi_of : timer_id -> int
+
+val ctl_enable : int64   (** CNT*_CTL bit 0 *)
+
+val ctl_imask : int64    (** CNT*_CTL bit 1 *)
+
+val ctl_istatus : int64  (** CNT*_CTL bit 2 (read-only status) *)
+
+val enabled : int64 -> bool
+val masked : int64 -> bool
+
+val count_for : Arm.Cpu.t -> timer_id -> int64
+(** The count the timer compares against: virtual timers subtract
+    CNTVOFF_EL2. *)
+
+val fires : Arm.Cpu.t -> timer_id -> bool
+(** Condition met: enabled, unmasked, count >= CVAL. *)
+
+val tick : Arm.Cpu.t -> vhe:bool -> timer_id list
+(** Update ISTATUS on every timer and return those asserting their
+    interrupt line; the EL2 virtual timer only exists with [vhe]. *)
+
+val arm_timer : Arm.Cpu.t -> timer_id -> delta:int64 -> unit
+(** Program a timer to fire [delta] cycles from now. *)

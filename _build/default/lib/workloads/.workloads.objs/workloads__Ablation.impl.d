@@ -1,0 +1,1 @@
+lib/workloads/ablation.ml: Arm Array Cost Fmt Hyp List

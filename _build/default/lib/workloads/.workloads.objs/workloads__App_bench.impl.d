@@ -1,0 +1,1 @@
+lib/workloads/app_bench.ml: Cost Float Fmt Gic Hyp List Profiles Scenario String Virtio X86

@@ -1,0 +1,1 @@
+lib/workloads/app_bench.mli: Format Hyp Profiles Scenario

@@ -1,0 +1,1 @@
+lib/workloads/compare.ml: Float Fmt Hyp List Micro Option Paper Scenario

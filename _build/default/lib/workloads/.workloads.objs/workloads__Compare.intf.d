@@ -1,0 +1,1 @@
+lib/workloads/compare.mli: Format Micro

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Arm Array Cost Fmt Gic Hyp List Scenario X86

@@ -1,0 +1,1 @@
+lib/workloads/recursive.ml: Arm Array Cost Fmt Hyp Int64 List

@@ -1,0 +1,1 @@
+lib/workloads/recursive.mli: Format Hyp

@@ -1,0 +1,1 @@
+lib/workloads/scenario.ml: Hyp X86

@@ -1,0 +1,1 @@
+lib/workloads/scenario.mli: Cost Hyp X86

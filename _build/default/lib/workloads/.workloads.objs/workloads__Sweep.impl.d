@@ -1,0 +1,1 @@
+lib/workloads/sweep.ml: Arm Cost Fmt Hyp Int64 List

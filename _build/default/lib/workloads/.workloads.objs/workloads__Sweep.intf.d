@@ -1,0 +1,1 @@
+lib/workloads/sweep.mli: Arm Format Hyp

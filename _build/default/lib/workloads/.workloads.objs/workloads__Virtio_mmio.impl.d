@@ -1,0 +1,1 @@
+lib/workloads/virtio_mmio.ml: Arm Array Hyp Int64 List Queue Virtqueue

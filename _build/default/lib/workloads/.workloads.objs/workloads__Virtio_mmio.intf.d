@@ -1,0 +1,1 @@
+lib/workloads/virtio_mmio.mli: Hyp Virtqueue

@@ -1,0 +1,63 @@
+(* Ablation study: NEVE is three mechanisms (Section 6) —
+
+   1. deferral of VM-register accesses to the deferred access page,
+   2. redirection of hypervisor control registers to their EL1 twins,
+   3. cached copies serving reads of trap-on-write registers —
+
+   and this study measures each mechanism's contribution to the trap
+   reduction by disabling them independently in the simulated hardware
+   (full NEVE = all three; all off = plain ARMv8.3). *)
+
+module Machine = Hyp.Machine
+module TR = Arm.Trap_rules
+
+type variant = {
+  label : string;
+  mask : TR.nv2_mask;
+}
+
+let variants =
+  [
+    { label = "all off (~ARMv8.3)"; mask = TR.nv2_off };
+    { label = "deferral only";
+      mask = { TR.m_defer = true; m_redirect = false; m_cached = false } };
+    { label = "redirection only";
+      mask = { TR.m_defer = false; m_redirect = true; m_cached = false } };
+    { label = "cached copies only";
+      mask = { TR.m_defer = false; m_redirect = false; m_cached = true } };
+    { label = "defer + redirect";
+      mask = { TR.m_defer = true; m_redirect = true; m_cached = false } };
+    { label = "full NEVE"; mask = TR.nv2_full };
+  ]
+
+type result = {
+  r_label : string;
+  r_traps : float;
+  r_cycles : float;
+}
+
+(* Measure a nested hypercall under one hardware variant. *)
+let measure ?(vhe = false) ?(iters = 8) (v : variant) =
+  let config = Hyp.Config.v ~guest_vhe:vhe Hyp.Config.Hw_neve in
+  let m = Machine.create ~ncpus:1 config Hyp.Host_hyp.Nested in
+  Array.iter (fun cpu -> cpu.Arm.Cpu.nv2_mask <- v.mask) m.Machine.cpus;
+  Machine.boot m;
+  Machine.hypercall m ~cpu:0;
+  let s = Machine.snapshot m in
+  for _ = 1 to iters do
+    Machine.hypercall m ~cpu:0
+  done;
+  let d = Machine.delta_since m s in
+  {
+    r_label = v.label;
+    r_traps = float_of_int d.Cost.d_traps /. float_of_int iters;
+    r_cycles = float_of_int d.Cost.d_cycles /. float_of_int iters;
+  }
+
+let run ?vhe ?iters () = List.map (measure ?vhe ?iters) variants
+
+let pp ppf results =
+  Fmt.pf ppf "%-22s %10s %14s@." "variant" "traps" "cycles";
+  List.iter
+    (fun r -> Fmt.pf ppf "%-22s %10.1f %14.0f@." r.r_label r.r_traps r.r_cycles)
+    results

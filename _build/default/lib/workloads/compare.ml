@@ -1,0 +1,142 @@
+(* Automated paper-vs-measured comparison.
+
+   Runs the microbenchmarks, lines the results up against the paper's
+   published numbers (Paper), and reports signed deviations — the
+   regenerable core of EXPERIMENTS.md.  The test suite asserts the
+   documented deviation bands so a regression in the model shows up as a
+   failing comparison, not a silently drifting table. *)
+
+type line = {
+  l_bench : Micro.benchmark;
+  l_column : string;
+  l_paper : float;
+  l_measured : float;
+  l_deviation : float;  (* signed fraction *)
+}
+
+(* The columns of Tables 1/6 with accessors into the paper data and the
+   measurement machinery. *)
+let cycle_columns :
+    (string * (Paper.micro_row -> int option) * Scenario.column) list =
+  [
+    ("ARM VM", (fun r -> Some r.Paper.m_vm), Scenario.Arm Scenario.Arm_vm);
+    ( "ARMv8.3 nested",
+      (fun r -> Some r.Paper.m_nested),
+      Scenario.Arm (Scenario.Arm_nested (Hyp.Config.v Hyp.Config.Hw_v8_3)) );
+    ( "ARMv8.3 nested VHE",
+      (fun r -> Some r.Paper.m_nested_vhe),
+      Scenario.Arm
+        (Scenario.Arm_nested (Hyp.Config.v ~guest_vhe:true Hyp.Config.Hw_v8_3)) );
+    ( "NEVE nested",
+      (fun r -> r.Paper.m_neve),
+      Scenario.Arm (Scenario.Arm_nested (Hyp.Config.v Hyp.Config.Hw_neve)) );
+    ( "NEVE nested VHE",
+      (fun r -> r.Paper.m_neve_vhe),
+      Scenario.Arm
+        (Scenario.Arm_nested (Hyp.Config.v ~guest_vhe:true Hyp.Config.Hw_neve)) );
+    ("x86 VM", (fun r -> Some r.Paper.m_x86_vm), Scenario.X86 Scenario.X86_vm);
+    ( "x86 nested",
+      (fun r -> Some r.Paper.m_x86_nested),
+      Scenario.X86 Scenario.X86_nested );
+  ]
+
+let measure_cell (col : Scenario.column) bench =
+  match col with
+  | Scenario.Arm a -> Micro.measure_arm ~iters:8 a bench
+  | Scenario.X86 x -> Micro.measure_x86 ~iters:8 x bench
+
+let cycles ?(benches = Micro.all) () =
+  List.concat_map
+    (fun bench ->
+      let row = Paper.cycles_row bench in
+      List.filter_map
+        (fun (label, paper_of, col) ->
+          match paper_of row with
+          | None -> None
+          | Some paper ->
+            let measured = (measure_cell col bench).Micro.cycles in
+            let paper = float_of_int paper in
+            Some
+              {
+                l_bench = bench;
+                l_column = label;
+                l_paper = paper;
+                l_measured = measured;
+                l_deviation = Paper.deviation ~paper ~measured;
+              })
+        cycle_columns)
+    benches
+
+let trap_columns :
+    (string * (Paper.trap_row -> int) * Scenario.column) list =
+  [
+    ( "ARMv8.3 nested",
+      (fun r -> r.Paper.t_nested),
+      Scenario.Arm (Scenario.Arm_nested (Hyp.Config.v Hyp.Config.Hw_v8_3)) );
+    ( "ARMv8.3 nested VHE",
+      (fun r -> r.Paper.t_nested_vhe),
+      Scenario.Arm
+        (Scenario.Arm_nested (Hyp.Config.v ~guest_vhe:true Hyp.Config.Hw_v8_3)) );
+    ( "NEVE nested",
+      (fun r -> r.Paper.t_neve),
+      Scenario.Arm (Scenario.Arm_nested (Hyp.Config.v Hyp.Config.Hw_neve)) );
+    ( "NEVE nested VHE",
+      (fun r -> r.Paper.t_neve_vhe),
+      Scenario.Arm
+        (Scenario.Arm_nested (Hyp.Config.v ~guest_vhe:true Hyp.Config.Hw_neve)) );
+    ("x86 nested", (fun r -> r.Paper.t_x86), Scenario.X86 Scenario.X86_nested);
+  ]
+
+let traps ?(benches = Micro.all) () =
+  List.concat_map
+    (fun bench ->
+      let row = Paper.traps_row bench in
+      List.map
+        (fun (label, paper_of, col) ->
+          let paper = float_of_int (paper_of row) in
+          let measured = (measure_cell col bench).Micro.traps in
+          {
+            l_bench = bench;
+            l_column = label;
+            l_paper = paper;
+            l_measured = measured;
+            l_deviation =
+              (if paper = 0. then 0. else Paper.deviation ~paper ~measured);
+          })
+        trap_columns)
+    benches
+
+(* The deviation bands EXPERIMENTS.md documents; the test suite asserts
+   them.  Keyed by (benchmark, column); anything unlisted uses the default
+   band. *)
+let default_band = 0.35
+
+let documented_bands =
+  [
+    (* the VHE trap-count gap (EXPERIMENTS.md note 1) *)
+    ((Micro.Hypercall, "ARMv8.3 nested VHE"), 0.45);
+    ((Micro.Device_io, "ARMv8.3 nested VHE"), 0.45);
+    ((Micro.Virtual_ipi, "ARMv8.3 nested VHE"), 0.45);
+    (* the IPI serialization overcount (note 2) *)
+    ((Micro.Virtual_ipi, "ARMv8.3 nested"), 0.50);
+    ((Micro.Virtual_ipi, "x86 nested"), 0.50);
+    ((Micro.Virtual_ipi, "NEVE nested VHE"), 0.45);
+  ]
+
+let band bench column =
+  Option.value ~default:default_band
+    (List.assoc_opt (bench, column) documented_bands)
+
+let within_band l =
+  Float.abs l.l_deviation <= band l.l_bench l.l_column
+
+let pp ppf lines =
+  Fmt.pf ppf "%-12s %-20s %12s %12s %8s@." "benchmark" "column" "paper"
+    "measured" "dev";
+  List.iter
+    (fun l ->
+      Fmt.pf ppf "%-12s %-20s %12.0f %12.0f %8s%s@." (Micro.name l.l_bench)
+        l.l_column l.l_paper l.l_measured
+        (Fmt.str "%a" Paper.pp_deviation l.l_deviation)
+        (if within_band l then "" else "  <-- outside band"))
+    lines

@@ -1,0 +1,189 @@
+(* The ten application workloads of Table 8, as exit-event profiles.
+
+   Real traces are unavailable in this reproduction (the paper ran the
+   actual applications on CloudLab hardware), so each workload is modeled
+   by the quantities that determine its virtualization overhead:
+
+   - [work_cycles]: native work per measured unit;
+   - work-proportional exit events (hypercalls, device kicks subject to
+     virtio suppression, IPIs, device interrupts + EOIs);
+   - [irq_rate_per_mcycle]: interrupt pressure proportional to *wall time*
+     rather than work — line-rate network interrupts keep arriving while
+     the system is bogged down, which is what makes network workloads blow
+     up superlinearly on ARMv8.3 (overheads beyond 40x in Figure 2);
+   - the virtio parameters feeding the notification-suppression model,
+     including the backend speed ratio between ARM and x86 (~3x for the
+     paper's hardware), which reproduces the Memcached anomaly.
+
+   The per-event *costs* are never stated here: they are measured by
+   running the microbenchmark operations through the simulated stacks.
+   Only the event mix is calibrated, and it is calibrated once against the
+   shapes of Figure 2 (see EXPERIMENTS.md). *)
+
+type t = {
+  name : string;
+  work_cycles : float;          (* native cycles per unit of work *)
+  hypercalls : int;             (* per unit *)
+  ipis : int;
+  irqs : int;                   (* work-proportional device interrupts *)
+  irq_rate_per_mcycle : float;  (* wall-time-proportional interrupt rate *)
+  packets : int;                (* virtio TX packets per unit *)
+  burst : int;                  (* packets per arrival burst *)
+  spacing : float;              (* cycles between packets within a burst *)
+  gap : float;                  (* cycles between bursts *)
+  service : float;              (* backend service time per packet (ARM) *)
+  x86_speedup : float;          (* x86 native speed relative to ARM *)
+}
+
+let default =
+  {
+    name = "";
+    work_cycles = 100.0e6;
+    hypercalls = 0;
+    ipis = 0;
+    irqs = 0;
+    irq_rate_per_mcycle = 0.;
+    packets = 0;
+    burst = 1;
+    spacing = 10_000.;
+    gap = 200_000.;
+    service = 24_000.;
+    x86_speedup = 2.0;
+  }
+
+(* CPU-bound workloads: few exits, mostly timer interrupts. *)
+let kernbench =
+  { default with
+    name = "kernbench";
+    work_cycles = 200.0e6;
+    hypercalls = 10;
+    ipis = 8;
+    irqs = 120;
+    packets = 30;
+  }
+
+let hackbench =
+  (* highly parallel SMP scheduling: IPI-dominated (Section 7.2) *)
+  { default with
+    name = "Hackbench";
+    work_cycles = 100.0e6;
+    ipis = 1500;
+    irqs = 60;
+  }
+
+let specjvm =
+  { default with
+    name = "SPECjvm2008";
+    work_cycles = 300.0e6;
+    hypercalls = 5;
+    ipis = 10;
+    irqs = 110;
+  }
+
+(* Network workloads: wall-time-proportional interrupt pressure plus
+   virtio kicks.  TCP_RR is latency-bound ping-pong; STREAM is VM->client
+   bulk send; MAERTS is client->VM bulk receive (the highest interrupt
+   load and the paper's worst case). *)
+let tcp_rr =
+  { default with
+    name = "TCP_RR";
+    work_cycles = 30.0e6;
+    irqs = 500;
+    packets = 500;
+    burst = 1;
+    irq_rate_per_mcycle = 0.35;
+    x86_speedup = 1.5;
+  }
+
+let tcp_stream =
+  { default with
+    name = "TCP_STREAM";
+    work_cycles = 80.0e6;
+    irqs = 250;
+    packets = 900;
+    burst = 12;
+    spacing = 3_000.;
+    irq_rate_per_mcycle = 0.5;
+    x86_speedup = 1.5;
+  }
+
+let tcp_maerts =
+  { default with
+    name = "TCP_MAERTS";
+    work_cycles = 80.0e6;
+    irqs = 700;
+    packets = 1200;          (* the ACK stream back to the client *)
+    burst = 8;
+    spacing = 20_000.;       (* x86's backend drains between packets *)
+    gap = 80_000.;
+    service = 26_000.;
+    irq_rate_per_mcycle = 2.0;
+    x86_speedup = 1.5;
+  }
+
+let apache =
+  { default with
+    name = "Apache";
+    work_cycles = 60.0e6;
+    hypercalls = 30;
+    ipis = 120;
+    irqs = 650;
+    packets = 500;
+    burst = 4;
+    irq_rate_per_mcycle = 1.7;
+    x86_speedup = 2.0;
+  }
+
+let nginx =
+  {
+    name = "Nginx";
+    work_cycles = 60.0e6;
+    hypercalls = 20;
+    ipis = 60;
+    irqs = 450;
+    packets = 900;
+    burst = 4;
+    spacing = 15_000.;
+    gap = 80_000.;
+    service = 26_000.;
+    irq_rate_per_mcycle = 1.3;
+    x86_speedup = 2.0;
+  }
+
+let memcached =
+  (* small requests at line rate: the anomaly workload.  The backend is
+     saturated on ARM (bursty arrivals keep it busy, kicks suppressed) but
+     drains between packets on 3x-faster x86, so x86 kicks ~4-5x more. *)
+  { default with
+    name = "Memcached";
+    work_cycles = 35.0e6;
+    irqs = 300;
+    packets = 2200;
+    burst = 6;
+    spacing = 9_000.;
+    gap = 130_000.;          (* long enough for the ARM backend to drain *)
+    service = 26_000.;
+    irq_rate_per_mcycle = 1.85;
+    x86_speedup = 3.0;
+  }
+
+let mysql =
+  { default with
+    name = "MySQL";
+    work_cycles = 120.0e6;
+    hypercalls = 60;
+    ipis = 330;
+    irqs = 650;
+    packets = 400;
+    burst = 3;
+    irq_rate_per_mcycle = 0.5;
+    x86_speedup = 1.2;
+  }
+
+(* Figure 2's x-axis order. *)
+let all =
+  [ kernbench; hackbench; specjvm; tcp_rr; tcp_stream; tcp_maerts; apache;
+    nginx; memcached; mysql ]
+
+let by_name n =
+  List.find_opt (fun p -> String.lowercase_ascii p.name = String.lowercase_ascii n) all

@@ -1,0 +1,47 @@
+(* Assembly of the stacks under test: the rows/columns of Tables 1, 6, 7
+   and the configurations of Figure 2. *)
+
+type arm_column =
+  | Arm_vm                       (* a VM, no nesting (Table 1 "VM") *)
+  | Arm_nested of Hyp.Config.t   (* a nested VM under a mechanism *)
+
+type x86_column = X86_vm | X86_nested
+
+type column = Arm of arm_column | X86 of x86_column
+
+let column_name = function
+  | Arm Arm_vm -> "ARM VM"
+  | Arm (Arm_nested cfg) -> "ARM nested, " ^ Hyp.Config.name cfg
+  | X86 X86_vm -> "x86 VM"
+  | X86 X86_nested -> "x86 nested VM"
+
+(* The seven columns of Figure 2, in the paper's order and with the paper's
+   labels. *)
+let fig2_columns =
+  [
+    ("ARMv8.3 VM", Arm Arm_vm);
+    ("ARMv8.3 Nested", Arm (Arm_nested (Hyp.Config.v Hyp.Config.Hw_v8_3)));
+    ( "ARMv8.3 Nested VHE",
+      Arm (Arm_nested (Hyp.Config.v ~guest_vhe:true Hyp.Config.Hw_v8_3)) );
+    ("NEVE Nested", Arm (Arm_nested (Hyp.Config.v Hyp.Config.Hw_neve)));
+    ( "NEVE Nested VHE",
+      Arm (Arm_nested (Hyp.Config.v ~guest_vhe:true Hyp.Config.Hw_neve)) );
+    ("x86 VM", X86 X86_vm);
+    ("x86 Nested", X86 X86_nested);
+  ]
+
+(* Build a booted ARM machine for a column. *)
+let make_arm ?(ncpus = 2) ?table (col : arm_column) =
+  let config, scen =
+    match col with
+    | Arm_vm -> (Hyp.Config.v Hyp.Config.Hw_v8_3, Hyp.Host_hyp.Single_vm)
+    | Arm_nested cfg -> (cfg, Hyp.Host_hyp.Nested)
+  in
+  let m = Hyp.Machine.create ~ncpus ?table config scen in
+  Hyp.Machine.boot m;
+  m
+
+let make_x86 ?table (col : x86_column) =
+  match col with
+  | X86_vm -> X86.Turtles.create ?table ~nested:false ()
+  | X86_nested -> X86.Turtles.create ?table ~nested:true ()

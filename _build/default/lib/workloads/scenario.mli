@@ -1,0 +1,21 @@
+(** Assembly of the stacks under test: the rows/columns of Tables 1, 6, 7
+    and the configurations of Figure 2. *)
+
+type arm_column =
+  | Arm_vm                      (** a VM, no nesting (Table 1 "VM") *)
+  | Arm_nested of Hyp.Config.t  (** a nested VM under a mechanism *)
+
+type x86_column = X86_vm | X86_nested
+
+type column = Arm of arm_column | X86 of x86_column
+
+val column_name : column -> string
+
+val fig2_columns : (string * column) list
+(** The seven columns of Figure 2, in the paper's order. *)
+
+val make_arm : ?ncpus:int -> ?table:Cost.table -> arm_column -> Hyp.Machine.t
+(** Build and boot an ARM machine for a column (2 CPUs by default, for
+    the IPI benchmarks). *)
+
+val make_x86 : ?table:Cost.table -> x86_column -> X86.Turtles.t

@@ -1,0 +1,76 @@
+(** A virtio-mmio device: the register frame the paper's guests drive
+    their paravirtualized I/O through, emulated by the guest hypervisor.
+
+    Register layout follows the virtio-mmio specification; the data path
+    is a {!Virtqueue}.  Every register access from the nested VM pays the
+    full exit-multiplication path, and completion interrupts come back
+    through the guest hypervisor's virtual-interrupt queue. *)
+
+val off_magic : int
+val off_version : int
+val off_device_id : int
+val off_vendor_id : int
+val off_queue_sel : int
+val off_queue_num_max : int
+val off_queue_num : int
+val off_queue_ready : int
+val off_queue_notify : int
+val off_interrupt_status : int
+val off_interrupt_ack : int
+val off_status : int
+
+val magic : int64
+val version : int64
+
+type device_id = Net | Block
+
+val device_id_code : device_id -> int64
+
+type t = {
+  base : int64;
+  device : device_id;
+  vq : Virtqueue.t;
+  intid : int;
+  mutable queue_sel : int64;
+  mutable queue_ready : bool;
+  mutable status : int64;
+  mutable interrupt_status : int64;
+  mutable notifies : int;
+  mutable completions : int;
+  backend_budget : int;
+  raise_irq : unit -> unit;
+}
+
+val create :
+  base:int64 -> device:device_id -> vq:Virtqueue.t -> intid:int ->
+  ?backend_budget:int -> raise_irq:(unit -> unit) -> unit -> t
+
+val in_frame : t -> int64 -> bool
+val read : t -> off:int -> int64
+val write : t -> off:int -> value:int64 -> unit
+
+val handle : t -> addr:int64 -> is_write:bool -> unit
+(** The guest hypervisor's MMIO-emulation hook. *)
+
+val probe_reads : int list
+
+val backend_tick : t -> int
+(** One step of backend progress: drain a batch, raise the completion
+    interrupt, re-arm the kick threshold when the ring empties. *)
+
+val notifies : t -> int
+val completions : t -> int
+
+val attach :
+  Hyp.Machine.t -> cpu:int -> base:int64 -> device:device_id -> intid:int ->
+  ?backend_budget:int -> unit -> t
+(** Build the device on a nested machine and install its hook; completion
+    interrupts are queued on the guest hypervisor's virtual-interrupt
+    queue, delivered to the nested VM on the next entry. *)
+
+val probe : Hyp.Machine.t -> cpu:int -> t -> unit
+(** The guest driver's probe: trapped reads of magic/version/device-id. *)
+
+val send_packets : Hyp.Machine.t -> cpu:int -> t -> count:int -> unit
+(** Transmit packets, kicking only when the ring's EVENT_IDX threshold
+    requires it. *)

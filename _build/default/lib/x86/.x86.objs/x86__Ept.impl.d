@@ -1,0 +1,1 @@
+lib/x86/ept.ml: Hashtbl Int64 List Option

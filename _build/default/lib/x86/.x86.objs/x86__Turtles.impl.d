@@ -1,0 +1,1 @@
+lib/x86/turtles.ml: Cost List Vmcs Vtx

@@ -1,0 +1,1 @@
+lib/x86/turtles.mli: Cost Vmcs Vtx

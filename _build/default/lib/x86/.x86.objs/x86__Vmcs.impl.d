@@ -1,0 +1,1 @@
+lib/x86/vmcs.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/x86/vtx.ml: Cost Vmcs

@@ -1,0 +1,1 @@
+lib/x86/vtx.mli: Cost Vmcs

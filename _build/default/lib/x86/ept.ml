@@ -1,0 +1,154 @@
+(* Extended Page Tables: the x86 side of memory virtualization.
+
+   Turtles (which the paper's x86 baseline is) implements nested memory
+   virtualization as "multi-dimensional paging": the L1 hypervisor builds
+   an EPT for L2 (EPT12: L2 GPA -> L1 GPA) and L0 lazily compresses it
+   with its own EPT01 (L1 GPA -> machine PA) into the EPT02 the hardware
+   actually walks — the exact analogue of the ARM shadow stage-2 the host
+   hypervisor builds in this repository.
+
+   4 KB pages, four levels (48-bit guest-physical addresses), RWX
+   permission bits in descriptor bits 0-2 per the Intel SDM. *)
+
+type perms = { r : bool; w : bool; x : bool }
+
+let rwx = { r = true; w = true; x = true }
+let rw = { r = true; w = true; x = false }
+let ro = { r = true; w = false; x = false }
+
+type fault = {
+  f_gpa : int64;
+  f_level : int;
+  f_reason : [ `Not_present | `Permission ];
+}
+
+(* Table storage: EPT structures live in (their own) memory words, like
+   the ARM tables live in simulated RAM. *)
+type t = {
+  words : (int64, int64) Hashtbl.t;
+  root : int64;
+  mutable next_table : int64;
+}
+
+let page_size = 4096
+let entry_valid v = Int64.logand v 7L <> 0L
+let addr_of v = Int64.logand v 0x000f_ffff_ffff_f000L
+
+let perm_bits p =
+  Int64.logor
+    (if p.r then 1L else 0L)
+    (Int64.logor (if p.w then 2L else 0L) (if p.x then 4L else 0L))
+
+let perms_of v =
+  {
+    r = Int64.logand v 1L <> 0L;
+    w = Int64.logand v 2L <> 0L;
+    x = Int64.logand v 4L <> 0L;
+  }
+
+let create () =
+  { words = Hashtbl.create 256; root = 0x1000L; next_table = 0x2000L }
+
+let level_index ~level gpa =
+  (* level 4 indexes [47:39] ... level 1 indexes [20:12] *)
+  Int64.to_int
+    (Int64.logand
+       (Int64.shift_right_logical gpa (12 + (9 * (level - 1))))
+       0x1ffL)
+
+let entry_addr ~table ~level gpa =
+  Int64.add table (Int64.of_int (level_index ~level gpa * 8))
+
+let read_entry t a = Option.value ~default:0L (Hashtbl.find_opt t.words a)
+
+let alloc_table t =
+  let a = t.next_table in
+  t.next_table <- Int64.add t.next_table (Int64.of_int page_size);
+  a
+
+let map t ~gpa ~hpa ~perms =
+  let rec go table level =
+    let ea = entry_addr ~table ~level gpa in
+    if level = 1 then
+      Hashtbl.replace t.words ea
+        (Int64.logor (addr_of hpa) (perm_bits perms))
+    else begin
+      let e = read_entry t ea in
+      let next =
+        if entry_valid e then addr_of e
+        else begin
+          let nt = alloc_table t in
+          Hashtbl.replace t.words ea (Int64.logor nt (perm_bits rwx));
+          nt
+        end
+      in
+      go next (level - 1)
+    end
+  in
+  go t.root 4
+
+let unmap t ~gpa =
+  let rec go table level =
+    let ea = entry_addr ~table ~level gpa in
+    let e = read_entry t ea in
+    if not (entry_valid e) then ()
+    else if level = 1 then Hashtbl.remove t.words ea
+    else go (addr_of e) (level - 1)
+  in
+  go t.root 4
+
+let translate t ~gpa ~is_write ~is_exec =
+  let rec go table level =
+    let e = read_entry t (entry_addr ~table ~level gpa) in
+    if not (entry_valid e) then
+      Error { f_gpa = gpa; f_level = level; f_reason = `Not_present }
+    else if level = 1 then begin
+      let p = perms_of e in
+      if (is_write && not p.w) || (is_exec && not p.x) || not p.r then
+        Error { f_gpa = gpa; f_level = level; f_reason = `Permission }
+      else
+        Ok
+          ( Int64.logor (addr_of e)
+              (Int64.logand gpa (Int64.of_int (page_size - 1))),
+            p )
+    end
+    else go (addr_of e) (level - 1)
+  in
+  go t.root 4
+
+(* --- multi-dimensional paging: EPT02 = EPT12 o EPT01, built on
+   violations --- *)
+
+type shadow = {
+  ept02 : t;
+  mutable violations : int;
+  mutable entries : int64 list;
+}
+
+let create_shadow () = { ept02 = create (); violations = 0; entries = [] }
+
+type resolve =
+  | Resolved of int64
+  | L1_fault of fault  (* reflect the EPT violation to L1 *)
+  | L0_fault of fault
+
+let handle_violation s ~ept12 ~ept01 ~l2_gpa ~is_write =
+  s.violations <- s.violations + 1;
+  match translate ept12 ~gpa:l2_gpa ~is_write ~is_exec:false with
+  | Error f -> L1_fault f
+  | Ok (l1_gpa, p12) -> begin
+      match translate ept01 ~gpa:l1_gpa ~is_write ~is_exec:false with
+      | Error f -> L0_fault f
+      | Ok (hpa, p01) ->
+        let perms = { r = p12.r && p01.r; w = p12.w && p01.w; x = p12.x && p01.x } in
+        let page g = Int64.logand g (Int64.lognot (Int64.of_int (page_size - 1))) in
+        map s.ept02 ~gpa:(page l2_gpa) ~hpa:(page hpa) ~perms;
+        s.entries <- page l2_gpa :: s.entries;
+        Resolved hpa
+    end
+
+let invalidate_shadow s =
+  List.iter (fun gpa -> unmap s.ept02 ~gpa) s.entries;
+  s.entries <- []
+
+let shadow_pages s = List.length s.entries

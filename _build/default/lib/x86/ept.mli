@@ -1,0 +1,54 @@
+(** Extended Page Tables and Turtles-style multi-dimensional paging.
+
+    The x86 analogue of the ARM stage-2 machinery: four-level tables with
+    RWX permission bits, plus the lazy EPT02 = EPT12 o EPT01 compression
+    the paper's x86 baseline (Turtles/KVM) uses for nested memory
+    virtualization. *)
+
+type perms = { r : bool; w : bool; x : bool }
+
+val rwx : perms
+val rw : perms
+val ro : perms
+
+type fault = {
+  f_gpa : int64;
+  f_level : int;
+  f_reason : [ `Not_present | `Permission ];
+}
+
+type t = {
+  words : (int64, int64) Hashtbl.t;
+  root : int64;
+  mutable next_table : int64;
+}
+
+val page_size : int
+val create : unit -> t
+
+val map : t -> gpa:int64 -> hpa:int64 -> perms:perms -> unit
+val unmap : t -> gpa:int64 -> unit
+
+val translate :
+  t -> gpa:int64 -> is_write:bool -> is_exec:bool ->
+  (int64 * perms, fault) result
+
+(** EPT02, built lazily on EPT violations. *)
+type shadow = {
+  ept02 : t;
+  mutable violations : int;
+  mutable entries : int64 list;
+}
+
+val create_shadow : unit -> shadow
+
+type resolve =
+  | Resolved of int64
+  | L1_fault of fault  (** reflect the violation to the L1 hypervisor *)
+  | L0_fault of fault
+
+val handle_violation :
+  shadow -> ept12:t -> ept01:t -> l2_gpa:int64 -> is_write:bool -> resolve
+
+val invalidate_shadow : shadow -> unit
+val shadow_pages : shadow -> int

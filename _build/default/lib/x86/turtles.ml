@@ -1,0 +1,173 @@
+(* Turtles-style nested virtualization on the VT-x model: the x86 baseline
+   of the paper's comparison (Tables 1, 6, 7; Figure 2).
+
+   One VMCS per edge, as in KVM:
+   - vmcs01: L0 running L1;
+   - vmcs12: L1's VMCS for L2, shadow-linked so L1's vmread/vmwrite do not
+     exit (VMCS shadowing, the hardware optimization the paper contrasts
+     with NEVE);
+   - vmcs02: L0's merged VMCS actually used to run L2.
+
+   The guest hypervisor's handling of an L2 exit is modeled on KVM x86:
+   read the exit info and guest state from vmcs12 (shadowed), decide,
+   update guest state, and vmresume — which exits to L0, which merges
+   vmcs12 into vmcs02 and enters L2.  A few control-field accesses are not
+   covered by the shadow bitmaps and still exit. *)
+
+type t = {
+  vtx : Vtx.t;
+  vmcs01 : Vmcs.t;
+  vmcs12 : Vmcs.t;
+  vmcs02 : Vmcs.t;
+  mutable l2_running : bool;
+  mutable nested : bool;       (* nested scenario vs plain VM *)
+  mutable pending_intid : int;
+  mutable exits_l1 : int;      (* exits taken while emulating for L1 *)
+}
+
+let table t = Vtx.table t.vtx
+
+(* --- L0 exit handling --- *)
+
+(* L0's handling of an exit from L1 or L2: dispatch plus the software work
+   for the exit class; re-entry is performed by the caller. *)
+let l0_dispatch t =
+  Cost.charge t.vtx.Vtx.meter (table t).Cost.x86_dispatch
+
+(* Merge vmcs12 into vmcs02 (prepare-vmcs02 in KVM): the expensive part of
+   every nested entry. *)
+let merge_vmcs t =
+  Cost.charge t.vtx.Vtx.meter (table t).Cost.x86_merge_vmcs;
+  List.iter
+    (fun f -> Vtx.vmwrite_root t.vtx t.vmcs02 f (Vtx.vmread_root t.vtx t.vmcs12 f))
+    Vmcs.guest_fields
+
+(* Reflect an L2 exit into vmcs12 so L1 can observe it. *)
+let reflect_exit t reason =
+  Cost.charge t.vtx.Vtx.meter (table t).Cost.x86_reflect;
+  List.iter
+    (fun f ->
+      Vtx.vmwrite_root t.vtx t.vmcs12 f (Vtx.vmread_root t.vtx t.vmcs02 f))
+    [ Vmcs.Exit_reason; Vmcs.Exit_qualification; Vmcs.Guest_rip;
+      Vmcs.Guest_rsp; Vmcs.Guest_rflags ];
+  Vtx.vmwrite_root t.vtx t.vmcs12 Vmcs.Exit_reason
+    (Vtx.exit_reason_code reason)
+
+(* --- L1 guest hypervisor (KVM x86) handling one L2 exit --- *)
+
+let l1_handle_exit t (reason : Vtx.exit_reason) =
+  let m = t.vtx.Vtx.meter in
+  Cost.charge m (table t).Cost.x86_guest_hyp_logic;
+  (* read exit information and guest state from vmcs12: all shadowed *)
+  List.iter
+    (fun f -> ignore (Vtx.vmread_l1 t.vtx t.vmcs12 f))
+    ([ Vmcs.Exit_reason; Vmcs.Exit_qualification; Vmcs.Vm_exit_intr_info;
+       Vmcs.Guest_linear_addr ]
+     @ Vmcs.guest_fields);
+  (* per-reason software handling *)
+  (match reason with
+   | Vtx.Exit_vmcall -> ()
+   | Vtx.Exit_io ->
+     Cost.charge m (500 (* device emulation in L1 *))
+   | Vtx.Exit_vmresume | Vtx.Exit_vmread | Vtx.Exit_vmwrite
+   | Vtx.Exit_ext_interrupt | Vtx.Exit_apic_access
+   | Vtx.Exit_ept_violation -> ());
+  (* event-injection check touches the virtual-APIC page pointer, which is
+     not shadowed and exits *)
+  ignore (Vtx.vmread_l1 t.vtx t.vmcs12 Vmcs.Virtual_apic_page);
+  (* update guest state for re-entry: mostly shadowed writes *)
+  List.iter
+    (fun f -> Vtx.vmwrite_l1 t.vtx t.vmcs12 f 0L)
+    [ Vmcs.Guest_rip; Vmcs.Guest_interruptibility ];
+  (* the TSC offset and VMCS link pointer are refreshed per entry and are
+     not shadowed: these are the residual L1 exits *)
+  Vtx.vmwrite_l1 t.vtx t.vmcs12 Vmcs.Tsc_offset 0L;
+  ignore (Vtx.vmread_l1 t.vtx t.vmcs12 Vmcs.Vmcs_link_pointer);
+  (* and resume L2 — always exits to L0 *)
+  Vtx.vmresume_l1 t.vtx
+
+(* --- L0's top-level exit handler --- *)
+
+let handler t (vtx : Vtx.t) (reason : Vtx.exit_reason) =
+  l0_dispatch t;
+  match reason with
+  | Vtx.Exit_vmresume ->
+    (* L1 wants to run L2 *)
+    merge_vmcs t;
+    t.l2_running <- true;
+    Vtx.vm_enter vtx
+  | Vtx.Exit_vmread | Vtx.Exit_vmwrite ->
+    (* unshadowed VMCS access from L1: emulate against vmcs12 *)
+    Cost.charge vtx.Vtx.meter (table t).Cost.x86_unshadowed;
+    Vtx.vm_enter vtx
+  | Vtx.Exit_ext_interrupt when t.nested && t.l2_running ->
+    (* an interrupt for the nested VM: 2017-era KVM has no nested posted
+       interrupts, so L0 bounces it through L1 — but on a short path:
+       L1 only updates the virtual APIC and resumes, without re-reading
+       the full guest state.  Cheaper than a reflected synchronous exit,
+       still several exits. *)
+    Cost.charge vtx.Vtx.meter (table t).Cost.x86_posted_irq;
+    t.l2_running <- false;
+    Vtx.vm_enter vtx;
+    t.exits_l1 <- t.exits_l1 + 1;
+    (* L1: acknowledge + inject into L2's virtual APIC *)
+    Cost.charge vtx.Vtx.meter 800;
+    ignore (Vtx.vmread_l1 t.vtx t.vmcs12 Vmcs.Virtual_apic_page);
+    Vtx.vmresume_l1 t.vtx
+  | Vtx.Exit_vmcall | Vtx.Exit_io | Vtx.Exit_ext_interrupt
+  | Vtx.Exit_apic_access | Vtx.Exit_ept_violation ->
+    if t.nested && t.l2_running then begin
+      (* an exit from L2: reflect it to L1 and let L1 handle it *)
+      t.l2_running <- false;
+      reflect_exit t reason;
+      Vtx.vm_enter vtx;  (* resume L1 at its exit handler *)
+      t.exits_l1 <- t.exits_l1 + 1;
+      l1_handle_exit t reason
+      (* l1_handle_exit ends in vmresume -> recursive handler -> L2 runs *)
+    end
+    else begin
+      (* a plain VM exit handled by L0 *)
+      (match reason with
+       | Vtx.Exit_vmcall -> Cost.charge vtx.Vtx.meter 180
+       | Vtx.Exit_io -> Cost.charge vtx.Vtx.meter 1200
+       | Vtx.Exit_ext_interrupt -> Cost.charge vtx.Vtx.meter 150
+       | Vtx.Exit_apic_access -> Cost.charge vtx.Vtx.meter 300
+       | _ -> ());
+      Vtx.vm_enter vtx
+    end
+
+let create ?table ~nested () =
+  let vtx = Vtx.create ?table () in
+  let t =
+    {
+      vtx;
+      vmcs01 = Vmcs.create ();
+      vmcs12 = Vmcs.create ();
+      vmcs02 = Vmcs.create ();
+      l2_running = false;
+      nested;
+      pending_intid = 0;
+      exits_l1 = 0;
+    }
+  in
+  vtx.Vtx.shadowing <- true;
+  t.vmcs12.Vmcs.shadow_of <- Some t.vmcs02;
+  vtx.Vtx.exit_handler <- Some (handler t);
+  Vtx.vmptrld vtx (if nested then t.vmcs02 else t.vmcs01);
+  Vtx.vm_enter vtx;
+  t.l2_running <- nested;
+  t
+
+(* --- guest-side operations --- *)
+
+let hypercall t = Vtx.vm_exit t.vtx Vtx.Exit_vmcall
+let device_io t = Vtx.vm_exit t.vtx Vtx.Exit_io
+
+(* An IPI: the sender exits on the APIC ICR write; the receiver exits on
+   the external interrupt. *)
+let send_ipi ~sender ~receiver =
+  Vtx.vm_exit sender.vtx Vtx.Exit_apic_access;
+  Vtx.vm_exit receiver.vtx Vtx.Exit_ext_interrupt
+
+(* Virtual EOI: APICv completes it without an exit. *)
+let eoi t = Vtx.apicv_eoi t.vtx

@@ -1,0 +1,138 @@
+(* Intel VT-x machine model: root/non-root transitions over a current VMCS.
+
+   Only the properties the paper compares against matter:
+   - transitions save/restore state automatically, as one coalesced
+     operation costed by the VMCS load/store constants;
+   - a guest hypervisor's vmread/vmwrite either exits (no shadowing) or is
+     satisfied from the shadow VMCS (VMCS shadowing, Intel's analogue of
+     NEVE's deferred access page);
+   - APICv completes interrupts without exits (Virtual EOI row of
+     Table 1). *)
+
+type exit_reason =
+  | Exit_vmcall            (* hypercall *)
+  | Exit_io                (* port/MMIO access *)
+  | Exit_ext_interrupt     (* physical interrupt while guest ran *)
+  | Exit_vmresume          (* L1 executed vmlaunch/vmresume *)
+  | Exit_vmread            (* L1 vmread without shadowing *)
+  | Exit_vmwrite
+  | Exit_apic_access       (* IPI send: APIC ICR write *)
+  | Exit_ept_violation
+
+let exit_reason_name = function
+  | Exit_vmcall -> "VMCALL"
+  | Exit_io -> "IO"
+  | Exit_ext_interrupt -> "EXT_INT"
+  | Exit_vmresume -> "VMRESUME"
+  | Exit_vmread -> "VMREAD"
+  | Exit_vmwrite -> "VMWRITE"
+  | Exit_apic_access -> "APIC_ACCESS"
+  | Exit_ept_violation -> "EPT_VIOLATION"
+
+let exit_reason_code = function
+  | Exit_vmcall -> 18L
+  | Exit_io -> 30L
+  | Exit_ext_interrupt -> 1L
+  | Exit_vmresume -> 24L
+  | Exit_vmread -> 23L
+  | Exit_vmwrite -> 25L
+  | Exit_apic_access -> 44L
+  | Exit_ept_violation -> 48L
+
+type mode = Root | Non_root
+
+type t = {
+  meter : Cost.meter;
+  mutable mode : mode;
+  mutable current : Vmcs.t option;
+  mutable shadowing : bool;     (* VMCS-shadowing capability in use *)
+  mutable exit_handler : (t -> exit_reason -> unit) option;
+  mutable exits : int;          (* total VM exits taken *)
+}
+
+let create ?table () =
+  {
+    meter = Cost.make_meter ?table ();
+    mode = Root;
+    current = None;
+    shadowing = false;
+    exit_handler = None;
+    exits = 0;
+  }
+
+let table t = t.meter.Cost.table
+
+let current_vmcs t =
+  match t.current with
+  | Some v -> v
+  | None -> invalid_arg "Vtx: no current VMCS"
+
+let vmptrld t vmcs =
+  if t.mode <> Root then invalid_arg "Vtx.vmptrld: not in root mode";
+  t.current <- Some vmcs
+
+(* A VM exit: hardware stores guest state and loads host state from the
+   current VMCS — one coalesced operation — then runs the root-mode exit
+   handler (the L0 hypervisor). *)
+let vm_exit t reason =
+  let c = table t in
+  t.mode <- Root;
+  t.exits <- t.exits + 1;
+  Vmcs.write (current_vmcs t) Vmcs.Exit_reason (exit_reason_code reason);
+  Cost.record_trap ~detail:(exit_reason_name reason) t.meter
+    Cost.Trap_x86_vmexit;
+  Cost.charge t.meter c.Cost.x86_vmexit;
+  match t.exit_handler with
+  | Some h -> h t reason
+  | None -> invalid_arg "Vtx.vm_exit: no exit handler installed"
+
+(* VM entry: hardware loads guest state from the current VMCS. *)
+let vm_enter t =
+  let c = table t in
+  if t.mode <> Root then invalid_arg "Vtx.vm_enter: not in root mode";
+  (current_vmcs t).Vmcs.launched <- true;
+  t.mode <- Non_root;
+  Cost.charge t.meter c.Cost.x86_vmentry
+
+(* --- instructions executed by software --- *)
+
+(* vmread/vmwrite executed in root mode (the L0 hypervisor): plain VMCS
+   access. *)
+let vmread_root t vmcs f =
+  Cost.charge t.meter (table t).Cost.x86_vmread;
+  Vmcs.read vmcs f
+
+let vmwrite_root t vmcs f v =
+  Cost.charge t.meter (table t).Cost.x86_vmwrite;
+  Vmcs.write vmcs f v
+
+(* vmread/vmwrite executed by a deprivileged guest hypervisor (non-root):
+   with VMCS shadowing the access is satisfied from the linked shadow VMCS
+   without an exit; without shadowing it exits to L0. *)
+let vmread_l1 t vmcs12 f =
+  if t.shadowing && Vmcs.shadowable f then begin
+    Cost.charge t.meter (table t).Cost.x86_vmread;
+    Vmcs.read vmcs12 f
+  end
+  else begin
+    vm_exit t Exit_vmread;
+    (* L0's handler emulated the access; the value is now visible *)
+    Vmcs.read vmcs12 f
+  end
+
+let vmwrite_l1 t vmcs12 f v =
+  if t.shadowing && Vmcs.shadowable f then begin
+    Cost.charge t.meter (table t).Cost.x86_vmwrite;
+    Vmcs.write vmcs12 f v
+  end
+  else begin
+    Vmcs.write vmcs12 f v;
+    vm_exit t Exit_vmwrite
+  end
+
+(* vmresume executed by the guest hypervisor: always exits to L0, which
+   merges vmcs12 into vmcs02 and enters L2 (the Turtles flow). *)
+let vmresume_l1 t = vm_exit t Exit_vmresume
+
+(* APICv: the guest completes an interrupt without any exit. *)
+let apicv_eoi t = Cost.charge t.meter (table t).Cost.x86_apicv_eoi

@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Arm Filename Fmt Hashtbl Hyp Int Int64 List QCheck QCheck_alcotest String

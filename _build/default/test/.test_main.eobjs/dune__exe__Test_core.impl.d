@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Arm Core Fmt Hashtbl Int64 List QCheck QCheck_alcotest

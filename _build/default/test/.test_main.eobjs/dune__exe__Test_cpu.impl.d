@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Arm Cost Int64 List Option

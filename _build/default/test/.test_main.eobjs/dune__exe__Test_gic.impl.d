@@ -1,0 +1,1 @@
+test/test_gic.ml: Alcotest Arm Array Cost Fmt Gic Int64 List QCheck QCheck_alcotest Timer_model

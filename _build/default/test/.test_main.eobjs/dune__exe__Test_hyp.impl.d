@@ -1,0 +1,1 @@
+test/test_hyp.ml: Alcotest Arm Array Core Cost Fmt Gic Hyp Int Int64 List Option QCheck QCheck_alcotest Workloads

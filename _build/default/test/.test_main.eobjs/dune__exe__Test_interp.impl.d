@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Arm Array Cost Hyp Int64 List String

@@ -1,0 +1,1 @@
+test/test_mmu.ml: Alcotest Arm Fmt Fun Hashtbl Int64 List Mmu Printf QCheck QCheck_alcotest String

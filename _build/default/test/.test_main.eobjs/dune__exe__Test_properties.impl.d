@@ -1,0 +1,1 @@
+test/test_properties.ml: Arm Array Cost Fmt Gic Hyp Int64 List Option QCheck QCheck_alcotest String

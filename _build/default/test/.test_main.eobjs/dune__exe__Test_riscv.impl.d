@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Cost Fmt Hashtbl Int List Riscv

@@ -1,0 +1,1 @@
+test/test_trap_rules.ml: Alcotest Arm Hyp Int64 List Option

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Arm Cost Float Fmt Fun Gic Hyp Int64 Lazy List Option QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_world_switch.ml: Alcotest Arm Gic Hashtbl Hyp Int64 List Option

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Cost Fmt Hyp Int64 List X86

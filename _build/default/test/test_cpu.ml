@@ -1,0 +1,225 @@
+(* Tests for the CPU execution engine: instruction semantics, exception
+   entry/return, the saved-GPR discipline, and cost accounting. *)
+
+module Cpu = Arm.Cpu
+module Insn = Arm.Insn
+module Sysreg = Arm.Sysreg
+module Pstate = Arm.Pstate
+module Hcr = Arm.Hcr
+module Exn = Arm.Exn
+module Features = Arm.Features
+
+let check = Alcotest.check
+
+let fresh ?(features = Features.v Features.V8_0) () = Cpu.create ~features ()
+
+let at_el1 cpu = cpu.Cpu.pstate <- Pstate.at Pstate.EL1
+
+let test_arithmetic () =
+  let cpu = fresh () in
+  Cpu.exec cpu (Insn.Mov (0, Insn.Imm 40L));
+  Cpu.exec cpu (Insn.Add (1, 0, Insn.Imm 2L));
+  check Alcotest.int64 "40 + 2" 42L (Cpu.get_reg cpu 1);
+  Cpu.exec cpu (Insn.Sub (2, 1, Insn.Reg 0));
+  check Alcotest.int64 "42 - 40" 2L (Cpu.get_reg cpu 2);
+  Cpu.exec cpu (Insn.Lsl (3, 2, 4));
+  check Alcotest.int64 "2 << 4" 32L (Cpu.get_reg cpu 3);
+  Cpu.exec cpu (Insn.Orr (4, 3, Insn.Imm 1L));
+  check Alcotest.int64 "32 | 1" 33L (Cpu.get_reg cpu 4);
+  Cpu.exec cpu (Insn.And (5, 4, Insn.Imm 0xf0L));
+  check Alcotest.int64 "33 & 0xf0" 32L (Cpu.get_reg cpu 5);
+  Cpu.exec cpu (Insn.Eor (6, 4, Insn.Reg 4));
+  check Alcotest.int64 "x ^ x" 0L (Cpu.get_reg cpu 6)
+
+let test_memory_ops () =
+  let cpu = fresh () in
+  Cpu.exec cpu (Insn.Mov (0, Insn.Imm 0xcafeL));
+  Cpu.exec cpu (Insn.Str (0, Insn.Abs 0x1000L));
+  Cpu.exec cpu (Insn.Ldr (1, Insn.Abs 0x1000L));
+  check Alcotest.int64 "store/load" 0xcafeL (Cpu.get_reg cpu 1);
+  Cpu.exec cpu (Insn.Mov (2, Insn.Imm 0x1000L));
+  Cpu.exec cpu (Insn.Ldr (3, Insn.Based (2, 0L)));
+  check Alcotest.int64 "based addressing" 0xcafeL (Cpu.get_reg cpu 3)
+
+let test_sysreg_access_at_el2 () =
+  let cpu = fresh () in
+  Cpu.msr cpu (Sysreg.direct Sysreg.VTTBR_EL2) 0x1234L;
+  check Alcotest.int64 "msr/mrs" 0x1234L
+    (Cpu.mrs cpu (Sysreg.direct Sysreg.VTTBR_EL2))
+
+let test_read_only_register () =
+  let cpu = fresh () in
+  let before = Cpu.mrs cpu (Sysreg.direct Sysreg.MIDR_EL1) in
+  Cpu.msr cpu (Sysreg.direct Sysreg.MIDR_EL1) 0L;
+  check Alcotest.int64 "MIDR write ignored" before
+    (Cpu.mrs cpu (Sysreg.direct Sysreg.MIDR_EL1))
+
+let test_pc_advances () =
+  let cpu = fresh () in
+  let pc0 = cpu.Cpu.pc in
+  Cpu.exec cpu Insn.Nop;
+  Cpu.exec cpu Insn.Nop;
+  check Alcotest.int64 "pc advanced by 8" (Int64.add pc0 8L) cpu.Cpu.pc
+
+let test_undef_raises () =
+  let cpu = fresh () in
+  at_el1 cpu;
+  (* EL2 access at EL1 on v8.0 hardware: the crash case *)
+  match Cpu.exec cpu (Insn.Msr (Sysreg.direct Sysreg.HCR_EL2, Insn.Imm 1L)) with
+  | () -> Alcotest.fail "expected Undefined_instruction"
+  | exception Cpu.Undefined_instruction (_, el) ->
+    check Alcotest.bool "raised at EL1" true (el = Pstate.EL1)
+
+let test_exception_entry_state () =
+  let cpu = fresh ~features:(Features.v Features.V8_3) () in
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2 (List.fold_left Hcr.set 0L [ Hcr.vm; Hcr.nv ]);
+  at_el1 cpu;
+  let entered = ref None in
+  cpu.Cpu.el2_handler <-
+    Some
+      (fun c e ->
+        entered := Some (e, c.Cpu.pstate.Pstate.el,
+                         Cpu.peek_sysreg c Sysreg.ELR_EL2);
+        Cpu.do_eret c);
+  let pc0 = cpu.Cpu.pc in
+  Cpu.exec cpu (Insn.Hvc 5);
+  (match !entered with
+   | Some (e, el, elr) ->
+     check Alcotest.bool "handler ran at EL2" true (el = Pstate.EL2);
+     check Alcotest.bool "EC is HVC" true (e.Exn.ec = Exn.EC_hvc64);
+     check Alcotest.int "immediate in ISS" 5 (e.Exn.iss land 0xffff);
+     check Alcotest.int64 "ELR points past the hvc" (Int64.add pc0 4L) elr
+   | None -> Alcotest.fail "handler did not run");
+  check Alcotest.bool "back at EL1 after eret" true
+    (cpu.Cpu.pstate.Pstate.el = Pstate.EL1)
+
+let test_saved_regs_restored () =
+  (* The handler's own register usage must not leak into the guest, and
+     values the handler writes to the *trapped* registers must be visible
+     after the eret — the KVM GPR save/restore discipline. *)
+  let cpu = fresh ~features:(Features.v Features.V8_3) () in
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2 (List.fold_left Hcr.set 0L [ Hcr.vm; Hcr.nv ]);
+  at_el1 cpu;
+  cpu.Cpu.el2_handler <-
+    Some
+      (fun c _ ->
+        Cpu.set_reg c 7 0xdeadL (* clobber a live register *);
+        Cpu.set_trapped_reg c 8 0x42L (* emulation result for the guest *);
+        Cpu.do_eret c);
+  Cpu.set_reg cpu 7 0x1111L;
+  Cpu.set_reg cpu 8 0L;
+  Cpu.exec cpu (Insn.Hvc 0);
+  check Alcotest.int64 "clobber undone by eret" 0x1111L (Cpu.get_reg cpu 7);
+  check Alcotest.int64 "emulated result visible" 0x42L (Cpu.get_reg cpu 8)
+
+let test_trap_counted () =
+  let cpu = fresh ~features:(Features.v Features.V8_3) () in
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2 (List.fold_left Hcr.set 0L [ Hcr.vm; Hcr.nv ]);
+  at_el1 cpu;
+  cpu.Cpu.el2_handler <- Some (fun c _ -> Cpu.do_eret c);
+  Cpu.exec cpu (Insn.Hvc 0);
+  Cpu.exec cpu Insn.Eret;
+  check Alcotest.int "two traps" 2 cpu.Cpu.meter.Cost.traps;
+  check Alcotest.int "one hvc" 1 (Cost.traps_of_kind cpu.Cpu.meter Cost.Trap_hvc);
+  check Alcotest.int "one eret" 1
+    (Cost.traps_of_kind cpu.Cpu.meter Cost.Trap_eret)
+
+let test_trap_cost_uniform () =
+  (* Section 5: the cost of a trap is the same whatever the instruction *)
+  let cpu = fresh ~features:(Features.v Features.V8_3) () in
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2
+    (List.fold_left Hcr.set 0L [ Hcr.vm; Hcr.nv; Hcr.nv1; Hcr.tvm; Hcr.trvm ]);
+  at_el1 cpu;
+  cpu.Cpu.el2_handler <- Some (fun c _ -> Cpu.do_eret c);
+  let cost insn =
+    let c0 = cpu.Cpu.meter.Cost.cycles in
+    Cpu.exec cpu insn;
+    cpu.Cpu.meter.Cost.cycles - c0
+  in
+  let costs =
+    List.map cost
+      [ Insn.Hvc 0;
+        Insn.Mrs (0, Sysreg.direct Sysreg.HCR_EL2);
+        Insn.Msr (Sysreg.direct Sysreg.VTTBR_EL2, Insn.Reg 0);
+        Insn.Mrs (0, Sysreg.direct Sysreg.SCTLR_EL1) ]
+  in
+  let lo = List.fold_left min max_int costs in
+  let hi = List.fold_left max 0 costs in
+  check Alcotest.bool "spread under 10%" true
+    (float_of_int (hi - lo) /. float_of_int hi < 0.10)
+
+let test_nv2_defer_execution () =
+  (* an NV2-deferred MSR becomes a store into the deferred page *)
+  let cpu = fresh ~features:(Features.v Features.V8_4) () in
+  let page = 0x7_0000L in
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2
+    (List.fold_left Hcr.set 0L [ Hcr.vm; Hcr.nv; Hcr.nv1; Hcr.nv2 ]);
+  Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 (Int64.logor page 1L);
+  at_el1 cpu;
+  Cpu.exec cpu (Insn.Msr (Sysreg.direct Sysreg.VTTBR_EL2, Insn.Imm 0xabcL));
+  check Alcotest.int "no trap" 0 cpu.Cpu.meter.Cost.traps;
+  let slot =
+    Int64.add page (Int64.of_int (Option.get (Sysreg.vncr_offset Sysreg.VTTBR_EL2)))
+  in
+  check Alcotest.int64 "value in the page" 0xabcL
+    (Arm.Memory.read64 cpu.Cpu.mem slot);
+  Cpu.exec cpu (Insn.Mrs (4, Sysreg.direct Sysreg.VTTBR_EL2));
+  check Alcotest.int64 "read back from the page" 0xabcL (Cpu.get_reg cpu 4)
+
+let test_currentel_disguise_execution () =
+  let cpu = fresh ~features:(Features.v Features.V8_3) () in
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2 (List.fold_left Hcr.set 0L [ Hcr.vm; Hcr.nv ]);
+  at_el1 cpu;
+  Cpu.exec cpu (Insn.Mrs (2, Sysreg.direct Sysreg.CurrentEL));
+  check Alcotest.int64 "reads as EL2" (Pstate.currentel_bits Pstate.EL2)
+    (Cpu.get_reg cpu 2);
+  check Alcotest.int "without trapping" 0 cpu.Cpu.meter.Cost.traps
+
+let test_deliver_irq_gating () =
+  let cpu = fresh () in
+  (* no IMO: not delivered *)
+  at_el1 cpu;
+  check Alcotest.bool "masked without IMO" false (Cpu.deliver_irq cpu);
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2 (Hcr.set 0L Hcr.imo);
+  cpu.Cpu.el2_handler <- Some (fun c _ -> Cpu.do_eret c);
+  check Alcotest.bool "delivered with IMO at EL1" true (Cpu.deliver_irq cpu);
+  cpu.Cpu.pstate <- Pstate.at Pstate.EL2;
+  check Alcotest.bool "not delivered at EL2" false (Cpu.deliver_irq cpu)
+
+let test_shared_memory () =
+  let mem = Arm.Memory.create () in
+  let a = Cpu.create ~mem () in
+  let b = Cpu.create ~mem () in
+  Cpu.exec a (Insn.Mov (0, Insn.Imm 99L));
+  Cpu.exec a (Insn.Str (0, Insn.Abs 0x2000L));
+  Cpu.exec b (Insn.Ldr (1, Insn.Abs 0x2000L));
+  check Alcotest.int64 "cpus share memory" 99L (Cpu.get_reg b 1)
+
+let test_memory_alignment () =
+  let mem = Arm.Memory.create () in
+  (match Arm.Memory.read64 mem 0x1003L with
+   | _ -> Alcotest.fail "unaligned read should raise"
+   | exception Invalid_argument _ -> ());
+  Arm.Memory.write64 mem 0x1000L 5L;
+  Arm.Memory.zero_range mem ~start:0x1000L ~len:0x1000L;
+  check Alcotest.int64 "zeroed" 0L (Arm.Memory.read64 mem 0x1000L)
+
+let suite =
+  [
+    ("arithmetic semantics", `Quick, test_arithmetic);
+    ("memory load/store", `Quick, test_memory_ops);
+    ("sysreg access at EL2", `Quick, test_sysreg_access_at_el2);
+    ("read-only registers ignore writes", `Quick, test_read_only_register);
+    ("pc advances", `Quick, test_pc_advances);
+    ("v8.0 UNDEF raises", `Quick, test_undef_raises);
+    ("exception entry sets ESR/ELR/SPSR", `Quick, test_exception_entry_state);
+    ("GPRs saved on trap, restored by eret", `Quick, test_saved_regs_restored);
+    ("traps are counted by kind", `Quick, test_trap_counted);
+    ("trap cost is instruction-independent", `Quick, test_trap_cost_uniform);
+    ("NV2 deferral executes as memory access", `Quick, test_nv2_defer_execution);
+    ("CurrentEL disguise during execution", `Quick,
+     test_currentel_disguise_execution);
+    ("IRQ delivery gating", `Quick, test_deliver_irq_gating);
+    ("CPUs share physical memory", `Quick, test_shared_memory);
+    ("memory enforces alignment", `Quick, test_memory_alignment);
+  ]

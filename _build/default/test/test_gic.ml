@@ -1,0 +1,289 @@
+(* Tests for the GIC model: interrupt state machine, distributor, the
+   virtual interface (list registers), and the GICv2 MMIO frame. *)
+
+module Irq = Gic.Irq
+module Dist = Gic.Dist
+module Vgic = Gic.Vgic
+module Gicv2 = Gic.Gicv2
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- interrupt state machine --- *)
+
+let state_arb =
+  QCheck.make
+    ~print:Irq.state_name
+    QCheck.Gen.(oneofl [ Irq.Inactive; Irq.Pending; Irq.Active; Irq.Pending_and_active ])
+
+let test_state_bits_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"irq: state bits roundtrip" state_arb
+    (fun s -> Irq.state_of_bits (Irq.state_bits s) = s)
+
+let test_state_machine_invariants =
+  QCheck.Test.make ~count:200
+    ~name:"irq: pend/activate/deactivate invariants" state_arb (fun s ->
+      (* adding pending always leaves the interrupt pending-visible *)
+      let p = Irq.add_pending s in
+      (p = Irq.Pending || p = Irq.Pending_and_active)
+      (* deactivating an activated interrupt never yields active *)
+      && Irq.deactivate (Irq.activate p) <> Irq.Active
+      && Irq.activate (Irq.add_pending Irq.Inactive) = Irq.Active)
+
+let test_intid_kinds () =
+  check Alcotest.bool "SGI" true (Irq.kind_of_intid 5 = Irq.SGI);
+  check Alcotest.bool "PPI" true (Irq.kind_of_intid 27 = Irq.PPI);
+  check Alcotest.bool "SPI" true (Irq.kind_of_intid 40 = Irq.SPI)
+
+(* --- distributor --- *)
+
+let test_dist_ack_eoi () =
+  let d = Dist.create ~ncpus:2 in
+  Dist.enable d ~cpu:0 ~intid:40;
+  Dist.set_target d ~intid:40 ~cpu:0;
+  Dist.raise_irq d ~cpu:0 ~intid:40;
+  check Alcotest.bool "pending" true (Dist.best_pending d ~cpu:0 = Some 40);
+  check Alcotest.bool "ack returns the intid" true
+    (Dist.acknowledge d ~cpu:0 = Some 40);
+  check Alcotest.bool "active, not pending" true
+    (Dist.state d ~cpu:0 ~intid:40 = Irq.Active);
+  Dist.eoi d ~cpu:0 ~intid:40;
+  check Alcotest.bool "inactive after EOI" true
+    (Dist.state d ~cpu:0 ~intid:40 = Irq.Inactive)
+
+let test_dist_disabled_not_delivered () =
+  let d = Dist.create ~ncpus:1 in
+  Dist.raise_irq d ~cpu:0 ~intid:40;
+  check Alcotest.bool "disabled interrupt stays invisible" true
+    (Dist.best_pending d ~cpu:0 = None)
+
+let test_dist_priority () =
+  let d = Dist.create ~ncpus:1 in
+  List.iter
+    (fun (intid, prio) ->
+      Dist.enable d ~cpu:0 ~intid;
+      Dist.set_priority d ~cpu:0 ~intid prio;
+      Dist.raise_irq d ~cpu:0 ~intid)
+    [ (40, 0xa0); (41, 0x20); (42, 0xe0) ];
+  check Alcotest.bool "highest priority (lowest value) wins" true
+    (Dist.acknowledge d ~cpu:0 = Some 41)
+
+let test_dist_sgi_routing () =
+  let d = Dist.create ~ncpus:4 in
+  Dist.enable d ~cpu:2 ~intid:5;
+  Dist.send_sgi d ~src:0 ~dst:2 ~intid:5;
+  check Alcotest.bool "SGI lands on the target cpu" true
+    (Dist.best_pending d ~cpu:2 = Some 5);
+  check Alcotest.bool "not on others" true (Dist.best_pending d ~cpu:0 = None)
+
+let test_dist_sgi_bad_intid () =
+  let d = Dist.create ~ncpus:2 in
+  match Dist.send_sgi d ~src:0 ~dst:1 ~intid:40 with
+  | _ -> Alcotest.fail "SPI as SGI should be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- list registers --- *)
+
+let lr_gen =
+  QCheck.Gen.(
+    let* lr_state =
+      oneofl [ Irq.Inactive; Irq.Pending; Irq.Active; Irq.Pending_and_active ]
+    in
+    let* lr_hw = bool in
+    let* lr_group1 = bool in
+    let* lr_priority = int_bound 0xff in
+    let* lr_pintid = int_bound 0x1fff in
+    let* lr_vintid = int_bound 1019 in
+    return { Vgic.lr_state; lr_hw; lr_group1; lr_priority; lr_pintid; lr_vintid })
+
+let test_lr_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"vgic: list-register encode/decode"
+    (QCheck.make ~print:(fun l -> Fmt.str "%a" Vgic.pp_lr (Vgic.encode_lr l)) lr_gen)
+    (fun l -> Vgic.decode_lr (Vgic.encode_lr l) = l)
+
+let fresh_lrs () = Array.make 4 0L
+
+let test_inject_ack_eoi () =
+  let lrs = fresh_lrs () in
+  (match Vgic.inject lrs ~vintid:27 () with
+   | Some 0 -> ()
+   | _ -> Alcotest.fail "first free LR should be 0");
+  check Alcotest.int "one pending" 1 (Vgic.pending_count lrs);
+  (match Vgic.v_acknowledge lrs with
+   | Some 27 -> ()
+   | _ -> Alcotest.fail "ack should return vintid 27");
+  check Alcotest.int "none pending after ack" 0 (Vgic.pending_count lrs);
+  check Alcotest.bool "EOI finds the active interrupt" true
+    (Vgic.v_eoi lrs ~vintid:27);
+  check Alcotest.bool "slot is free again" true (Vgic.find_free_lr lrs = Some 0)
+
+let test_ack_priority_order () =
+  let lrs = fresh_lrs () in
+  ignore (Vgic.inject lrs ~vintid:10 ~priority:0xc0 ());
+  ignore (Vgic.inject lrs ~vintid:11 ~priority:0x10 ());
+  check Alcotest.bool "higher priority acked first" true
+    (Vgic.v_acknowledge lrs = Some 11)
+
+let test_lr_exhaustion () =
+  let lrs = fresh_lrs () in
+  for i = 0 to 3 do
+    check Alcotest.bool "inject succeeds" true
+      (Vgic.inject lrs ~vintid:(30 + i) () <> None)
+  done;
+  check Alcotest.bool "fifth injection fails" true
+    (Vgic.inject lrs ~vintid:50 () = None)
+
+let test_eoi_wrong_vintid () =
+  let lrs = fresh_lrs () in
+  ignore (Vgic.inject lrs ~vintid:27 ());
+  ignore (Vgic.v_acknowledge lrs);
+  check Alcotest.bool "EOI of a different vintid fails" false
+    (Vgic.v_eoi lrs ~vintid:99)
+
+let test_status_registers () =
+  let lrs = fresh_lrs () in
+  check Alcotest.int64 "all empty: ELRSR = 0b1111" 0xfL (Vgic.compute_elrsr lrs);
+  ignore (Vgic.inject lrs ~vintid:27 ());
+  check Alcotest.int64 "LR0 busy: ELRSR = 0b1110" 0xeL (Vgic.compute_elrsr lrs);
+  check Alcotest.int64 "nothing EOId yet" 0L (Vgic.compute_eisr lrs);
+  (* an inactive LR with a leftover vintid reads as EOId *)
+  lrs.(1) <-
+    Vgic.encode_lr { Vgic.empty_lr with Vgic.lr_state = Irq.Inactive; lr_vintid = 30 };
+  check Alcotest.int64 "EISR flags LR1" 2L (Vgic.compute_eisr lrs);
+  check Alcotest.int64 "MISR.EOI set" 1L (Vgic.compute_misr lrs)
+
+(* --- the physical CPU interface: masking and priority drop --- *)
+
+let fresh_cpuif () =
+  let d = Dist.create ~ncpus:1 in
+  (d, Gic.Cpuif.create d ~cpu:0)
+
+let test_cpuif_masking () =
+  let d, c = fresh_cpuif () in
+  Dist.enable d ~cpu:0 ~intid:40;
+  Dist.set_priority d ~cpu:0 ~intid:40 0xa0;
+  Dist.raise_irq d ~cpu:0 ~intid:40;
+  (* masked: priority does not beat PMR *)
+  Gic.Cpuif.set_pmr c 0x80;
+  check Alcotest.bool "masked" false (Gic.Cpuif.irq_pending c);
+  check Alcotest.bool "ack refused while masked" true
+    (Gic.Cpuif.acknowledge c = None);
+  (* unmask *)
+  Gic.Cpuif.set_pmr c 0xf0;
+  check Alcotest.bool "pending once unmasked" true (Gic.Cpuif.irq_pending c);
+  check Alcotest.bool "acked" true (Gic.Cpuif.acknowledge c = Some 40)
+
+let test_cpuif_priority_drop () =
+  let d, c = fresh_cpuif () in
+  List.iter
+    (fun (intid, prio) ->
+      Dist.enable d ~cpu:0 ~intid;
+      Dist.set_priority d ~cpu:0 ~intid prio)
+    [ (40, 0xa0); (41, 0x20) ];
+  Dist.raise_irq d ~cpu:0 ~intid:40;
+  check Alcotest.bool "low-priority irq taken" true
+    (Gic.Cpuif.acknowledge c = Some 40);
+  (* while 40 is active, an equal-or-lower priority cannot preempt... *)
+  Dist.raise_irq d ~cpu:0 ~intid:40;
+  check Alcotest.bool "no self-preemption" false (Gic.Cpuif.irq_pending c);
+  (* ...but a higher-priority one can *)
+  Dist.raise_irq d ~cpu:0 ~intid:41;
+  check Alcotest.bool "preempted by higher priority" true
+    (Gic.Cpuif.acknowledge c = Some 41);
+  check Alcotest.int "running priority is the preemptor's" 0x20
+    (Gic.Cpuif.running_priority c);
+  (* EOIs unwind the priority stack *)
+  Gic.Cpuif.eoi c ~intid:41;
+  check Alcotest.int "dropped back" 0xa0 (Gic.Cpuif.running_priority c);
+  Gic.Cpuif.eoi c ~intid:40;
+  check Alcotest.int "idle" Gic.Cpuif.idle_priority
+    (Gic.Cpuif.running_priority c)
+
+(* --- GICv2 MMIO frame --- *)
+
+let test_gicv2_decode () =
+  let at off = Gicv2.reg_of_offset off in
+  check Alcotest.bool "GICH_HCR at 0" true (at 0x0 = Some Gicv2.GICH_HCR);
+  check Alcotest.bool "GICH_VMCR at 8" true (at 0x8 = Some Gicv2.GICH_VMCR);
+  check Alcotest.bool "GICH_LR0 at 0x100" true (at 0x100 = Some (Gicv2.GICH_LR 0));
+  check Alcotest.bool "GICH_LR3 at 0x10c" true (at 0x10c = Some (Gicv2.GICH_LR 3));
+  check Alcotest.bool "hole decodes to None" true (at 0x0c = None)
+
+let test_gicv2_to_ich () =
+  check Alcotest.bool "GICH_HCR -> ICH_HCR_EL2" true
+    (Gicv2.to_ich Gicv2.GICH_HCR = Some Arm.Sysreg.ICH_HCR_EL2);
+  check Alcotest.bool "GICH_LR5 -> ICH_LR5_EL2" true
+    (Gicv2.to_ich (Gicv2.GICH_LR 5) = Some (Arm.Sysreg.ICH_LR_EL2 5));
+  check Alcotest.bool "out-of-range LR -> None" true
+    (Gicv2.to_ich (Gicv2.GICH_LR 40) = None)
+
+let test_gicv2_frame_addressing () =
+  check Alcotest.bool "address inside the frame decodes" true
+    (Gicv2.decode_access (Int64.add Gicv2.gich_base 0x8L) = Some Gicv2.GICH_VMCR);
+  check Alcotest.bool "address outside decodes to None" true
+    (Gicv2.decode_access 0x1000L = None)
+
+(* --- timers (small enough to live here) --- *)
+
+let test_timer_fires () =
+  let cpu = Arm.Cpu.create () in
+  Timer_model.arm_timer cpu Timer_model.Virt_el1 ~delta:100L;
+  check Alcotest.bool "not expired yet" false
+    (Timer_model.fires cpu Timer_model.Virt_el1);
+  (* burn some cycles *)
+  Cost.charge cpu.Arm.Cpu.meter 200;
+  check Alcotest.bool "expired" true (Timer_model.fires cpu Timer_model.Virt_el1)
+
+let test_timer_mask () =
+  let cpu = Arm.Cpu.create () in
+  Timer_model.arm_timer cpu Timer_model.Virt_el1 ~delta:0L;
+  Cost.charge cpu.Arm.Cpu.meter 10;
+  Arm.Cpu.poke_sysreg cpu Arm.Sysreg.CNTV_CTL_EL0
+    (Int64.logor Timer_model.ctl_enable Timer_model.ctl_imask);
+  check Alcotest.bool "masked timer does not fire" false
+    (Timer_model.fires cpu Timer_model.Virt_el1)
+
+let test_timer_cntvoff () =
+  let cpu = Arm.Cpu.create () in
+  Cost.charge cpu.Arm.Cpu.meter 1000;
+  Arm.Cpu.poke_sysreg cpu Arm.Sysreg.CNTVOFF_EL2 600L;
+  check Alcotest.int64 "virtual count is offset" 400L
+    (Timer_model.count_for cpu Timer_model.Virt_el1)
+
+let test_timer_tick_vhe () =
+  let cpu = Arm.Cpu.create () in
+  Timer_model.arm_timer cpu Timer_model.Virt_el2 ~delta:0L;
+  Cost.charge cpu.Arm.Cpu.meter 10;
+  let fired = Timer_model.tick cpu ~vhe:true in
+  check Alcotest.bool "EL2 virtual timer fired" true
+    (List.mem Timer_model.Virt_el2 fired);
+  let fired_novhe = Timer_model.tick cpu ~vhe:false in
+  check Alcotest.bool "no EL2 virtual timer without VHE" false
+    (List.mem Timer_model.Virt_el2 fired_novhe)
+
+let suite =
+  [
+    qtest test_state_bits_roundtrip;
+    qtest test_state_machine_invariants;
+    ("irq: intid kinds", `Quick, test_intid_kinds);
+    ("dist: acknowledge and EOI", `Quick, test_dist_ack_eoi);
+    ("dist: disabled interrupts invisible", `Quick, test_dist_disabled_not_delivered);
+    ("dist: priority order", `Quick, test_dist_priority);
+    ("dist: SGI routing", `Quick, test_dist_sgi_routing);
+    ("dist: SGI intid validation", `Quick, test_dist_sgi_bad_intid);
+    qtest test_lr_roundtrip;
+    ("vgic: inject/ack/EOI lifecycle", `Quick, test_inject_ack_eoi);
+    ("vgic: acknowledge priority order", `Quick, test_ack_priority_order);
+    ("vgic: LR exhaustion", `Quick, test_lr_exhaustion);
+    ("vgic: EOI with wrong vintid", `Quick, test_eoi_wrong_vintid);
+    ("vgic: EISR/ELRSR/MISR", `Quick, test_status_registers);
+    ("cpuif: PMR masking", `Quick, test_cpuif_masking);
+    ("cpuif: preemption and priority drop", `Quick, test_cpuif_priority_drop);
+    ("gicv2: MMIO offset decoding", `Quick, test_gicv2_decode);
+    ("gicv2: mapping to ICH registers", `Quick, test_gicv2_to_ich);
+    ("gicv2: frame addressing", `Quick, test_gicv2_frame_addressing);
+    ("timer: programmed timers fire", `Quick, test_timer_fires);
+    ("timer: IMASK suppresses", `Quick, test_timer_mask);
+    ("timer: CNTVOFF offsets the count", `Quick, test_timer_cntvoff);
+    ("timer: VHE EL2 virtual timer", `Quick, test_timer_tick_vhe);
+  ]

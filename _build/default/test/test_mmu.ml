@@ -1,0 +1,263 @@
+(* Tests for the MMU: descriptors, walks, two-stage translation, shadow
+   stage-2 collapse, and the TLB. *)
+
+module Memory = Arm.Memory
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let perms_gen =
+  QCheck.Gen.(
+    let* readable = bool in
+    let* writable = bool in
+    let* executable = bool in
+    return { Mmu.Pte.readable; writable; executable })
+
+let test_pte_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"pte: page descriptor roundtrip"
+    (QCheck.make
+       ~print:(fun (a, p) ->
+         Fmt.str "0x%Lx r=%b w=%b x=%b" a p.Mmu.Pte.readable p.Mmu.Pte.writable
+           p.Mmu.Pte.executable)
+       QCheck.Gen.(
+         let* page = int_bound 0xfffff in
+         let* perms = perms_gen in
+         return (Int64.of_int (page * 4096), perms)))
+    (fun (output, perms) ->
+      let d = { Mmu.Pte.kind = Mmu.Pte.Page; output; perms } in
+      Mmu.Pte.decode ~level:3 (Mmu.Pte.encode ~level:3 d) = d)
+
+let test_pte_invalid () =
+  check Alcotest.bool "zero decodes invalid" true
+    (Mmu.Pte.decode ~level:3 0L = Mmu.Pte.invalid);
+  check Alcotest.int64 "invalid encodes to zero" 0L
+    (Mmu.Pte.encode ~level:1 Mmu.Pte.invalid)
+
+let test_pte_table_at_level3_rejected () =
+  match
+    Mmu.Pte.encode ~level:3
+      { Mmu.Pte.kind = Mmu.Pte.Table; output = 0x1000L; perms = Mmu.Pte.rwx }
+  with
+  | _ -> Alcotest.fail "table at level 3 should be rejected"
+  | exception Invalid_argument _ -> ()
+
+let fresh_world () =
+  let mem = Memory.create () in
+  let alloc = Mmu.Walk.allocator ~start:0x10_0000L in
+  (mem, alloc)
+
+let test_map_and_walk () =
+  let mem, alloc = fresh_world () in
+  let s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+  Mmu.Stage2.map_page s2 ~ipa:0x8000L ~pa:0x4_0000L ~perms:Mmu.Pte.rw;
+  (match Mmu.Stage2.translate s2 ~ipa:0x8123L ~is_write:false with
+   | Ok tr ->
+     check Alcotest.int64 "offset preserved" 0x4_0123L tr.Mmu.Walk.t_pa;
+     check Alcotest.int "resolved at level 3" 3 tr.Mmu.Walk.t_level
+   | Error f -> Alcotest.failf "unexpected fault: %a" Mmu.Walk.pp_fault f);
+  match Mmu.Stage2.translate s2 ~ipa:0x9000L ~is_write:false with
+  | Error { Mmu.Walk.f_reason = `Translation; _ } -> ()
+  | _ -> Alcotest.fail "unmapped address should fault"
+
+let test_permission_fault () =
+  let mem, alloc = fresh_world () in
+  let s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+  Mmu.Stage2.map_page s2 ~ipa:0x8000L ~pa:0x4_0000L ~perms:Mmu.Pte.ro;
+  (match Mmu.Stage2.translate s2 ~ipa:0x8000L ~is_write:false with
+   | Ok _ -> ()
+   | Error f -> Alcotest.failf "read should succeed: %a" Mmu.Walk.pp_fault f);
+  match Mmu.Stage2.translate s2 ~ipa:0x8000L ~is_write:true with
+  | Error { Mmu.Walk.f_reason = `Permission; _ } -> ()
+  | _ -> Alcotest.fail "write to read-only page should permission-fault"
+
+let test_unmap () =
+  let mem, alloc = fresh_world () in
+  let s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+  Mmu.Stage2.map_page s2 ~ipa:0x8000L ~pa:0x4_0000L ~perms:Mmu.Pte.rw;
+  Mmu.Stage2.unmap_page s2 ~ipa:0x8000L;
+  match Mmu.Stage2.translate s2 ~ipa:0x8000L ~is_write:false with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unmapped page still translates"
+
+let test_block_mapping () =
+  let mem, alloc = fresh_world () in
+  let base = Mmu.Walk.alloc_page alloc mem in
+  Mmu.Walk.map_block2 mem alloc ~base ~ia:0x20_0000L ~pa:0x4000_0000L
+    ~perms:Mmu.Pte.rwx;
+  match Mmu.Walk.walk mem ~base ~ia:0x2a_bcd8L ~is_write:true with
+  | Ok tr ->
+    check Alcotest.int "resolved at level 2" 2 tr.Mmu.Walk.t_level;
+    check Alcotest.int64 "2MB block offset" 0x400a_bcd8L tr.Mmu.Walk.t_pa
+  | Error f -> Alcotest.failf "block walk failed: %a" Mmu.Walk.pp_fault f
+
+let test_map_range_walk_random =
+  QCheck.Test.make ~count:100 ~name:"walk: mapped ranges translate linearly"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 0xffff))
+    (fun off ->
+      let mem, alloc = fresh_world () in
+      let s1 = Mmu.Stage1.create mem alloc ~asid:3 in
+      Mmu.Stage1.map_range s1 ~va:0x40_0000L ~ipa:0x80_0000L ~len:0x10000L
+        ~perms:Mmu.Pte.rw;
+      match
+        Mmu.Stage1.translate s1 ~va:(Int64.add 0x40_0000L (Int64.of_int off))
+          ~is_write:false
+      with
+      | Ok tr -> tr.Mmu.Walk.t_pa = Int64.add 0x80_0000L (Int64.of_int off)
+      | Error _ -> false)
+
+let test_two_stage () =
+  let mem, alloc = fresh_world () in
+  let s1 = Mmu.Stage1.create mem alloc ~asid:1 in
+  let s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+  Mmu.Stage1.map_page s1 ~va:0x1000L ~ipa:0x8000L ~perms:Mmu.Pte.rw;
+  Mmu.Stage2.map_page s2 ~ipa:0x8000L ~pa:0x9_0000L ~perms:Mmu.Pte.rw;
+  (match Mmu.Stage1.translate_two_stage s1 s2 ~va:0x1008L ~is_write:true with
+   | Ok tr -> check Alcotest.int64 "VA -> PA" 0x9_0008L tr.Mmu.Walk.t_pa
+   | Error _ -> Alcotest.fail "two-stage translation failed");
+  (* stage-2 hole: the fault names the right stage *)
+  Mmu.Stage1.map_page s1 ~va:0x2000L ~ipa:0xdead_0000L ~perms:Mmu.Pte.rw;
+  match Mmu.Stage1.translate_two_stage s1 s2 ~va:0x2000L ~is_write:false with
+  | Error (Mmu.Stage1.S2_fault _) -> ()
+  | _ -> Alcotest.fail "expected a stage-2 fault"
+
+let test_shadow_collapse () =
+  let mem, alloc = fresh_world () in
+  let guest_s2 = Mmu.Stage2.create mem alloc ~vmid:2 in
+  let host_s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+  Mmu.Stage2.map_page guest_s2 ~ipa:0x3000L ~pa:0x8_0000L ~perms:Mmu.Pte.rw;
+  Mmu.Stage2.map_page host_s2 ~ipa:0x8_0000L ~pa:0x20_0000L ~perms:Mmu.Pte.rw;
+  let sh = Mmu.Shadow.create mem alloc ~vmid:9 in
+  (* miss, then resolve, then hit *)
+  (match Mmu.Shadow.translate sh ~l2_ipa:0x3000L ~is_write:false with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "shadow should start cold");
+  (match Mmu.Shadow.handle_fault sh ~guest_s2 ~host_s2 ~l2_ipa:0x3010L ~is_write:true with
+   | Mmu.Shadow.Resolved pa -> check Alcotest.int64 "collapsed PA" 0x20_0010L pa
+   | _ -> Alcotest.fail "fault should resolve");
+  (match Mmu.Shadow.translate sh ~l2_ipa:0x3018L ~is_write:true with
+   | Ok tr -> check Alcotest.int64 "warm hit" 0x20_0018L tr.Mmu.Walk.t_pa
+   | Error _ -> Alcotest.fail "shadow should be warm");
+  check Alcotest.int "one shadowed page" 1 (Mmu.Shadow.shadowed_pages sh)
+
+let test_shadow_guest_fault_reflected () =
+  let mem, alloc = fresh_world () in
+  let guest_s2 = Mmu.Stage2.create mem alloc ~vmid:2 in
+  let host_s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+  let sh = Mmu.Shadow.create mem alloc ~vmid:9 in
+  match Mmu.Shadow.handle_fault sh ~guest_s2 ~host_s2 ~l2_ipa:0x5000L ~is_write:false with
+  | Mmu.Shadow.Guest_s2_fault _ -> ()
+  | _ -> Alcotest.fail "unmapped guest stage-2 should reflect to L1"
+
+let test_shadow_permission_intersection () =
+  let mem, alloc = fresh_world () in
+  let guest_s2 = Mmu.Stage2.create mem alloc ~vmid:2 in
+  let host_s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+  (* guest grants rw; host only ro: the shadow must be ro *)
+  Mmu.Stage2.map_page guest_s2 ~ipa:0x3000L ~pa:0x8_0000L ~perms:Mmu.Pte.rw;
+  Mmu.Stage2.map_page host_s2 ~ipa:0x8_0000L ~pa:0x20_0000L ~perms:Mmu.Pte.ro;
+  let sh = Mmu.Shadow.create mem alloc ~vmid:9 in
+  (match Mmu.Shadow.handle_fault sh ~guest_s2 ~host_s2 ~l2_ipa:0x3000L ~is_write:false with
+   | Mmu.Shadow.Resolved _ -> ()
+   | _ -> Alcotest.fail "read fault should resolve");
+  match Mmu.Shadow.translate sh ~l2_ipa:0x3000L ~is_write:true with
+  | Error { Mmu.Walk.f_reason = `Permission; _ } -> ()
+  | _ -> Alcotest.fail "shadow write should inherit host's read-only"
+
+let test_shadow_invalidate () =
+  let mem, alloc = fresh_world () in
+  let guest_s2 = Mmu.Stage2.create mem alloc ~vmid:2 in
+  let host_s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+  Mmu.Stage2.map_page guest_s2 ~ipa:0x3000L ~pa:0x8_0000L ~perms:Mmu.Pte.rw;
+  Mmu.Stage2.map_page host_s2 ~ipa:0x8_0000L ~pa:0x20_0000L ~perms:Mmu.Pte.rw;
+  let sh = Mmu.Shadow.create mem alloc ~vmid:9 in
+  ignore (Mmu.Shadow.handle_fault sh ~guest_s2 ~host_s2 ~l2_ipa:0x3000L ~is_write:false);
+  Mmu.Shadow.invalidate sh;
+  check Alcotest.int "no shadowed pages" 0 (Mmu.Shadow.shadowed_pages sh);
+  match Mmu.Shadow.translate sh ~l2_ipa:0x3000L ~is_write:false with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalidated shadow still translates"
+
+(* Model-based test: random map/unmap sequences against an association
+   list reference. *)
+let mmu_op_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 30)
+      (let* page = int_bound 63 in
+       let* mapped_to = int_bound 255 in
+       let* unmap = bool in
+       return (page, mapped_to, unmap)))
+
+let test_mmu_vs_model =
+  QCheck.Test.make ~count:100 ~name:"stage2: agrees with a reference model"
+    (QCheck.make
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map (fun (p, m, u) -> Printf.sprintf "%d->%d%s" p m
+               (if u then "!" else "")) ops))
+       mmu_op_gen)
+    (fun ops ->
+      let mem, alloc = fresh_world () in
+      let s2 = Mmu.Stage2.create mem alloc ~vmid:1 in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (page, mapped_to, unmap) ->
+          let ipa = Int64.of_int (page * 4096) in
+          if unmap then begin
+            Mmu.Stage2.unmap_page s2 ~ipa;
+            Hashtbl.remove model page
+          end
+          else begin
+            let pa = Int64.of_int (0x10_0000 + (mapped_to * 4096)) in
+            (* the walker refuses remaps; mirror that in the driver *)
+            if not (Hashtbl.mem model page) then begin
+              Mmu.Stage2.map_page s2 ~ipa ~pa ~perms:Mmu.Pte.rw;
+              Hashtbl.replace model page pa
+            end
+          end)
+        ops;
+      (* every page agrees with the model *)
+      List.for_all
+        (fun page ->
+          let ipa = Int64.of_int (page * 4096) in
+          match
+            ( Mmu.Stage2.translate s2 ~ipa ~is_write:false,
+              Hashtbl.find_opt model page )
+          with
+          | Ok tr, Some pa -> tr.Mmu.Walk.t_pa = pa
+          | Error _, None -> true
+          | _ -> false)
+        (List.init 64 Fun.id))
+
+let test_tlb () =
+  let tlb = Mmu.Tlb.create ~capacity:8 () in
+  check Alcotest.bool "cold miss" true
+    (Mmu.Tlb.lookup tlb ~vmid:1 ~asid:0 0x1234L = None);
+  Mmu.Tlb.insert tlb ~vmid:1 ~asid:0 ~va:0x1000L ~pa:0x9000L ~perms:Mmu.Pte.rw;
+  (match Mmu.Tlb.lookup tlb ~vmid:1 ~asid:0 0x1234L with
+   | Some (pa, _) -> check Alcotest.int64 "hit with offset" 0x9234L pa
+   | None -> Alcotest.fail "expected hit");
+  check Alcotest.bool "other vmid misses" true
+    (Mmu.Tlb.lookup tlb ~vmid:2 ~asid:0 0x1234L = None);
+  Mmu.Tlb.invalidate_vmid tlb ~vmid:1;
+  check Alcotest.bool "invalidated" true
+    (Mmu.Tlb.lookup tlb ~vmid:1 ~asid:0 0x1234L = None);
+  check Alcotest.bool "hit rate tracked" true (Mmu.Tlb.hit_rate tlb > 0.)
+
+let suite =
+  [
+    qtest test_pte_roundtrip;
+    ("pte: invalid descriptors", `Quick, test_pte_invalid);
+    ("pte: level constraints", `Quick, test_pte_table_at_level3_rejected);
+    ("walk: map then translate", `Quick, test_map_and_walk);
+    ("walk: permission faults", `Quick, test_permission_fault);
+    ("walk: unmap", `Quick, test_unmap);
+    ("walk: 2MB block mappings", `Quick, test_block_mapping);
+    qtest test_map_range_walk_random;
+    ("two-stage translation", `Quick, test_two_stage);
+    ("shadow: collapse on fault", `Quick, test_shadow_collapse);
+    ("shadow: guest faults reflected", `Quick, test_shadow_guest_fault_reflected);
+    ("shadow: permissions intersect", `Quick, test_shadow_permission_intersection);
+    ("shadow: invalidation", `Quick, test_shadow_invalidate);
+    qtest test_mmu_vs_model;
+    ("tlb: hits, misses, invalidation", `Quick, test_tlb);
+  ]
