@@ -273,6 +273,32 @@ let compare_cmd =
        ~doc:"Measure everything and report deviations from the paper")
     Term.(const run $ const ())
 
+let chaos_cmd =
+  let seed_arg =
+    let doc = "PRNG seed for the fault plans (same seed, same report)." in
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~doc)
+  in
+  let faults_arg =
+    let doc = "Fault events scheduled per configuration." in
+    Arg.(value & opt int 24 & info [ "faults"; "f" ] ~doc)
+  in
+  let traps_arg =
+    let doc = "Trap budget per configuration." in
+    Arg.(value & opt int 10_000 & info [ "traps"; "t" ] ~doc)
+  in
+  let run seed faults traps verbose =
+    setup_logs verbose;
+    let report = Workloads.Chaos.run ~seed ~faults ~traps () in
+    Fmt.pr "%a@." Workloads.Chaos.pp_report report;
+    if Workloads.Chaos.crashes report <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run every scenario under deterministic fault injection and \
+          invariant checking; exit nonzero on any anonymous crash")
+    Term.(const run $ seed_arg $ faults_arg $ traps_arg $ verbose_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -286,4 +312,4 @@ let () =
        (Cmd.group ~default info
           [ table1_cmd; table6_cmd; table7_cmd; fig2_cmd; traps_cmd;
             classify_cmd; validate_cmd; ablation_cmd; recursive_cmd;
-            sweep_cmd; riscv_cmd; compare_cmd ]))
+            sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd ]))

@@ -1,1 +1,1 @@
-lib/arm/pstate.ml: Fmt Int Int64
+lib/arm/pstate.ml: Fmt Int Int64 Option

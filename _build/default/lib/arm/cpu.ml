@@ -19,6 +19,11 @@ type t = {
   meter : Cost.meter;
   mutable el2_handler : handler option;
   mutable el1_handler : handler option;
+  (* When set, an UNDEFINED instruction below EL2 takes the architectural
+     EL1 exception vector even with no simulated EL1 handler installed
+     (the guest kernel is assumed to have vectors).  Bare CPUs keep the
+     historical raise so unit tests can observe the Undef routing. *)
+  mutable el1_vectors : bool;
   (* GPR snapshots taken on each EL2 exception entry: the hypervisor's own
      code runs on the same register file (as real KVM's EL2 code does), so
      trapped-access emulation reads and writes the *saved* guest registers,
@@ -44,6 +49,7 @@ let create ?(features = Features.v Features.V8_0) ?table ?mem ?meter () =
     meter;
     el2_handler = None;
     el1_handler = None;
+    el1_vectors = false;
     saved_regs = [];
     nv2_mask = Trap_rules.nv2_full;
   }
@@ -127,7 +133,14 @@ let do_eret t =
         Sysreg_file.read t.sysregs Sysreg.ELR_EL1 )
     | Pstate.EL0 -> invalid_arg "Cpu.do_eret at EL0"
   in
-  t.pstate <- Pstate.of_spsr spsr;
+  (match Pstate.of_spsr_opt spsr with
+   | Some p -> t.pstate <- p
+   | None ->
+     (* Illegal exception return: hardware sets PSTATE.IL and stays at
+        the current EL rather than switching into a nonsense mode.  The
+        invariant checker reports the corrupt SPSR; execution continues
+        at ELR so the simulation stays alive. *)
+     ());
   t.pc <- elr;
   Cost.charge t.meter c.Cost.trap_return
 
@@ -290,7 +303,10 @@ and exec_routed t (insn : Insn.t) =
        resumes after the trapping instruction. *)
     exception_entry t { target = Pstate.EL2; ec; iss; fault_addr = None }
   | Trap_rules.Undef ->
-    if t.pstate.Pstate.el = Pstate.EL1 && t.el1_handler <> None then begin
+    if
+      t.pstate.Pstate.el <> Pstate.EL2
+      && (t.el1_vectors || t.el1_handler <> None)
+    then begin
       advance_pc t;
       exception_entry t
         { target = Pstate.EL1; ec = Exn.EC_unknown; iss = 0; fault_addr = None }
@@ -323,16 +339,22 @@ let mrs t access =
 let msr t access v = exec t (Insn.Msr (access, Insn.Imm v))
 
 (* Access the guest registers as they were at the current trap (and as
-   they will be restored by the handler's eret). *)
+   they will be restored by the handler's eret).  Register numbers
+   outside x0..x30 decode as xzr — trap syndromes carry a 5-bit Rt, and
+   Rt=31 from a guest-built encoding must read zero, not crash. *)
 let get_trapped_reg t n =
-  match t.saved_regs with
-  | saved :: _ -> saved.(n)
-  | [] -> get_reg t n
+  if n < 0 || n > 30 then 0L
+  else
+    match t.saved_regs with
+    | saved :: _ -> saved.(n)
+    | [] -> get_reg t n
 
 let set_trapped_reg t n v =
-  match t.saved_regs with
-  | saved :: _ -> saved.(n) <- v
-  | [] -> set_reg t n v
+  if n < 0 || n > 30 then ()
+  else
+    match t.saved_regs with
+    | saved :: _ -> saved.(n) <- v
+    | [] -> set_reg t n v
 
 let pp_state ppf t =
   Fmt.pf ppf "pc=0x%Lx pstate=%a %a" t.pc Pstate.pp t.pstate Hcr.pp

@@ -29,6 +29,10 @@ type t = {
   meter : Cost.meter;
   mutable el2_handler : handler option;
   mutable el1_handler : handler option;
+  mutable el1_vectors : bool;
+      (** an UNDEFINED instruction below EL2 takes the EL1 vector even
+          with no simulated EL1 handler (set by {!Machine.create}; bare
+          CPUs default to raising {!Undefined_instruction}) *)
   mutable saved_regs : int64 array list;
   mutable nv2_mask : Trap_rules.nv2_mask;
       (** simulator-only ablation knob: which NEVE mechanisms this

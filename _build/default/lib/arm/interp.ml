@@ -58,8 +58,10 @@ let load_program mem ~base insns =
   load mem ~base (Array.of_list (List.map Encode.encode insns))
 
 (* Run from [entry] until the halt marker, an unencodable word, or the
-   instruction budget runs out. *)
-let run (cpu : Cpu.t) ~entry ~max_insns =
+   instruction budget runs out.  [on_step] fires before each executed
+   instruction — the fault injector's hook into straight-line guest
+   code. *)
+let run ?on_step (cpu : Cpu.t) ~entry ~max_insns =
   cpu.Cpu.pc <- entry;
   let rec step budget =
     if budget = 0 then Limit
@@ -70,6 +72,7 @@ let run (cpu : Cpu.t) ~entry ~max_insns =
         match Encode.decode w with
         | Encode.D_unknown _ -> Halted cpu.Cpu.pc
         | Encode.D_insn insn ->
+          (match on_step with Some f -> f cpu | None -> ());
           Cpu.exec cpu insn;
           step (budget - 1)
   in

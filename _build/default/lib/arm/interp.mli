@@ -26,6 +26,9 @@ val load : Memory.t -> base:int64 -> int array -> unit
 val load_program : Memory.t -> base:int64 -> Insn.t list -> unit
 (** Assemble (encode) and load. *)
 
-val run : Cpu.t -> entry:int64 -> max_insns:int -> outcome
+val run :
+  ?on_step:(Cpu.t -> unit) -> Cpu.t -> entry:int64 -> max_insns:int -> outcome
+(** [on_step] fires before each executed instruction — the hook used by
+    the fault injector to perturb straight-line guest code. *)
 
 val disassemble : Memory.t -> base:int64 -> count:int -> (int64 * string) list

@@ -41,24 +41,33 @@ let to_spsr t =
        (Int64.logor (bit t.fiq_masked 0x40L)
           (Int64.shift_left (Int64.of_int (t.nzcv land 0xf)) 28)))
 
-let of_spsr v =
+let of_spsr_opt v =
   let m = Int64.to_int (Int64.logand v 0xfL) in
-  let el, sp_sel =
+  let mode =
     match m with
-    | 0 -> (EL0, false)
-    | 4 -> (EL1, false)
-    | 5 -> (EL1, true)
-    | 8 -> (EL2, false)
-    | 9 -> (EL2, true)
-    | _ -> invalid_arg "Pstate.of_spsr: illegal mode bits"
+    | 0 -> Some (EL0, false)
+    | 4 -> Some (EL1, false)
+    | 5 -> Some (EL1, true)
+    | 8 -> Some (EL2, false)
+    | 9 -> Some (EL2, true)
+    | _ -> None
   in
-  {
-    el;
-    sp_sel;
-    irq_masked = Int64.logand v 0x80L <> 0L;
-    fiq_masked = Int64.logand v 0x40L <> 0L;
-    nzcv = Int64.to_int (Int64.logand (Int64.shift_right_logical v 28) 0xfL);
-  }
+  Option.map
+    (fun (el, sp_sel) ->
+      {
+        el;
+        sp_sel;
+        irq_masked = Int64.logand v 0x80L <> 0L;
+        fiq_masked = Int64.logand v 0x40L <> 0L;
+        nzcv =
+          Int64.to_int (Int64.logand (Int64.shift_right_logical v 28) 0xfL);
+      })
+    mode
+
+let of_spsr v =
+  match of_spsr_opt v with
+  | Some t -> t
+  | None -> invalid_arg "Pstate.of_spsr: illegal mode bits"
 
 let pp ppf t =
   Fmt.pf ppf "%s%s%s%s" (el_name t.el)

@@ -1,0 +1,1 @@
+lib/fault/error.ml: Arm Cost Fmt List Option Printexc Printf String

@@ -1,0 +1,1 @@
+lib/fault/error.mli: Arm Format

@@ -1,0 +1,1 @@
+lib/fault/invariants.ml: Arm Cost Fmt Int64 List Printf

@@ -1,0 +1,1 @@
+lib/fault/invariants.mli: Arm Format

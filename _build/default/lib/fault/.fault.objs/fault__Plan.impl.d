@@ -1,0 +1,1 @@
+lib/fault/plan.ml: Array Fmt Int64 List Printf String

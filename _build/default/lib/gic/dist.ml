@@ -12,16 +12,28 @@ type irq_record = {
 let fresh_record () =
   { state = Irq.Inactive; enabled = false; priority = 0xa0; target = 0 }
 
+(* Fault-injection verdict for one raised interrupt. *)
+type disposition = Deliver | Drop | Duplicate
+
 type t = {
   ncpus : int;
   (* banked SGI/PPI state: (cpu, intid<32) -> record; SPI: intid -> record *)
   banked : (int * int, irq_record) Hashtbl.t;
   shared : (int, irq_record) Hashtbl.t;
   mutable enabled : bool;
+  (* Fault-injection hook consulted on every raise_irq; [None] (and a
+     [Deliver] verdict) is normal delivery. *)
+  mutable inject : (cpu:int -> intid:int -> disposition) option;
 }
 
 let create ~ncpus =
-  { ncpus; banked = Hashtbl.create 64; shared = Hashtbl.create 64; enabled = true }
+  {
+    ncpus;
+    banked = Hashtbl.create 64;
+    shared = Hashtbl.create 64;
+    enabled = true;
+    inject = None;
+  }
 
 let record t ~cpu ~intid =
   if intid < 32 then begin
@@ -48,10 +60,21 @@ let set_priority t ~cpu ~intid p = (record t ~cpu ~intid).priority <- p
 let set_target t ~intid ~cpu = (record t ~cpu ~intid).target <- cpu
 
 (* Make an interrupt pending.  For SPIs the registered target CPU receives
-   it; for SGI/PPI the caller names the CPU. *)
+   it; for SGI/PPI the caller names the CPU.  The fault-injection hook can
+   drop the interrupt or deliver it twice; our [Irq.state] collapses
+   double-pending into pending (as level-triggered hardware does), so a
+   duplicate only shows up when the first was already acknowledged. *)
 let raise_irq t ~cpu ~intid =
+  let disposition =
+    match t.inject with Some f -> f ~cpu ~intid | None -> Deliver
+  in
   let r = record t ~cpu ~intid in
-  r.state <- Irq.add_pending r.state
+  match disposition with
+  | Drop -> ()
+  | Deliver -> r.state <- Irq.add_pending r.state
+  | Duplicate ->
+    r.state <- Irq.add_pending r.state;
+    r.state <- Irq.add_pending r.state
 
 (* Send an SGI (IPI) from [src] to [dst]: the distributor makes the SGI
    pending on the destination CPU's bank. *)

@@ -9,11 +9,16 @@ type irq_record = {
   mutable target : int;    (** CPU, for SPIs *)
 }
 
+type disposition = Deliver | Drop | Duplicate
+(** Fault-injection verdict for one raised interrupt. *)
+
 type t = {
   ncpus : int;
   banked : (int * int, irq_record) Hashtbl.t;
   shared : (int, irq_record) Hashtbl.t;
   mutable enabled : bool;
+  mutable inject : (cpu:int -> intid:int -> disposition) option;
+      (** fault-injection hook consulted on every {!raise_irq} *)
 }
 
 val create : ncpus:int -> t

@@ -1,1 +1,1 @@
-lib/hyp/gaccess.ml: Arm Config Cost Gic List Paravirt World_switch
+lib/hyp/gaccess.ml: Arm Config Cost Fault Gic List Paravirt World_switch

@@ -1,1 +1,1 @@
-lib/hyp/machine.ml: Arm Array Config Cost Gaccess Gic Guest_hyp Host_hyp Int64 List Mmu Reglists Vcpu
+lib/hyp/machine.ml: Arm Array Config Core Cost Fault Gaccess Gic Guest_hyp Host_hyp Int64 List Mmu Option Printf Reglists Vcpu

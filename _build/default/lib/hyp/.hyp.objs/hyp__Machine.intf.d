@@ -1,1 +1,1 @@
-lib/hyp/machine.mli: Arm Config Cost Guest_hyp Host_hyp Mmu
+lib/hyp/machine.mli: Arm Config Cost Fault Guest_hyp Host_hyp Mmu

@@ -1,1 +1,1 @@
-lib/hyp/paravirt.ml: Arm Array Config Hashtbl Int64 List Printf Reglists
+lib/hyp/paravirt.ml: Arm Array Config Fault Hashtbl Int64 List Reglists

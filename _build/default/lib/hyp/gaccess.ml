@@ -15,22 +15,49 @@ type t = {
   cpu : Cpu.t;
   config : Config.t;
   page_base : int64;  (* shared page / deferred access page base *)
+  (* One-shot fault-injection corruption: applied to the next value read
+     through [rd]/[ld], then cleared. *)
+  mutable tamper : (int64 -> int64) option;
 }
 
-let v cpu config ~page_base = { cpu; config; page_base }
+let v cpu config ~page_base = { cpu; config; page_base; tamper = None }
 
 let exec t insn =
-  if Config.is_paravirt t.config then
-    List.iter (Cpu.exec t.cpu)
-      (Paravirt.rewrite t.config ~page_base:t.page_base insn)
-  else Cpu.exec t.cpu insn
+  try
+    if Config.is_paravirt t.config then
+      List.iter (Cpu.exec t.cpu)
+        (Paravirt.rewrite t.config ~page_base:t.page_base insn)
+    else Cpu.exec t.cpu insn
+  with Paravirt.Would_undef _ ->
+    (* The rewriter found the instruction UNDEFINED on the target
+       architecture.  Deliver the UNDEF the target hardware would: an
+       EL1 exception for deprivileged code.  At EL2 this is the
+       simulator emitting instructions it cannot rewrite — a bug. *)
+    if t.cpu.Cpu.pstate.Arm.Pstate.el = Arm.Pstate.EL2 then
+      Fault.Error.sim_bug ~cpu:t.cpu
+        (Fault.Error.Unsupported_rewrite (Insn.to_string insn))
+    else begin
+      Cpu.advance_pc t.cpu;
+      Cpu.exception_entry t.cpu
+        { Arm.Exn.target = Arm.Pstate.EL1; ec = Arm.Exn.EC_unknown; iss = 0;
+          fault_addr = None }
+    end
 
 (* Data-moving register for MRS results and MSR sources. *)
 let data_reg = 10
 
+let tampered t v =
+  match t.tamper with
+  | None -> v
+  | Some f ->
+    t.tamper <- None;
+    let v' = f v in
+    Cpu.set_reg t.cpu data_reg v';
+    v'
+
 let rd t access =
   exec t (Insn.Mrs (data_reg, access));
-  Cpu.get_reg t.cpu data_reg
+  tampered t (Cpu.get_reg t.cpu data_reg)
 
 let wr t access v =
   Cpu.set_reg t.cpu data_reg v;
@@ -39,7 +66,7 @@ let wr t access v =
 (* Plain memory accesses (to the hypervisor's own data structures). *)
 let ld t addr =
   exec t (Insn.Ldr (data_reg, Insn.Abs addr));
-  Cpu.get_reg t.cpu data_reg
+  tampered t (Cpu.get_reg t.cpu data_reg)
 
 let st t addr v =
   Cpu.set_reg t.cpu data_reg v;
@@ -56,7 +83,21 @@ let isb t = exec t Insn.Isb
    [data_reg], matching the host's MMIO-emulation convention. *)
 let gich_access t (reg : Sysreg.t) ~is_write =
   match Gic.Gicv2.of_ich reg with
-  | None -> invalid_arg ("Gaccess.gich_access: " ^ Sysreg.name reg)
+  | None ->
+    (* No GICH frame register backs this access.  From deprivileged
+       code that is guest input: inject the UNDEF real hardware raises
+       for a reserved frame offset.  From the host's own EL2 world
+       switch it is a simulator bug. *)
+    let cpu = t.cpu in
+    if cpu.Cpu.pstate.Arm.Pstate.el = Arm.Pstate.EL2 then
+      Fault.Error.sim_bug ~cpu
+        (Fault.Error.Not_gich_register (Sysreg.name reg))
+    else begin
+      Cpu.advance_pc cpu;
+      Cpu.exception_entry cpu
+        { Arm.Exn.target = Arm.Pstate.EL1; ec = Arm.Exn.EC_unknown; iss = 0;
+          fault_addr = None }
+    end
   | Some gich ->
     let addr = Gic.Gicv2.address_of gich in
     let cpu = t.cpu in

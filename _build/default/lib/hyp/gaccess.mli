@@ -15,6 +15,9 @@ type t = {
   cpu : Cpu.t;
   config : Config.t;
   page_base : int64;  (** deferred access / shared page base *)
+  mutable tamper : (int64 -> int64) option;
+      (** one-shot fault-injection corruption of the next {!rd}/{!ld}
+          result *)
 }
 
 val v : Cpu.t -> Config.t -> page_base:int64 -> t
@@ -35,7 +38,9 @@ val isb : t -> unit
 val gich_access : t -> Sysreg.t -> is_write:bool -> unit
 (** A GICv2 GICH frame access: a plain device access at EL2, a stage-2
     data abort when deprivileged (the "trivially traps" path of
-    Section 4).  The value moves through {!data_reg}. *)
+    Section 4).  The value moves through {!data_reg}.  An access with no
+    GICH mapping injects UNDEF when deprivileged and raises
+    {!Fault.Error.Sim_fault} at EL2. *)
 
 val gicv2_gic : t -> World_switch.gic_ops
 (** vGIC accessors backed by the memory-mapped interface. *)

@@ -39,6 +39,7 @@ type t = {
   mutable on_vel2_entry : (Vcpu.nested_exit -> unit) option;
   mutable in_l1 : bool;
   mutable exits : int;
+  mutable undef_injected : int;  (* UNDEFs delivered into the guest *)
   mutable send_ipi : (target:int -> intid:int -> unit) option;
   mutable pending_irq : int option;  (* payload for the next EC_irq *)
   (* shadow stage-2 translation (Section 4, memory virtualization):
@@ -163,6 +164,35 @@ let l0_exit t =
 (* Bookkeeping view of the stashed guest EL1 state (cost already paid by
    l0_enter's stores). *)
 let stash_read t r = Memory.read64 t.cpu.Cpu.mem (stash_slot t r)
+
+(* Inject an UNDEF into the interrupted guest context — what KVM's
+   kvm_inject_undefined does when a trapped access makes no architectural
+   sense.  The guest's EL1 exception bank is written in the *stash* (the
+   interrupted EL1 state lives there between l0_enter and l0_exit), so
+   l0_exit's restore materializes it; the eret then lands on the guest's
+   EL1 vector with SPSR/ELR describing the faulting context. *)
+let inject_undef t =
+  let c = table t in
+  t.undef_injected <- t.undef_injected + 1;
+  Cost.charge t.cpu.Cpu.meter c.Cost.l0_inject_vel2;
+  (* the trap advanced PC past the faulting instruction; UNDEF reports
+     the instruction itself *)
+  let faulting_pc = Int64.sub (Cpu.peek_sysreg t.cpu Sysreg.ELR_EL2) 4L in
+  let mem = t.cpu.Cpu.mem in
+  Memory.write64 mem (stash_slot t Sysreg.ESR_EL1)
+    (Exn.esr ~ec:Exn.EC_unknown ~iss:0);
+  Memory.write64 mem (stash_slot t Sysreg.ELR_EL1) faulting_pc;
+  Memory.write64 mem (stash_slot t Sysreg.SPSR_EL1)
+    (Cpu.peek_sysreg t.cpu Sysreg.SPSR_EL2);
+  let vbar = stash_read t Sysreg.VBAR_EL1 in
+  Log.debug (fun m ->
+      m "vcpu%d: injecting UNDEF, faulting pc=0x%Lx" t.vcpu.Vcpu.id
+        faulting_pc);
+  l0_exit t;
+  Cpu.poke_sysreg t.cpu Sysreg.ELR_EL2 vbar;
+  Cpu.poke_sysreg t.cpu Sysreg.SPSR_EL2
+    (Arm.Pstate.to_spsr (Arm.Pstate.at Arm.Pstate.EL1));
+  Cpu.do_eret t.cpu
 
 (* --- virtual EL2 <-> hardware transitions --- *)
 
@@ -406,19 +436,7 @@ let emulate_sysreg t ~(access : Sysreg.access) ~rt ~is_read =
 
 let handle_hvc t operand =
   let c = table t in
-  if operand >= 64 then begin
-    (* paravirtualized hypervisor instruction (Section 4) *)
-    match Paravirt.decode_op operand with
-    | Paravirt.Op_sysreg { access; rt; is_read } ->
-      let switched = emulate_sysreg t ~access ~rt ~is_read in
-      if not switched then begin
-        l0_exit t;
-        Cpu.do_eret t.cpu
-      end
-    | Paravirt.Op_eret -> emulate_eret t
-    | Paravirt.Op_hypercall _ -> assert false
-  end
-  else
+  let plain_hypercall () =
     match (t.scenario, t.vcpu.Vcpu.in_vel2) with
     | Single_vm, _ ->
       Cost.charge t.cpu.Cpu.meter c.Cost.l0_hvc_handle;
@@ -430,6 +448,28 @@ let handle_hvc t operand =
       Cost.charge t.cpu.Cpu.meter c.Cost.l0_hvc_handle;
       l0_exit t;
       Cpu.do_eret t.cpu
+  in
+  (* Only paravirtualized configurations speak the operand protocol; on a
+     hardware mechanism every hvc is a real hypercall no matter what the
+     guest put in the immediate. *)
+  if Config.is_paravirt t.config && operand >= 64 then begin
+    (* paravirtualized hypervisor instruction (Section 4) *)
+    match Paravirt.decode_op operand with
+    | Paravirt.Op_sysreg { access; rt; is_read } ->
+      let switched = emulate_sysreg t ~access ~rt ~is_read in
+      if not switched then begin
+        l0_exit t;
+        Cpu.do_eret t.cpu
+      end
+    | Paravirt.Op_eret -> emulate_eret t
+    | Paravirt.Op_invalid _ ->
+      (* guest-built operand outside the registry: the wrappers never
+         emit this, so treat it as the UNDEF the target hardware would
+         deliver for the unrecognized instruction *)
+      inject_undef t
+    | Paravirt.Op_hypercall _ -> plain_hypercall ()
+  end
+  else plain_hypercall ()
 
 let handle_irq t =
   let c = table t in
@@ -531,24 +571,31 @@ let handler t _cpu (e : Exn.entry) =
       m "vcpu%d: exit #%d, %a" t.vcpu.Vcpu.id t.exits Exn.pp_entry e);
   l0_enter t;
   match e.Exn.ec with
-  | Exn.EC_sysreg ->
+  | Exn.EC_sysreg -> begin
     let d = Exn.decode_sysreg_iss e.Exn.iss in
     let access =
       match Sysreg.of_enc d.Exn.ds_enc with
-      | Some reg -> Sysreg.direct reg
+      | Some reg -> Some (Sysreg.direct reg)
       | None -> begin
           (* op1=5 alias space *)
           let op0, _, crn, crm, op2 = d.Exn.ds_enc in
           match Sysreg.of_enc (op0, 0, crn, crm, op2) with
-          | Some reg -> Sysreg.el12 reg
+          | Some reg -> Some (Sysreg.el12 reg)
           | None -> begin
               match Sysreg.of_enc (op0, 3, crn, crm, op2) with
-              | Some reg -> Sysreg.el02 reg
-              | None ->
-                invalid_arg "Host_hyp: trapped access to unknown register"
+              | Some reg -> Some (Sysreg.el02 reg)
+              | None -> None
             end
         end
     in
+    match access with
+    | None ->
+      (* A trap syndrome naming no register the simulator knows.  The
+         encoding is guest-controlled (the guest executed the access),
+         so this is not a simulator bug: do what KVM does with an
+         unhandled sysreg trap and inject UNDEF into the guest. *)
+      inject_undef t
+    | Some access ->
     if t.l2_is_hyp && (not t.vcpu.Vcpu.in_vel2) && not t.in_l1 then
       (* the L2 hypervisor executed a hypervisor instruction: forward it
          to the L1 guest hypervisor for emulation (Section 4: "trap on
@@ -566,6 +613,7 @@ let handler t _cpu (e : Exn.entry) =
         Cpu.do_eret t.cpu
       end
     end
+  end
   | Exn.EC_hvc64 -> handle_hvc t (e.Exn.iss land 0xffff)
   | Exn.EC_eret ->
     if t.l2_is_hyp && (not t.vcpu.Vcpu.in_vel2) && not t.in_l1 then
@@ -598,6 +646,7 @@ let create ?(id = 0) cpu config scenario =
       on_vel2_entry = None;
       in_l1 = false;
       exits = 0;
+      undef_injected = 0;
       send_ipi = None;
       pending_irq = None;
       shadow = None;

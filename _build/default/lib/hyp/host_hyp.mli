@@ -34,6 +34,9 @@ type t = {
       (** inside the guest hypervisor's handling: vEL1 hvc/SGI activity
           is the L1 kernel's own, not a fresh nested exit *)
   mutable exits : int;
+  mutable undef_injected : int;
+      (** UNDEFs delivered into the guest for malformed trapped
+          accesses *)
   mutable send_ipi : (target:int -> intid:int -> unit) option;
   mutable pending_irq : int option;
   mutable shadow : (Mmu.Shadow.t * Mmu.Stage2.t * Mmu.Stage2.t) option;
@@ -68,6 +71,14 @@ val l0_exit : t -> unit
     trap controls. *)
 
 val stash_read : t -> Sysreg.t -> int64
+
+val inject_undef : t -> unit
+(** Deliver an UNDEF into the interrupted guest context (KVM's
+    kvm_inject_undefined): write the guest's EL1 exception bank in the
+    stash, unwind through {!l0_exit}, and eret onto the guest's EL1
+    vector.  Used for guest-triggerable nonsense — unknown trapped
+    encodings, out-of-registry hvc operands — instead of crashing the
+    simulation. *)
 
 val inject_vel2 : t -> Vcpu.nested_exit -> unit
 (** Switch the vCPU to "guest hypervisor running", deliver a virtual EL2

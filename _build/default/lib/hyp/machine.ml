@@ -18,15 +18,93 @@ type t = {
   ghyps : Guest_hyp.t option array;
   config : Config.t;
   scenario : Host_hyp.scenario;
+  (* fault injection and invariant checking (off by default) *)
+  fault : Fault.Plan.t option;
+  checking : bool;
+  inv_states : Fault.Invariants.state array;
+  mutable violations : Fault.Invariants.violation list;  (* newest first *)
+  mutable violation_count : int;
+  (* a pending Drop_irq/Duplicate_irq verdict per CPU, consumed at the
+     next interrupt delivery *)
+  irq_fault : Fault.Plan.kind option array;
 }
 
 let ncpus t = Array.length t.cpus
 
-let create ?(ncpus = 1) ?table config scenario =
+let total_traps t =
+  Array.fold_left (fun acc c -> acc + c.Cpu.meter.Cost.traps) 0 t.cpus
+
+(* Keep a bounded sample of violations but count them all. *)
+let stored_violations_cap = 64
+
+let note t vs =
+  List.iter
+    (fun v ->
+      t.violation_count <- t.violation_count + 1;
+      if t.violation_count <= stored_violations_cap then
+        t.violations <- v :: t.violations)
+    vs
+
+(* VNCR synchronization invariant: while the guest hypervisor runs under
+   NEVE, the deferred page's copy of each trap-on-write register must
+   match the virtual EL2 file — the trapped-write path updates both, and
+   a divergence means a drained value would resurrect stale state. *)
+let neve_sync_violations t i =
+  let host = t.hosts.(i) in
+  let cpu = t.cpus.(i) in
+  if
+    Config.is_neve t.config
+    && host.Host_hyp.vcpu.Vcpu.in_vel2
+    && not host.Host_hyp.l2_is_hyp
+  then begin
+    let pairs =
+      List.filter_map
+        (fun r ->
+          if Core.Deferred_page.has_slot r then
+            Some
+              ( Sysreg.name r,
+                Vcpu.read_vel2 host.Host_hyp.vcpu r,
+                Core.Deferred_page.read host.Host_hyp.page r )
+          else None)
+        Sysreg.table4_trap_on_write
+    in
+    let pairs =
+      match t.config.Config.mech with
+      | Config.Hw_neve ->
+        ( "VNCR_EL2",
+          Core.Deferred_page.vncr_value host.Host_hyp.page ~enable:true,
+          Cpu.peek_sysreg cpu Sysreg.VNCR_EL2 )
+        :: pairs
+      | _ -> pairs
+    in
+    Fault.Invariants.check_sync ~id:i ~name:"vncr-page-sync" cpu pairs
+  end
+  else []
+
+(* Deliver an interrupt to a CPU, honoring a pending drop/duplicate
+   verdict from the fault plan. *)
+let deliver_filtered t ~cpu ~intid =
+  let once () =
+    t.hosts.(cpu).Host_hyp.pending_irq <- Some intid;
+    ignore (Cpu.deliver_irq t.cpus.(cpu))
+  in
+  match t.irq_fault.(cpu) with
+  | Some Fault.Plan.Drop_irq -> t.irq_fault.(cpu) <- None
+  | Some Fault.Plan.Duplicate_irq ->
+    t.irq_fault.(cpu) <- None;
+    once ();
+    once ()
+  | _ -> once ()
+
+let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
+    scenario =
   let mem = Arm.Memory.create () in
   let cpus =
     Array.init ncpus (fun _ -> Cpu.create ~mem ?table ())
   in
+  (* machine guests have EL1 exception vectors: an injected or
+     architectural UNDEF lands there instead of tearing the process down *)
+  Array.iter (fun c -> c.Cpu.el1_vectors <- true) cpus;
   let hosts =
     Array.mapi (fun i cpu -> Host_hyp.create ~id:i cpu config scenario) cpus
   in
@@ -45,17 +123,67 @@ let create ?(ncpus = 1) ?table config scenario =
           Some g)
       hosts
   in
-  let t = { mem; cpus; hosts; ghyps; config; scenario } in
-  (* wire cross-CPU IPI delivery *)
+  let checking = check_invariants || fault_plan <> None in
+  let t =
+    {
+      mem;
+      cpus;
+      hosts;
+      ghyps;
+      config;
+      scenario;
+      fault = fault_plan;
+      checking;
+      inv_states = Array.init ncpus (fun _ -> Fault.Invariants.state ());
+      violations = [];
+      violation_count = 0;
+      irq_fault = Array.make ncpus None;
+    }
+  in
+  if checking then
+    (* run the invariant checker around every EL2 exception: entry checks
+       before the host handler, steady-state + monotonicity + VNCR sync
+       after it (nested traps re-enter this wrapper, which is exactly the
+       "after every exception entry/return" the checker wants) *)
+    Array.iteri
+      (fun i cpu ->
+        Cost.set_logging cpu.Cpu.meter true;
+        match cpu.Cpu.el2_handler with
+        | None -> ()
+        | Some inner ->
+          cpu.Cpu.el2_handler <-
+            Some
+              (fun c e ->
+                note t (Fault.Invariants.check_entry ~id:i c);
+                inner c e;
+                note t (Fault.Invariants.check_cpu ~id:i c);
+                note t
+                  (Fault.Invariants.check_monotone ~id:i t.inv_states.(i) c);
+                note t (neve_sync_violations t i)))
+      cpus;
+  (match fault_plan with
+   | Some plan ->
+     (* arm the stage-2 walker's injection point: a due S2_fault event
+        makes the next walk miss, exercising the shadow-refill and
+        fault-reflection paths *)
+     Mmu.Walk.inject :=
+       (fun ~ia ~is_write:_ ->
+         match
+           Fault.Plan.due ~kind:Fault.Plan.S2_fault plan
+             ~traps:(total_traps t)
+         with
+         | [] -> None
+         | _ :: _ ->
+           Some { Mmu.Walk.f_level = 1; f_ia = ia; f_reason = `Translation })
+   | None -> ());
+  (* wire cross-CPU IPI delivery (through the fault-injection filter) *)
   Array.iter
     (fun (host : Host_hyp.t) ->
       host.Host_hyp.send_ipi <-
         Some
           (fun ~target ~intid ->
-            if target >= 0 && target < ncpus then begin
-              t.hosts.(target).Host_hyp.pending_irq <- Some intid;
-              ignore (Cpu.deliver_irq t.cpus.(target))
-            end))
+            if target >= 0 && target < ncpus then
+              deliver_filtered t ~cpu:target ~intid))
     hosts;
   t
 
@@ -74,14 +202,67 @@ let boot t =
          | None -> ()))
     t.hosts
 
+(* --- fault servicing ---
+
+   Called at the top of every guest-side operation: pop the plan events
+   whose trap count has arrived and apply them.  Spurious traps and
+   stage-2 faults perturb this CPU immediately; sysreg corruption arms
+   the guest hypervisor's access funnel; interrupt faults arm a verdict
+   consumed at the next delivery. *)
+
+let apply_fault t ~cpu kind =
+  let c = t.cpus.(cpu) in
+  match (kind : Fault.Plan.kind) with
+  | Fault.Plan.Spurious_trap ->
+    if c.Cpu.pstate.Arm.Pstate.el <> Arm.Pstate.EL2 then
+      Cpu.exception_entry c
+        { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_unknown; iss = 0;
+          fault_addr = None }
+  | Fault.Plan.Corrupt_sysreg -> begin
+      match (t.fault, t.ghyps.(cpu)) with
+      | Some plan, Some g ->
+        (* the next value the guest hypervisor reads through its access
+           funnel comes back corrupted *)
+        g.Guest_hyp.ga.Gaccess.tamper <- Some (Fault.Plan.corrupt plan)
+      | Some plan, None ->
+        (* no guest hypervisor: corrupt a benign saved EL1 register *)
+        Cpu.poke_sysreg c Sysreg.TPIDR_EL1
+          (Fault.Plan.corrupt plan (Cpu.peek_sysreg c Sysreg.TPIDR_EL1))
+      | None, _ -> ()
+    end
+  | Fault.Plan.Drop_irq -> t.irq_fault.(cpu) <- Some Fault.Plan.Drop_irq
+  | Fault.Plan.Duplicate_irq ->
+    t.irq_fault.(cpu) <- Some Fault.Plan.Duplicate_irq
+  | Fault.Plan.S2_fault ->
+    let plan = Option.get t.fault in
+    let addr =
+      Int64.of_int (0x0dea_0000 + (Fault.Plan.pick plan 16 * 0x1000))
+    in
+    Cost.record_trap ~detail:"injected-s2-fault" c.Cpu.meter
+      Cost.Trap_mem_fault;
+    Cpu.exception_entry c
+      { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_dabt_lower;
+        iss = (if Fault.Plan.flip plan then 0x40 else 0);
+        fault_addr = Some addr }
+
+let service_faults t ~cpu =
+  match t.fault with
+  | None -> ()
+  | Some plan ->
+    List.iter (apply_fault t ~cpu)
+      (Fault.Plan.due plan ~traps:(total_traps t))
+
 (* --- guest-side operations (what the benchmarked VM/nested VM does) --- *)
 
-let hypercall t ~cpu = Cpu.exec t.cpus.(cpu) (Insn.Hvc 0)
+let hypercall t ~cpu =
+  service_faults t ~cpu;
+  Cpu.exec t.cpus.(cpu) (Insn.Hvc 0)
 
 (* An MMIO access to an emulated device: the address is not mapped at
    stage 2, so the access takes a data abort to EL2 (Section 4, memory
    virtualization). *)
 let mmio_access t ~cpu ~addr ~is_write =
+  service_faults t ~cpu;
   let c = t.cpus.(cpu) in
   Cost.record_trap ~detail:"mmio" c.Cpu.meter Cost.Trap_mmio;
   Cost.charge c.Cpu.meter (Cpu.table c).Cost.insn_base;
@@ -93,6 +274,7 @@ let mmio_access t ~cpu ~addr ~is_write =
    a shadow-table miss the host refills, or a fault reflected to the guest
    hypervisor. *)
 let data_abort t ~cpu ~addr ~is_write =
+  service_faults t ~cpu;
   let c = t.cpus.(cpu) in
   Cost.record_trap ~detail:"s2-fault" c.Cpu.meter Cost.Trap_mem_fault;
   Cost.charge c.Cpu.meter (Cpu.table c).Cost.insn_base;
@@ -113,6 +295,7 @@ let install_shadow t ~cpu ~guest_s2 ~host_s2 =
 (* Send an IPI: a write to ICC_SGI1R_EL1, which traps to the hypervisor on
    every configuration (IPIs are always emulated). *)
 let send_ipi t ~cpu ~target ~intid =
+  service_faults t ~cpu;
   let payload =
     Int64.logor (Int64.of_int target) (Int64.shift_left (Int64.of_int intid) 24)
   in
@@ -146,11 +329,12 @@ let vm_eoi t ~cpu ~vintid =
 
 (* Deliver an external (device) interrupt to a CPU, as the NIC would. *)
 let device_irq t ~cpu ~intid =
-  t.hosts.(cpu).Host_hyp.pending_irq <- Some intid;
-  ignore (Cpu.deliver_irq t.cpus.(cpu))
+  service_faults t ~cpu;
+  deliver_filtered t ~cpu ~intid
 
 (* Guest does some plain computation: n generic instructions. *)
 let compute t ~cpu ~insns =
+  service_faults t ~cpu;
   let c = t.cpus.(cpu) in
   Cost.charge c.Cpu.meter (insns * (Cpu.table c).Cost.insn_base);
   c.Cpu.meter.Cost.insns <- c.Cpu.meter.Cost.insns + insns
@@ -179,5 +363,31 @@ let delta_since t snaps =
 let total_cycles t =
   Array.fold_left (fun acc c -> acc + c.Cpu.meter.Cost.cycles) 0 t.cpus
 
-let total_traps t =
-  Array.fold_left (fun acc c -> acc + c.Cpu.meter.Cost.traps) 0 t.cpus
+(* --- fault-injection reporting and steady-state checks --- *)
+
+let violations t = List.rev t.violations
+let violation_count t = t.violation_count
+
+let undef_injections t =
+  Array.fold_left (fun acc h -> acc + h.Host_hyp.undef_injected) 0 t.hosts
+
+(* Sweep the whole machine between operations: per-CPU register-file
+   consistency, no leaked GPR snapshots outside a trap, and the NEVE
+   page in sync.  Returns (and does not record) the violations found. *)
+let check_invariants t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i c ->
+      acc := Fault.Invariants.check_cpu ~id:i c @ !acc;
+      if
+        c.Cpu.saved_regs <> []
+        && c.Cpu.pstate.Arm.Pstate.el <> Arm.Pstate.EL2
+      then
+        acc :=
+          Fault.Invariants.v ~id:i c "gpr-snapshot-leak"
+            (Printf.sprintf "%d snapshot(s) live outside a trap"
+               (List.length c.Cpu.saved_regs))
+          :: !acc;
+      acc := neve_sync_violations t i @ !acc)
+    t.cpus;
+  List.rev !acc

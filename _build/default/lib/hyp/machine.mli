@@ -13,16 +13,40 @@ type t = {
   ghyps : Guest_hyp.t option array;
   config : Config.t;
   scenario : Host_hyp.scenario;
+  fault : Fault.Plan.t option;
+  checking : bool;
+      (** invariant checks wrapped around every EL2 exception *)
+  inv_states : Fault.Invariants.state array;
+  mutable violations : Fault.Invariants.violation list;  (** newest first *)
+  mutable violation_count : int;
+  irq_fault : Fault.Plan.kind option array;
+      (** pending drop/duplicate verdict per CPU *)
 }
 
 val ncpus : t -> int
 
 val create :
-  ?ncpus:int -> ?table:Cost.table -> Config.t -> Host_hyp.scenario -> t
+  ?fault_plan:Fault.Plan.t ->
+  ?check_invariants:bool ->
+  ?ncpus:int ->
+  ?table:Cost.table ->
+  Config.t ->
+  Host_hyp.scenario ->
+  t
+(** [fault_plan] threads a deterministic fault injector through the
+    machine: events fire at their scheduled trap counts when guest-side
+    operations run, and the stage-2 walker's injection point is armed.
+    [check_invariants] (implied by [fault_plan]) runs
+    {!Fault.Invariants} around every EL2 exception and records
+    violations on the machine. *)
 
 val boot : t -> unit
 (** Bring the stack up; nested scenarios launch the nested VM end to end
     through the real trap machinery. *)
+
+val service_faults : t -> cpu:int -> unit
+(** Pop and apply every fault-plan event whose trap count has arrived.
+    Called automatically at the top of each guest-side operation. *)
 
 (** {1 Guest-side operations} *)
 
@@ -70,3 +94,19 @@ val delta_since : t -> Cost.snapshot list -> Cost.delta
 
 val total_cycles : t -> int
 val total_traps : t -> int
+
+(** {1 Fault-injection reporting} *)
+
+val violations : t -> Fault.Invariants.violation list
+(** Violations recorded by the per-exception checker, oldest first
+    (bounded sample; {!violation_count} counts them all). *)
+
+val violation_count : t -> int
+
+val undef_injections : t -> int
+(** UNDEFs the host injected into guests for malformed accesses. *)
+
+val check_invariants : t -> Fault.Invariants.violation list
+(** Steady-state sweep between operations: per-CPU register-file
+    consistency, no leaked GPR snapshots outside a trap, NEVE page in
+    sync.  Returns without recording. *)

@@ -42,7 +42,11 @@ let form_index : Sysreg.access -> int =
   fun a ->
     match Hashtbl.find_opt tbl a with
     | Some i -> i
-    | None -> invalid_arg ("Paravirt: unknown access form " ^ Sysreg.access_name a)
+    | None ->
+      (* Only the rewriter calls this, with forms it built itself — a
+         miss is a simulator bug, not guest input. *)
+      Fault.Error.sim_bug
+        (Fault.Error.Unknown_access_form (Sysreg.access_name a))
 
 let () = assert (Array.length forms < eret_index)
 
@@ -57,7 +61,12 @@ type op =
   | Op_hypercall of int           (* a real hypercall, operand < 64 *)
   | Op_sysreg of { access : Sysreg.access; rt : int; is_read : bool }
   | Op_eret
+  | Op_invalid of int             (* outside the registry: guest gets UNDEF *)
 
+(* Total: a guest can execute [hvc] with any operand it likes, so an
+   out-of-registry index is guest input, not an error — the host injects
+   UNDEF for [Op_invalid] exactly as ARMv8.3 hardware UNDEFs an
+   instruction the paravirt registry would never have produced. *)
 let decode_op operand =
   let idx = (operand lsr 6) land 0x3ff in
   if idx = 0 then Op_hypercall (operand land 0x3f)
@@ -69,7 +78,7 @@ let decode_op operand =
         rt = (operand lsr 1) land 0x1f;
         is_read = operand land 1 = 1;
       }
-  else invalid_arg (Printf.sprintf "Paravirt.decode_op: bad operand 0x%x" operand)
+  else Op_invalid operand
 
 (* What would the target architecture do with this instruction, executed at
    EL1 by the guest hypervisor?  [page_base] is the shared memory region
@@ -85,6 +94,11 @@ let target_route (config : Config.t) ~page_base insn =
 (* The value-carrying scratch register used when a write's operand is an
    immediate and must be materialized for the hvc protocol. *)
 let value_reg = 10
+
+(* The instruction is UNDEFINED on the target architecture: the rewriter
+   cannot produce a mimicking sequence and the caller must deliver the
+   UNDEF the target hardware would. *)
+exception Would_undef of Insn.t
 
 (* Rewrite one guest-hypervisor instruction into the ARMv8.0 instruction
    sequence that mimics the target architecture (Section 4's compile-time
@@ -126,10 +140,14 @@ let rewrite (config : Config.t) ~page_base (insn : Insn.t) : Insn.t list =
         [ Insn.Mov (value_reg, Insn.Imm v);
           Insn.Hvc (encode_sysreg_op ~access ~rt:value_reg ~is_read:false) ]
       | _, Insn.Wfi -> [ Insn.Hvc (encode_sysreg_op ~access:(Sysreg.direct Sysreg.CurrentEL) ~rt:0 ~is_read:true) ]
-      | _ -> invalid_arg ("Paravirt.rewrite: cannot rewrite " ^ Insn.to_string insn)
+      | _ ->
+        Fault.Error.sim_bug
+          (Fault.Error.Unsupported_rewrite (Insn.to_string insn))
     end
   | Trap_rules.Undef ->
-    invalid_arg ("Paravirt.rewrite: UNDEFINED on target: " ^ Insn.to_string insn)
+    (* UNDEFINED on the target architecture too: the caller injects the
+       UNDEF the target hardware would deliver. *)
+    raise (Would_undef insn)
 
 (* --- binary patching (Section 4: "fully automated approach, for example
    by binary patching a guest hypervisor image") ---

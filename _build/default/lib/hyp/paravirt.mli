@@ -29,6 +29,9 @@ val forms : Sysreg.access array
     plus the [_EL12]/[_EL02] aliases. *)
 
 val form_index : Sysreg.access -> int
+(** @raise Fault.Error.Sim_fault on a form outside the registry (only the
+    rewriter calls this, with forms it built — a miss is a simulator
+    bug). *)
 
 val encode_sysreg_op : access:Sysreg.access -> rt:int -> is_read:bool -> int
 val encode_eret_op : int
@@ -37,9 +40,13 @@ type op =
   | Op_hypercall of int  (** a real hypercall: operand < 64 *)
   | Op_sysreg of { access : Sysreg.access; rt : int; is_read : bool }
   | Op_eret
+  | Op_invalid of int
+      (** outside the registry: guest-controlled input, the host injects
+          UNDEF *)
 
 val decode_op : int -> op
-(** @raise Invalid_argument on an operand outside the registry. *)
+(** Total — a guest can pass any operand, so malformed ones decode to
+    {!Op_invalid} instead of raising. *)
 
 val target_route :
   Config.t -> page_base:int64 -> Insn.t -> Trap_rules.action
@@ -50,10 +57,16 @@ val value_reg : int
 (** Scratch register materializing immediate MSR operands for the hvc
     protocol. *)
 
+exception Would_undef of Insn.t
+(** The instruction is UNDEFINED on the target architecture: callers
+    deliver the UNDEF the target hardware would. *)
+
 val rewrite : Config.t -> page_base:int64 -> Insn.t -> Insn.t list
 (** The compile-time wrapper: one guest-hypervisor instruction to the
     ARMv8.0 sequence mimicking the target architecture.
-    @raise Invalid_argument for instructions UNDEFINED on the target. *)
+    @raise Would_undef for instructions UNDEFINED on the target.
+    @raise Fault.Error.Sim_fault for trapping shapes the rewriter cannot
+    encode. *)
 
 val page_base_reg : int
 (** x28, holding the shared-page base by convention, so binary patching

@@ -17,6 +17,13 @@ type ops = {
   st : int64 -> int64 -> unit;
 }
 
+(* Fault-injection wrapper: every value read through [rd]/[ld] passes
+   through [tamper] before the world-switch code sees it.  Writes are
+   untouched, so the corruption shows up as a save/restore mismatch the
+   invariant checker can catch. *)
+let tampered_ops o ~tamper =
+  { o with rd = (fun a -> tamper (o.rd a)); ld = (fun addr -> tamper (o.ld addr)) }
+
 let slot ctx r = Int64.add ctx (Int64.of_int (Reglists.ctx_slot r))
 
 (* Access form a hypervisor uses to reach its *own* EL2 register: a VHE

@@ -18,6 +18,11 @@ type ops = {
   st : int64 -> int64 -> unit;
 }
 
+val tampered_ops : ops -> tamper:(int64 -> int64) -> ops
+(** Fault-injection wrapper: every value read through [rd]/[ld] passes
+    through [tamper]; writes are untouched, so corruption surfaces as a
+    save/restore mismatch for the invariant checker. *)
+
 val slot : int64 -> Sysreg.t -> int64
 
 val own_el2_access : vhe:bool -> Sysreg.t -> Sysreg.access

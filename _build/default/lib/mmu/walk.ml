@@ -50,8 +50,19 @@ let block_offset ~level a =
   let sz = Int64.shift_left 1L (level_shift level) in
   Int64.logand a (Int64.sub sz 1L)
 
+(* Fault-injection hook: consulted before every walk; returning [Some f]
+   makes the walk fail with that fault without touching memory.  Global
+   (not per-walker) because walks happen from both CPU-driven stage-2
+   lookups and host shadow-table maintenance, and the injector wants to
+   perturb either. *)
+let inject : (ia:int64 -> is_write:bool -> fault option) ref =
+  ref (fun ~ia:_ ~is_write:_ -> None)
+
 (* Walk the table rooted at [base] for input address [ia]. *)
 let walk mem ~base ~ia ~is_write : (translation, fault) result =
+  match !inject ~ia ~is_write with
+  | Some f -> Error f
+  | None ->
   let rec go table level =
     let daddr = descriptor_addr ~table ~level ia in
     let d = Pte.decode ~level (Memory.read64 mem daddr) in

@@ -31,6 +31,11 @@ val page_offset : int64 -> int64
 val block_base : level:int -> int64 -> int64
 val block_offset : level:int -> int64 -> int64
 
+val inject : (ia:int64 -> is_write:bool -> fault option) ref
+(** Fault-injection hook consulted before every {!walk}; [Some f] fails
+    the walk with that fault without touching memory.  Defaults to a
+    function returning [None]. *)
+
 val walk :
   Memory.t -> base:int64 -> ia:int64 -> is_write:bool ->
   (translation, fault) result

@@ -1,0 +1,1 @@
+lib/workloads/chaos.ml: Fault Fmt Gic Hashtbl Hyp List Mmu Printexc Printf String

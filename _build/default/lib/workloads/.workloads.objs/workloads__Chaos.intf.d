@@ -1,0 +1,1 @@
+lib/workloads/chaos.mli: Fault Format Hyp

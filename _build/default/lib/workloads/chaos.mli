@@ -1,0 +1,41 @@
+(** Chaos harness: the paper scenarios run under randomized fault plans.
+
+    Each configuration of the trap-mechanism matrix gets a deterministic
+    fault plan derived from the run seed and its name; the acceptance
+    property is that every fault is either recovered architecturally
+    (injected UNDEF, reflected fault, re-delivered interrupt) or
+    reported as a typed invariant violation — never an anonymous OCaml
+    exception.  Same seed, same report, byte for byte. *)
+
+type config_report = {
+  cr_name : string;
+  cr_seed : int;
+  cr_ops : int;
+  cr_traps : int;
+  cr_injected : (Fault.Plan.kind * int) list;
+  cr_undefs : int;           (** UNDEFs injected into guests *)
+  cr_sim_faults : int;       (** typed [Sim_fault] aborts *)
+  cr_violations : int;
+  cr_violation_sample : string list;
+  cr_crashes : string list;  (** anonymous exceptions — must stay empty *)
+}
+
+type report = {
+  r_seed : int;
+  r_faults : int;
+  r_trap_budget : int;
+  r_configs : config_report list;
+}
+
+val crashes : report -> string list
+
+val scenarios : (string * Hyp.Config.t * Hyp.Host_hyp.scenario) list
+(** The matrix: plain VM, the four nested hardware configurations, the
+    paravirtualized twins, and a GICv2 machine. *)
+
+val run : ?seed:int -> ?faults:int -> ?traps:int -> unit -> report
+(** Run every scenario under a fault plan of [faults] events scheduled
+    within a budget of [traps] traps per configuration. *)
+
+val pp_config_report : Format.formatter -> config_report -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Arm Array Cost Fault Fmt Gic Hashtbl Hyp Int64 List Mmu Option Printexc Printf QCheck QCheck_alcotest String Workloads

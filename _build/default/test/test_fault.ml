@@ -1,0 +1,461 @@
+(* Tests for the fault layer: the seed-driven plan is deterministic, the
+   injection hooks in the distributor and the stage-2 walker do what they
+   claim, the invariant checker flags planted inconsistencies, and —
+   the acceptance property of the robustness work — every register the
+   world switch touches can be trapped under every scenario and either
+   completes or injects architecturally, never escaping as an anonymous
+   [Invalid_argument]/[Failure]. *)
+
+module Sysreg = Arm.Sysreg
+module Cpu = Arm.Cpu
+module Insn = Arm.Insn
+module Pstate = Arm.Pstate
+module Exn = Arm.Exn
+module Config = Hyp.Config
+module Machine = Hyp.Machine
+module WS = Hyp.World_switch
+module Plan = Fault.Plan
+module Invariants = Fault.Invariants
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- the plan is deterministic and one-shot --- *)
+
+let test_plan_deterministic () =
+  let mk () = Plan.make ~seed:123 ~faults:16 ~horizon:5000 in
+  let drain p =
+    let fired = ref [] in
+    for traps = 1 to 5000 do
+      List.iter (fun k -> fired := (traps, k) :: !fired) (Plan.due p ~traps)
+    done;
+    List.rev !fired
+  in
+  let a = drain (mk ()) and b = drain (mk ()) in
+  check Alcotest.bool "same seed, same fired sequence" true (a = b);
+  check Alcotest.int "all events fire within the horizon" 16 (List.length a);
+  let p = mk () in
+  let all = Plan.due p ~traps:5000 in
+  check Alcotest.int "one big poll pops everything" 16 (List.length all);
+  check Alcotest.int "events fire exactly once" 0
+    (List.length (Plan.due p ~traps:5000))
+
+let test_plan_kind_filter () =
+  let p = Plan.make ~seed:7 ~faults:32 ~horizon:100 in
+  let s2 = Plan.due ~kind:Plan.S2_fault p ~traps:100 in
+  check Alcotest.bool "kind filter returns only that kind" true
+    (List.for_all (fun k -> k = Plan.S2_fault) s2);
+  let rest = Plan.due p ~traps:100 in
+  check Alcotest.bool "filtered events were consumed" true
+    (List.for_all (fun k -> k <> Plan.S2_fault) rest);
+  check Alcotest.int "nothing is lost between the two polls" 32
+    (List.length s2 + List.length rest)
+
+let test_corrupt_changes_value () =
+  let p = Plan.make ~seed:99 ~faults:1 ~horizon:10 in
+  let v = 0xdead_beefL in
+  check Alcotest.bool "corruption never returns the input" true
+    (Plan.corrupt p v <> v)
+
+(* --- the stage-2 walker's injection hook --- *)
+
+let test_walk_inject () =
+  let mem = Arm.Memory.create () in
+  let planted =
+    { Mmu.Walk.f_level = 2; f_ia = 0x2000L; f_reason = `Permission }
+  in
+  Mmu.Walk.inject :=
+    (fun ~ia ~is_write:_ -> if ia = 0x2000L then Some planted else None);
+  let r = Mmu.Walk.walk mem ~base:0x1000L ~ia:0x2000L ~is_write:false in
+  Mmu.Walk.inject := (fun ~ia:_ ~is_write:_ -> None);
+  check Alcotest.bool "armed hook fails the walk with the planted fault"
+    true (r = Error planted);
+  (* a natural walk of the same address misses at level 1, not level 2:
+     the hook, not the tables, produced the fault above *)
+  (match Mmu.Walk.walk mem ~base:0x1000L ~ia:0x2000L ~is_write:false with
+   | Error f ->
+     check Alcotest.int "natural fault is a level-1 miss" 1 f.Mmu.Walk.f_level
+   | Ok _ -> Alcotest.fail "walk of empty tables succeeded")
+
+(* --- the distributor's injection hook --- *)
+
+let test_dist_drop () =
+  let d = Gic.Dist.create ~ncpus:1 in
+  Gic.Dist.enable d ~cpu:0 ~intid:40;
+  d.Gic.Dist.inject <- Some (fun ~cpu:_ ~intid:_ -> Gic.Dist.Drop);
+  Gic.Dist.raise_irq d ~cpu:0 ~intid:40;
+  check Alcotest.bool "dropped interrupt never becomes pending" true
+    (Gic.Dist.best_pending d ~cpu:0 = None);
+  d.Gic.Dist.inject <- None;
+  Gic.Dist.raise_irq d ~cpu:0 ~intid:40;
+  check Alcotest.bool "hook removed, delivery resumes" true
+    (Gic.Dist.best_pending d ~cpu:0 = Some 40)
+
+let test_dist_duplicate () =
+  let d = Gic.Dist.create ~ncpus:1 in
+  Gic.Dist.enable d ~cpu:0 ~intid:41;
+  d.Gic.Dist.inject <- Some (fun ~cpu:_ ~intid:_ -> Gic.Dist.Duplicate);
+  (* a duplicate on an inactive interrupt collapses into one pending copy,
+     exactly as level-triggered hardware would *)
+  Gic.Dist.raise_irq d ~cpu:0 ~intid:41;
+  check Alcotest.bool "one copy pends" true
+    (Gic.Dist.acknowledge d ~cpu:0 = Some 41);
+  Gic.Dist.eoi d ~cpu:0 ~intid:41;
+  check Alcotest.bool "no phantom third copy" true
+    (Gic.Dist.acknowledge d ~cpu:0 = None);
+  (* raised while the first instance is active, the duplicate survives as
+     a pending copy across the EOI *)
+  d.Gic.Dist.inject <- None;
+  Gic.Dist.raise_irq d ~cpu:0 ~intid:41;
+  ignore (Gic.Dist.acknowledge d ~cpu:0);
+  d.Gic.Dist.inject <- Some (fun ~cpu:_ ~intid:_ -> Gic.Dist.Duplicate);
+  Gic.Dist.raise_irq d ~cpu:0 ~intid:41;
+  Gic.Dist.eoi d ~cpu:0 ~intid:41;
+  check Alcotest.bool "duplicate re-pends across the EOI" true
+    (Gic.Dist.acknowledge d ~cpu:0 = Some 41)
+
+(* the machine-level verdicts duplicate real deliveries, not just
+   distributor state *)
+let test_machine_irq_verdicts () =
+  let m =
+    Machine.create ~ncpus:1 (Config.v Config.Hw_v8_3) Hyp.Host_hyp.Single_vm
+  in
+  Machine.boot m;
+  let drain () =
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Machine.vm_ack m ~cpu:0 with
+      | Some v ->
+        incr n;
+        ignore (Machine.vm_eoi m ~cpu:0 ~vintid:v)
+      | None -> continue := false
+    done;
+    !n
+  in
+  m.Machine.irq_fault.(0) <- Some Plan.Drop_irq;
+  Machine.device_irq m ~cpu:0 ~intid:Gic.Irq.virtio_net_spi;
+  check Alcotest.int "dropped interrupt never reaches the VM" 0 (drain ());
+  Machine.device_irq m ~cpu:0 ~intid:Gic.Irq.virtio_net_spi;
+  check Alcotest.int "verdict was one-shot: next delivery lands" 1 (drain ())
+
+(* --- the invariant checker flags planted inconsistencies --- *)
+
+let test_invariants_clean_machine () =
+  List.iter
+    (fun mech ->
+      let m = Machine.create ~ncpus:2 (Config.v mech) Hyp.Host_hyp.Nested in
+      Machine.boot m;
+      check Alcotest.int
+        (Config.name (Config.v mech) ^ ": clean machine, no violations")
+        0
+        (List.length (Machine.check_invariants m)))
+    [ Config.Hw_v8_3; Config.Hw_neve; Config.Pv_neve ]
+
+let test_invariants_illegal_spsr () =
+  let m = Machine.create (Config.v Config.Hw_v8_3) Hyp.Host_hyp.Nested in
+  Machine.boot m;
+  (* M[3:0] = 2 is not a legal AArch64 mode *)
+  Cpu.poke_sysreg m.Machine.cpus.(0) Sysreg.SPSR_EL2 2L;
+  let vs = Machine.check_invariants m in
+  check Alcotest.bool "illegal SPSR mode flagged" true
+    (List.exists (fun v -> v.Invariants.v_name = "spsr-mode-legal") vs)
+
+let test_invariants_misaligned_elr () =
+  let m = Machine.create (Config.v Config.Hw_v8_3) Hyp.Host_hyp.Nested in
+  Machine.boot m;
+  Cpu.poke_sysreg m.Machine.cpus.(0) Sysreg.ELR_EL1 0x1001L;
+  let vs = Machine.check_invariants m in
+  check Alcotest.bool "misaligned ELR flagged" true
+    (List.exists (fun v -> v.Invariants.v_name = "elr-aligned") vs)
+
+let test_invariants_monotone () =
+  let cpu = Cpu.create () in
+  let st = Invariants.state () in
+  cpu.Cpu.meter.Cost.cycles <- 1000;
+  check Alcotest.int "advancing counters pass" 0
+    (List.length (Invariants.check_monotone st cpu));
+  cpu.Cpu.meter.Cost.cycles <- 500;
+  let vs = Invariants.check_monotone st cpu in
+  check Alcotest.bool "regressing cycle counter flagged" true
+    (List.exists (fun v -> v.Invariants.v_name = "counters-monotone") vs)
+
+let test_check_sync () =
+  let cpu = Cpu.create () in
+  let vs =
+    Invariants.check_sync ~name:"vncr-page-sync" cpu
+      [ ("HCR_EL2", 5L, 5L); ("VTTBR_EL2", 1L, 2L) ]
+  in
+  check Alcotest.int "one violation per mismatching pair" 1 (List.length vs);
+  let v = List.hd vs in
+  check Alcotest.string "named after the sweep" "vncr-page-sync"
+    v.Invariants.v_name;
+  check Alcotest.bool "detail names the register" true
+    (String.length v.Invariants.v_detail > 0
+    && String.sub v.Invariants.v_detail 0 9 = "VTTBR_EL2")
+
+(* --- a trap syndrome naming no known register injects UNDEF --- *)
+
+let test_unknown_sysreg_trap_injects_undef () =
+  let enc = (3, 7, 15, 15, 7) in
+  (* self-check: the encoding is unknown under all three lookup forms the
+     host tries (direct, _EL12 alias, _EL02 alias) *)
+  check Alcotest.bool "encoding unknown to the simulator" true
+    (Sysreg.of_enc enc = None
+    && Sysreg.of_enc (3, 0, 15, 15, 7) = None
+    && Sysreg.of_enc (3, 3, 15, 15, 7) = None);
+  let iss =
+    (* direction=read, Rt=0, then CRm/CRn/Op1/Op2/Op0 per the ARM ARM *)
+    1 lor (15 lsl 1) lor (15 lsl 10) lor (7 lsl 14) lor (7 lsl 17)
+    lor (3 lsl 20)
+  in
+  let m = Machine.create (Config.v Config.Hw_v8_3) Hyp.Host_hyp.Nested in
+  Machine.boot m;
+  let cpu = m.Machine.cpus.(0) in
+  check Alcotest.int "no UNDEFs yet" 0 (Machine.undef_injections m);
+  Cpu.exception_entry cpu
+    { Exn.target = Pstate.EL2; ec = Exn.EC_sysreg; iss; fault_addr = None };
+  check Alcotest.int "exactly one UNDEF injected" 1
+    (Machine.undef_injections m);
+  check Alcotest.bool "guest resumed at EL1" true
+    (cpu.Cpu.pstate.Pstate.el = Pstate.EL1);
+  check Alcotest.bool "no leaked GPR snapshot" true (cpu.Cpu.saved_regs = []);
+  check Alcotest.int "no invariant violations on the way" 0
+    (Machine.violation_count m)
+
+(* --- a GICH access with no frame mapping --- *)
+
+let test_gich_unmapped () =
+  let m =
+    Machine.create (Config.v ~gicv2:true Config.Hw_v8_3) Hyp.Host_hyp.Nested
+  in
+  Machine.boot m;
+  let ga =
+    match m.Machine.ghyps.(0) with
+    | Some g -> g.Hyp.Guest_hyp.ga
+    | None -> Alcotest.fail "nested machine has no guest hypervisor"
+  in
+  (* only ICH_AP1R<0> has a GICv2 frame register; <1> is unmapped *)
+  check Alcotest.bool "ICH_AP1R<1> has no GICH mapping" true
+    (Gic.Gicv2.of_ich (Sysreg.ICH_AP1R_EL2 1) = None);
+  (* deprivileged: guest input, UNDEF injected at EL1, no exception *)
+  Hyp.Gaccess.gich_access ga (Sysreg.ICH_AP1R_EL2 1) ~is_write:false;
+  check Alcotest.bool "still at EL1 after the injected UNDEF" true
+    (ga.Hyp.Gaccess.cpu.Cpu.pstate.Pstate.el = Pstate.EL1);
+  (* at EL2 the same access is the host's own bug: a typed Sim_fault *)
+  let cpu = ga.Hyp.Gaccess.cpu in
+  let saved = cpu.Cpu.pstate in
+  cpu.Cpu.pstate <- Pstate.at Pstate.EL2;
+  (try
+     Hyp.Gaccess.gich_access ga (Sysreg.ICH_AP1R_EL2 1) ~is_write:true;
+     cpu.Cpu.pstate <- saved;
+     Alcotest.fail "EL2 access to an unmapped GICH register must abort"
+   with Fault.Error.Sim_fault (Fault.Error.Not_gich_register _, _) ->
+     cpu.Cpu.pstate <- saved)
+
+(* --- tampered world-switch ops are visible, and check_sync sees them --- *)
+
+let test_tampered_ops () =
+  let regs : (Sysreg.access, int64) Hashtbl.t = Hashtbl.create 64 in
+  let mem : (int64, int64) Hashtbl.t = Hashtbl.create 64 in
+  let base =
+    {
+      WS.rd = (fun a -> Option.value ~default:7L (Hashtbl.find_opt regs a));
+      wr = (fun a v -> Hashtbl.replace regs a v);
+      ld = (fun addr -> Option.value ~default:0L (Hashtbl.find_opt mem addr));
+      st = (fun addr v -> Hashtbl.replace mem addr v);
+    }
+  in
+  let mask = 0xf0f0L in
+  let tampered = WS.tampered_ops base ~tamper:(Int64.logxor mask) in
+  WS.save_vm_el1 tampered ~vhe:false ~ctx:0x1000L;
+  (* every register read 7, the tamper xored it, the store landed xored *)
+  let cpu = Cpu.create () in
+  let pairs =
+    List.map
+      (fun r ->
+        ( Sysreg.name r,
+          7L,
+          base.WS.ld (Int64.add 0x1000L (Int64.of_int (Hyp.Reglists.ctx_slot r)))
+        ))
+      Hyp.Reglists.el1_state
+  in
+  let vs = Invariants.check_sync ~name:"ctx-sync" cpu pairs in
+  check Alcotest.int "every tampered slot detected"
+    (List.length Hyp.Reglists.el1_state)
+    (List.length vs);
+  List.iter
+    (fun (_, _, actual) ->
+      check Alcotest.bool "stored value is the xored read" true
+        (actual = Int64.logxor 7L mask))
+    pairs
+
+(* --- the acceptance sweep: every world-switch register, every scenario,
+   trapped, with no anonymous escape --- *)
+
+let nested_matrix =
+  List.concat_map
+    (fun mech ->
+      List.map (fun vhe -> Config.v ~guest_vhe:vhe mech) [ false; true ])
+    [ Config.Hw_v8_3; Config.Hw_neve; Config.Pv_v8_3; Config.Pv_neve ]
+
+let test_reglists_sweep_nested () =
+  List.iter
+    (fun config ->
+      let m = Machine.create config Hyp.Host_hyp.Nested in
+      Machine.boot m;
+      let ga =
+        match m.Machine.ghyps.(0) with
+        | Some g -> g.Hyp.Guest_hyp.ga
+        | None -> Alcotest.fail "nested machine has no guest hypervisor"
+      in
+      Array.iter
+        (fun access ->
+          let label =
+            Printf.sprintf "%s: %s" (Config.name config)
+              (Sysreg.access_name access)
+          in
+          try
+            let v = Hyp.Gaccess.rd ga access in
+            Hyp.Gaccess.wr ga access v
+          with e ->
+            Alcotest.failf "%s escaped with %s" label (Printexc.to_string e))
+        Hyp.Paravirt.forms;
+      check Alcotest.bool
+        (Config.name config ^ ": back at EL1 after the sweep") true
+        (m.Machine.cpus.(0).Cpu.pstate.Pstate.el = Pstate.EL1))
+    nested_matrix
+
+let test_reglists_sweep_single_vm () =
+  List.iter
+    (fun mech ->
+      let config = Config.v mech in
+      let m = Machine.create config Hyp.Host_hyp.Single_vm in
+      Machine.boot m;
+      let cpu = m.Machine.cpus.(0) in
+      Array.iter
+        (fun access ->
+          let label =
+            Printf.sprintf "vm %s: %s" (Config.name config)
+              (Sysreg.access_name access)
+          in
+          try
+            Cpu.exec cpu (Insn.Mrs (10, access));
+            Cpu.exec cpu (Insn.Msr (access, Insn.Reg 10))
+          with e ->
+            Alcotest.failf "%s escaped with %s" label (Printexc.to_string e))
+        Hyp.Paravirt.forms)
+    [ Config.Hw_v8_3; Config.Hw_neve ]
+
+(* --- hvc operands are guest input: any 16-bit value is safe --- *)
+
+let test_decode_op_total =
+  QCheck.Test.make ~count:5000 ~name:"paravirt: decode_op total over 16 bits"
+    QCheck.(int_bound 0xffff)
+    (fun op ->
+      match Hyp.Paravirt.decode_op op with
+      | Hyp.Paravirt.Op_hypercall n -> op < 64 && n = op
+      | Hyp.Paravirt.Op_sysreg _ | Hyp.Paravirt.Op_eret
+      | Hyp.Paravirt.Op_invalid _ ->
+        op >= 64)
+
+let test_encode_decode_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* access = oneofl (Array.to_list Hyp.Paravirt.forms) in
+      let* rt = int_bound 30 in
+      let* is_read = bool in
+      return (access, rt, is_read))
+  in
+  QCheck.Test.make ~count:2000
+    ~name:"paravirt: encode/decode sysreg operands round-trip"
+    (QCheck.make
+       ~print:(fun (a, rt, r) ->
+         Printf.sprintf "%s rt=%d read=%b" (Sysreg.access_name a) rt r)
+       gen)
+    (fun (access, rt, is_read) ->
+      match
+        Hyp.Paravirt.decode_op
+          (Hyp.Paravirt.encode_sysreg_op ~access ~rt ~is_read)
+      with
+      | Hyp.Paravirt.Op_sysreg { access = a; rt = r; is_read = ir } ->
+        a = access && r = rt && ir = is_read
+      | _ -> false)
+
+let hvc_fuzz_config mech name =
+  QCheck.Test.make ~count:25
+    ~name:(Printf.sprintf "hvc fuzz: any operand is safe (%s)" name)
+    QCheck.(int_bound 0xffff)
+    (fun op ->
+      let m = Machine.create (Config.v mech) Hyp.Host_hyp.Nested in
+      Machine.boot m;
+      let ga =
+        match m.Machine.ghyps.(0) with
+        | Some g -> g.Hyp.Guest_hyp.ga
+        | None -> QCheck.Test.fail_report "no guest hypervisor"
+      in
+      (try Hyp.Gaccess.hvc ga op
+       with Fault.Error.Sim_fault _ ->
+         QCheck.Test.fail_reportf "hvc #%d aborted as a simulator bug" op);
+      true)
+
+let test_hvc_fuzz_pv = hvc_fuzz_config Config.Pv_neve "NEVE paravirt"
+let test_hvc_fuzz_hw = hvc_fuzz_config Config.Hw_v8_3 "ARMv8.3 hw"
+
+(* --- chaos: same seed, same report, and no anonymous crashes --- *)
+
+let test_chaos_reproducible () =
+  let render () =
+    Fmt.str "%a" Workloads.Chaos.pp_report
+      (Workloads.Chaos.run ~seed:7 ~faults:8 ~traps:1500 ())
+  in
+  let a = render () and b = render () in
+  check Alcotest.string "two runs render byte-identically" a b;
+  check Alcotest.bool "the sweep never crashed anonymously" true
+    (Workloads.Chaos.crashes
+       (Workloads.Chaos.run ~seed:7 ~faults:8 ~traps:1500 ())
+    = [])
+
+let suite =
+  [
+    Alcotest.test_case "plan: deterministic one-shot schedule" `Quick
+      test_plan_deterministic;
+    Alcotest.test_case "plan: kind-filtered polling" `Quick
+      test_plan_kind_filter;
+    Alcotest.test_case "plan: corrupt always changes the value" `Quick
+      test_corrupt_changes_value;
+    Alcotest.test_case "walk: injection hook fails the walk" `Quick
+      test_walk_inject;
+    Alcotest.test_case "dist: injected drop loses the interrupt" `Quick
+      test_dist_drop;
+    Alcotest.test_case "dist: injected duplicate semantics" `Quick
+      test_dist_duplicate;
+    Alcotest.test_case "machine: drop verdict is one-shot" `Quick
+      test_machine_irq_verdicts;
+    Alcotest.test_case "invariants: clean machines have none" `Quick
+      test_invariants_clean_machine;
+    Alcotest.test_case "invariants: illegal SPSR mode flagged" `Quick
+      test_invariants_illegal_spsr;
+    Alcotest.test_case "invariants: misaligned ELR flagged" `Quick
+      test_invariants_misaligned_elr;
+    Alcotest.test_case "invariants: counter regression flagged" `Quick
+      test_invariants_monotone;
+    Alcotest.test_case "invariants: sync sweep reports mismatches" `Quick
+      test_check_sync;
+    Alcotest.test_case "host: unknown sysreg syndrome injects UNDEF" `Quick
+      test_unknown_sysreg_trap_injects_undef;
+    Alcotest.test_case "gaccess: unmapped GICH register" `Quick
+      test_gich_unmapped;
+    Alcotest.test_case "world-switch: tampered ops detected by sync check"
+      `Quick test_tampered_ops;
+    Alcotest.test_case "sweep: all forms trapped on all nested configs"
+      `Quick test_reglists_sweep_nested;
+    Alcotest.test_case "sweep: all forms executed in a plain VM" `Quick
+      test_reglists_sweep_single_vm;
+    qtest test_decode_op_total;
+    qtest test_encode_decode_roundtrip;
+    qtest test_hvc_fuzz_pv;
+    qtest test_hvc_fuzz_hw;
+    Alcotest.test_case "chaos: reproducible, no anonymous crashes" `Slow
+      test_chaos_reproducible;
+  ]

@@ -14,5 +14,6 @@ let () =
       ("x86", Test_x86.suite);
       ("riscv", Test_riscv.suite);
       ("workloads", Test_workloads.suite);
+      ("fault", Test_fault.suite);
       ("properties", Test_properties.suite);
     ]

@@ -152,7 +152,7 @@ let test_rewrite_runs_on_v80 =
         else Insn.Msr (access, Insn.Reg rt)
       in
       match Hyp.Paravirt.rewrite config ~page_base:page insn with
-      | exception Invalid_argument _ ->
+      | exception Hyp.Paravirt.Would_undef _ ->
         (* legitimate only when the target architecture itself rejects the
            instruction (e.g. a write to the read-only CurrentEL) *)
         Hyp.Paravirt.target_route config ~page_base:page insn = TR.Undef
@@ -204,9 +204,9 @@ let test_insn_level_equivalence =
           match traps_of_one_insn ~mech:pv_mech ~vhe insn with
           | _ -> false
           | exception Cpu.Undefined_instruction _ -> true
-          | exception Invalid_argument _ -> true
+          | exception Hyp.Paravirt.Would_undef _ -> true
         end
-      | exception Invalid_argument _ -> begin
+      | exception Hyp.Paravirt.Would_undef _ -> begin
           match traps_of_one_insn ~mech:hw_mech ~vhe insn with
           | _ -> false
           | exception Cpu.Undefined_instruction _ -> true

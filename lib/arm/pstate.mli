@@ -34,4 +34,9 @@ val of_spsr : int64 -> t
 (** Inverse of {!to_spsr}.
     @raise Invalid_argument on illegal mode bits. *)
 
+val of_spsr_opt : int64 -> t option
+(** [None] on illegal mode bits — for callers modelling what hardware
+    does with a corrupt SPSR (illegal exception return) instead of
+    aborting the simulation. *)
+
 val pp : Format.formatter -> t -> unit
