@@ -187,6 +187,130 @@ let benchmarks () =
         rows)
     merged
 
+(* --- bench trajectory (--json): machine-readable throughput snapshot ---
+
+   One row per simulated configuration: simulated-cycle throughput, trap
+   rates, and the wall-clock rate at which this build of the simulator
+   retires simulated instructions.  Written to BENCH_PR2.json so runs of
+   successive trees can be diffed mechanically. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type config_sample = {
+  cs_name : string;
+  cs_workload : string;
+  cs_ops : int;
+  cs_wall : float;
+  cs_cycles : int;
+  cs_insns : int;
+  cs_traps : int;
+}
+
+let sum_deltas ds =
+  List.fold_left
+    (fun (c, i, t) (d : Cost.delta) ->
+      (c + d.Cost.d_cycles, i + d.Cost.d_insns, t + d.Cost.d_traps))
+    (0, 0, 0) ds
+
+let sample_arm ~iters (name, col) =
+  let m = Workloads.Scenario.make_arm col in
+  let meters =
+    Array.to_list
+      (Array.map (fun (c : Arm.Cpu.t) -> c.Arm.Cpu.meter) m.Hyp.Machine.cpus)
+  in
+  let benches = Workloads.Micro.all in
+  (* warm-up round: first-touch page tables, vGIC state *)
+  List.iter (fun b -> Workloads.Micro.arm_op m b ()) benches;
+  let snaps = List.map Cost.snapshot meters in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    List.iter (fun b -> Workloads.Micro.arm_op m b ()) benches
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let deltas = List.map2 Cost.delta_since meters snaps in
+  let cycles, insns, traps = sum_deltas deltas in
+  { cs_name = name; cs_workload = "micro4";
+    cs_ops = iters * List.length benches; cs_wall = wall;
+    cs_cycles = cycles; cs_insns = insns; cs_traps = traps }
+
+let sample_x86 ~iters (name, col) =
+  let t = Workloads.Scenario.make_x86 col in
+  let meter = t.X86.Turtles.vtx.X86.Vtx.meter in
+  X86.Turtles.hypercall t;
+  let snap = Cost.snapshot meter in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    X86.Turtles.hypercall t
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let d = Cost.delta_since meter snap in
+  { cs_name = name; cs_workload = "hypercall"; cs_ops = iters;
+    cs_wall = wall; cs_cycles = d.Cost.d_cycles; cs_insns = d.Cost.d_insns;
+    cs_traps = d.Cost.d_traps }
+
+let buf_sample b s =
+  let fop v = float_of_int v /. float_of_int s.cs_ops in
+  let per_sec v =
+    if s.cs_wall > 0. then float_of_int v /. s.cs_wall else 0.
+  in
+  Printf.bprintf b
+    "    {\"config\": \"%s\", \"workload\": \"%s\", \"ops\": %d,\n\
+    \     \"wall_seconds\": %.6f,\n\
+    \     \"sim_cycles\": %d, \"sim_insns\": %d, \"traps\": %d,\n\
+    \     \"sim_cycles_per_op\": %.1f, \"traps_per_op\": %.3f,\n\
+    \     \"wall_ops_per_sec\": %.1f, \"wall_sim_insns_per_sec\": %.1f}"
+    (json_escape s.cs_name) s.cs_workload s.cs_ops s.cs_wall s.cs_cycles
+    s.cs_insns s.cs_traps (fop s.cs_cycles) (fop s.cs_traps)
+    (per_sec s.cs_ops) (per_sec s.cs_insns)
+
+let run_json () =
+  let iters = 200 in
+  let arm_cols =
+    Workloads.Micro.arm_columns_table1 @ Workloads.Micro.arm_columns_neve
+  in
+  let samples =
+    List.map (sample_arm ~iters) arm_cols
+    @ List.map (sample_x86 ~iters) Workloads.Micro.x86_columns
+  in
+  let total_wall = List.fold_left (fun a s -> a +. s.cs_wall) 0. samples in
+  let total_insns = List.fold_left (fun a s -> a + s.cs_insns) 0 samples in
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\n  \"schema\": \"neve-bench-trajectory/1\",\n\
+    \  \"iters\": %d,\n  \"total_wall_seconds\": %.6f,\n\
+    \  \"total_sim_insns\": %d,\n\
+    \  \"wall_sim_insns_per_sec\": %.1f,\n  \"configs\": [\n"
+    iters total_wall total_insns
+    (if total_wall > 0. then float_of_int total_insns /. total_wall else 0.);
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      buf_sample b s)
+    samples;
+  Buffer.add_string b "\n  ]\n}\n";
+  let path = "BENCH_PR2.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  List.iter
+    (fun s ->
+      Fmt.pr "%-14s %8.3fs wall  %10.1f sim-insns/s  %6.3f traps/op@."
+        s.cs_name s.cs_wall
+        (if s.cs_wall > 0. then float_of_int s.cs_insns /. s.cs_wall else 0.)
+        (float_of_int s.cs_traps /. float_of_int s.cs_ops))
+    samples;
+  Fmt.pr "wrote %s@." path
+
 let regen_ablation () =
   hr "Ablation: per-mechanism contribution (nested hypercall traps)";
   Fmt.pr "%a" Workloads.Ablation.pp (Workloads.Ablation.run ());
@@ -200,6 +324,8 @@ let regen_recursive () =
   paper_note "exit multiplication compounds quadratically without NEVE"
 
 let () =
+  if Array.exists (fun a -> a = "--json") Sys.argv then run_json ()
+  else begin
   Fmt.pr "NEVE (SOSP 2017) reproduction — benchmark harness@.";
   regen_table1 ();
   regen_table6 ();
@@ -216,3 +342,4 @@ let () =
   paper_note "a VNCR-like deferral would play the role of NEVE";
   benchmarks ();
   Fmt.pr "@.done.@."
+  end

@@ -32,6 +32,11 @@ type t = {
   (* NV2 ablation mask (simulator-only knob): which of NEVE's three
      mechanisms are implemented by this "hardware". *)
   mutable nv2_mask : Trap_rules.nv2_mask;
+  (* Decoded-HCR cache: [Hcr.decode] allocates a 12-field record and runs
+     on every executed instruction; HCR_EL2 changes only on world
+     switches, so the view is reused while the raw value is unchanged. *)
+  mutable hcr_raw : int64;
+  mutable hcr_cached : Hcr.view;
 }
 
 and handler = t -> Exn.entry -> unit
@@ -52,6 +57,8 @@ let create ?(features = Features.v Features.V8_0) ?table ?mem ?meter () =
     el1_vectors = false;
     saved_regs = [];
     nv2_mask = Trap_rules.nv2_full;
+    hcr_raw = 0L;
+    hcr_cached = Hcr.decode 0L;
   }
 
 let get_reg t n =
@@ -70,7 +77,14 @@ let addr_value t = function
   | Insn.Abs a -> a
   | Insn.Based (r, off) -> Int64.add (get_reg t r) off
 
-let hcr_view t = Hcr.decode (Sysreg_file.read t.sysregs Sysreg.HCR_EL2)
+let hcr_view t =
+  let raw = Sysreg_file.read t.sysregs Sysreg.HCR_EL2 in
+  if raw <> t.hcr_raw then begin
+    t.hcr_raw <- raw;
+    t.hcr_cached <- Hcr.decode raw
+  end;
+  t.hcr_cached
+
 let vncr_value t = Sysreg_file.read t.sysregs Sysreg.VNCR_EL2
 
 let table t = t.meter.Cost.table
@@ -239,31 +253,27 @@ let exec_local t (insn : Insn.t) =
   | _ -> advance_pc t
 
 let rec exec t (insn : Insn.t) =
-  let c = table t in
-  let hcr = hcr_view t in
-  let vncr = vncr_value t in
+  (* Route once per instruction; the only re-route is the immediate-MSR
+     normalization below, which must re-route because the synthesized Reg
+     form carries a different Rt in the trap syndrome. *)
+  let action =
+    Trap_rules.route ~mask:t.nv2_mask t.features ~hcr:(hcr_view t)
+      ~vncr:(vncr_value t) ~el:t.pstate.Pstate.el insn
+  in
   match insn with
-  | Insn.Msr (access, Insn.Imm v)
-    when Trap_rules.route ~mask:t.nv2_mask t.features ~hcr ~vncr
-           ~el:t.pstate.Pstate.el insn
-         <> Trap_rules.Execute ->
+  | Insn.Msr (access, Insn.Imm v) when action <> Trap_rules.Execute ->
     (* Normalize: an immediate can only reach a system register through a
        general register, and a trapped access must carry its Rt in the
        syndrome.  Model "mov x9, #v; msr reg, x9". *)
+    let c = table t in
     set_reg t scratch_reg v;
     Cost.charge_insn t.meter c.Cost.insn_base;
     exec t (Insn.Msr (access, Insn.Reg scratch_reg))
-  | _ ->
-    exec_routed t insn
+  | _ -> exec_action t insn action
 
-and exec_routed t (insn : Insn.t) =
+and exec_action t (insn : Insn.t) action =
   let c = table t in
-  let hcr = hcr_view t in
-  let vncr = vncr_value t in
-  match
-    Trap_rules.route ~mask:t.nv2_mask t.features ~hcr ~vncr
-      ~el:t.pstate.Pstate.el insn
-  with
+  match (action : Trap_rules.action) with
   | Trap_rules.Execute -> exec_local t insn
   | Trap_rules.Execute_redirected target -> begin
       match insn with

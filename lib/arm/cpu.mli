@@ -37,6 +37,10 @@ type t = {
   mutable nv2_mask : Trap_rules.nv2_mask;
       (** simulator-only ablation knob: which NEVE mechanisms this
           "hardware" implements *)
+  mutable hcr_raw : int64;
+      (** raw HCR_EL2 value behind {!field-hcr_cached}; the decoded view is
+          refreshed only when this changes *)
+  mutable hcr_cached : Hcr.view;
 }
 
 and handler = t -> Exn.entry -> unit

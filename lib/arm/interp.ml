@@ -57,19 +57,43 @@ let load mem ~base (words : int array) =
 let load_program mem ~base insns =
   load mem ~base (Array.of_list (List.map Encode.encode insns))
 
+(* --- decode cache ---
+
+   [Encode.decode] is pure, so decoded results can be shared globally in a
+   direct-mapped cache keyed by the 32-bit instruction word.  Loops decode
+   each word once instead of once per iteration.  The empty-slot sentinel
+   is -1, which no fetched word can equal ([fetch32] masks to 32 bits). *)
+
+let cache_bits = 10
+let cache_size = 1 lsl cache_bits
+let cache_mask = cache_size - 1
+let cache_keys = Array.make cache_size (-1)
+let cache_vals = Array.make cache_size (Encode.D_unknown 0)
+
+let decode_cached w =
+  let slot = w land cache_mask in
+  if cache_keys.(slot) = w then cache_vals.(slot)
+  else begin
+    let d = Encode.decode w in
+    cache_keys.(slot) <- w;
+    cache_vals.(slot) <- d;
+    d
+  end
+
 (* Run from [entry] until the halt marker, an unencodable word, or the
    instruction budget runs out.  [on_step] fires before each executed
    instruction — the fault injector's hook into straight-line guest
-   code. *)
+   code.  Any non-positive budget is already exhausted (a negative one
+   must not run unbounded). *)
 let run ?on_step (cpu : Cpu.t) ~entry ~max_insns =
   cpu.Cpu.pc <- entry;
   let rec step budget =
-    if budget = 0 then Limit
+    if budget <= 0 then Limit
     else
       let w = fetch32 cpu.Cpu.mem cpu.Cpu.pc in
       if w = halt_marker then Breakpoint
       else
-        match Encode.decode w with
+        match decode_cached w with
         | Encode.D_unknown _ -> Halted cpu.Cpu.pc
         | Encode.D_insn insn ->
           (match on_step with Some f -> f cpu | None -> ());
@@ -84,7 +108,7 @@ let disassemble mem ~base ~count =
       let addr = Int64.add base (Int64.of_int (i * 4)) in
       let w = fetch32 mem addr in
       let text =
-        match Encode.decode w with
+        match decode_cached w with
         | Encode.D_insn insn -> Insn.to_string insn
         | Encode.D_unknown w -> Printf.sprintf ".word 0x%08x" w
       in

@@ -26,6 +26,10 @@ val load : Memory.t -> base:int64 -> int array -> unit
 val load_program : Memory.t -> base:int64 -> Insn.t list -> unit
 (** Assemble (encode) and load. *)
 
+val decode_cached : int -> Encode.decoded
+(** {!Encode.decode} through a direct-mapped global cache keyed by the
+    instruction word (sound because decode is pure). *)
+
 val run :
   ?on_step:(Cpu.t -> unit) -> Cpu.t -> entry:int64 -> max_insns:int -> outcome
 (** [on_step] fires before each executed instruction — the hook used by

@@ -531,6 +531,145 @@ let of_enc : (int * int * int * int * int) -> t option =
   List.iter (fun r -> Hashtbl.replace tbl (enc r) r) all;
   fun e -> Hashtbl.find_opt tbl e
 
+(* --- Dense integer index ---
+
+   Every register identity maps to a unique index in [0, count): flat
+   arrays keyed by [index] replace hashed lookups on the MSR/MRS hot
+   path (register file, context-slot table, deferred-page offsets).
+   The layout follows the constructor declaration order; banked
+   registers occupy contiguous runs.  [of_index] and the bijectivity of
+   the mapping over [all] are established at module init. *)
+
+let count = 152
+
+let index = function
+  | SP_EL0 -> 0
+  | TPIDR_EL0 -> 1
+  | TPIDRRO_EL0 -> 2
+  | CNTV_CTL_EL0 -> 3
+  | CNTV_CVAL_EL0 -> 4
+  | CNTP_CTL_EL0 -> 5
+  | CNTP_CVAL_EL0 -> 6
+  | CNTVCT_EL0 -> 7
+  | CNTFRQ_EL0 -> 8
+  | PMUSERENR_EL0 -> 9
+  | PMSELR_EL0 -> 10
+  | PMCR_EL0 -> 11
+  | PMCNTENSET_EL0 -> 12
+  | PMCNTENCLR_EL0 -> 13
+  | PMOVSCLR_EL0 -> 14
+  | PMCCNTR_EL0 -> 15
+  | PMCCFILTR_EL0 -> 16
+  | PMEVCNTR_EL0 n -> 17 + n   (* 17..22 *)
+  | PMEVTYPER_EL0 n -> 23 + n  (* 23..28 *)
+  | PMINTENSET_EL1 -> 29
+  | PMINTENCLR_EL1 -> 30
+  | DBGBVR_EL1 n -> 31 + n     (* 31..36 *)
+  | DBGBCR_EL1 n -> 37 + n     (* 37..42 *)
+  | DBGWVR_EL1 n -> 43 + n     (* 43..48 *)
+  | DBGWCR_EL1 n -> 49 + n     (* 49..54 *)
+  | SCTLR_EL1 -> 55
+  | ACTLR_EL1 -> 56
+  | CPACR_EL1 -> 57
+  | TTBR0_EL1 -> 58
+  | TTBR1_EL1 -> 59
+  | TCR_EL1 -> 60
+  | ESR_EL1 -> 61
+  | FAR_EL1 -> 62
+  | AFSR0_EL1 -> 63
+  | AFSR1_EL1 -> 64
+  | MAIR_EL1 -> 65
+  | AMAIR_EL1 -> 66
+  | CONTEXTIDR_EL1 -> 67
+  | VBAR_EL1 -> 68
+  | ELR_EL1 -> 69
+  | SPSR_EL1 -> 70
+  | SP_EL1 -> 71
+  | PAR_EL1 -> 72
+  | TPIDR_EL1 -> 73
+  | CSSELR_EL1 -> 74
+  | CNTKCTL_EL1 -> 75
+  | MDSCR_EL1 -> 76
+  | MPIDR_EL1 -> 77
+  | MIDR_EL1 -> 78
+  | CurrentEL -> 79
+  | ICC_PMR_EL1 -> 80
+  | ICC_IAR1_EL1 -> 81
+  | ICC_EOIR1_EL1 -> 82
+  | ICC_DIR_EL1 -> 83
+  | ICC_BPR1_EL1 -> 84
+  | ICC_CTLR_EL1 -> 85
+  | ICC_SGI1R_EL1 -> 86
+  | ICC_IGRPEN1_EL1 -> 87
+  | HCR_EL2 -> 88
+  | HACR_EL2 -> 89
+  | HSTR_EL2 -> 90
+  | HPFAR_EL2 -> 91
+  | TPIDR_EL2 -> 92
+  | VPIDR_EL2 -> 93
+  | VMPIDR_EL2 -> 94
+  | VTCR_EL2 -> 95
+  | VTTBR_EL2 -> 96
+  | VNCR_EL2 -> 97
+  | SCTLR_EL2 -> 98
+  | ACTLR_EL2 -> 99
+  | TTBR0_EL2 -> 100
+  | TTBR1_EL2 -> 101
+  | TCR_EL2 -> 102
+  | ESR_EL2 -> 103
+  | FAR_EL2 -> 104
+  | AFSR0_EL2 -> 105
+  | AFSR1_EL2 -> 106
+  | MAIR_EL2 -> 107
+  | AMAIR_EL2 -> 108
+  | CONTEXTIDR_EL2 -> 109
+  | VBAR_EL2 -> 110
+  | ELR_EL2 -> 111
+  | SPSR_EL2 -> 112
+  | SP_EL2 -> 113
+  | CPTR_EL2 -> 114
+  | MDCR_EL2 -> 115
+  | CNTHCTL_EL2 -> 116
+  | CNTVOFF_EL2 -> 117
+  | CNTHP_CTL_EL2 -> 118
+  | CNTHP_CVAL_EL2 -> 119
+  | CNTHV_CTL_EL2 -> 120
+  | CNTHV_CVAL_EL2 -> 121
+  | ICH_HCR_EL2 -> 122
+  | ICH_VTR_EL2 -> 123
+  | ICH_VMCR_EL2 -> 124
+  | ICH_MISR_EL2 -> 125
+  | ICH_EISR_EL2 -> 126
+  | ICH_ELRSR_EL2 -> 127
+  | ICH_AP0R_EL2 n -> 128 + n  (* 128..131 *)
+  | ICH_AP1R_EL2 n -> 132 + n  (* 132..135 *)
+  | ICH_LR_EL2 n -> 136 + n    (* 136..151 *)
+
+let of_index_tbl : t array =
+  let placeholder = SP_EL0 in
+  let tbl = Array.make count placeholder in
+  let seen = Array.make count false in
+  List.iter
+    (fun r ->
+      let i = index r in
+      if i < 0 || i >= count then
+        invalid_arg ("Sysreg.index out of range for " ^ name r);
+      if seen.(i) then
+        invalid_arg ("Sysreg.index collision at " ^ name r);
+      seen.(i) <- true;
+      tbl.(i) <- r)
+    all;
+  Array.iteri
+    (fun i present ->
+      if not present then
+        invalid_arg (Printf.sprintf "Sysreg.index: slot %d unassigned" i))
+    seen;
+  tbl
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Sysreg.of_index";
+  of_index_tbl.(i)
+
 (* --- Deferred-access-page layout ---
 
    Every register with NEVE memory semantics (Table 3 deferral, Table 4/5
@@ -558,10 +697,17 @@ let has_page_slot r =
 
 let vncr_layout : t list = List.filter has_page_slot all
 
-let vncr_offset : t -> int option =
-  let tbl = Hashtbl.create 64 in
-  List.iteri (fun i r -> Hashtbl.replace tbl r (0x010 + (8 * i))) vncr_layout;
-  fun r -> Hashtbl.find_opt tbl r
+(* Dense-index-keyed offset table: -1 marks "no slot" so the hot lookup is
+   one array load and a compare, no hashing or option allocation. *)
+let vncr_offset_tbl : int array =
+  let tbl = Array.make count (-1) in
+  List.iteri (fun i r -> tbl.(index r) <- 0x010 + (8 * i)) vncr_layout;
+  tbl
+
+let vncr_offset r =
+  match vncr_offset_tbl.(index r) with -1 -> None | off -> Some off
+
+let has_vncr_offset r = vncr_offset_tbl.(index r) >= 0
 
 let page_size = 4096
 

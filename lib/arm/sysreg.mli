@@ -199,6 +199,21 @@ val all : t list
 val of_enc : int * int * int * int * int -> t option
 (** Reverse encoding lookup (trapped-access syndromes, binary decoding). *)
 
+val count : int
+(** Size of the dense index space: [index] is a bijection between the
+    register universe and [0, count). *)
+
+val index : t -> int
+(** Dense integer index of a register — the key for the flat-array
+    register file, context-slot table and deferred-page offset table.
+    Total and collision-free over {!all}; validated at module init. *)
+
+val of_index : int -> t
+(** Inverse of {!index}.  Raises [Invalid_argument] outside [0, count). *)
+
+val has_vncr_offset : t -> bool
+(** [vncr_offset r <> None] without the option allocation. *)
+
 val vncr_layout : t list
 (** Page-resident registers, in slot order. *)
 

@@ -1,10 +1,16 @@
 (* Hardware system-register storage.
 
-   One value per register identity.  Reset values are architectural where it
-   matters (MPIDR/MIDR identification, CurrentEL is synthesized from PSTATE
-   by the CPU, ICH_VTR advertises the number of list registers). *)
+   A flat int64 array keyed by the dense {!Sysreg.index}, plus a dirty
+   bitmap recording which registers have been written since reset.  Reads,
+   writes and register-set copies are O(1) array operations — the hashed
+   lookup this replaces was the dominant cost of every MSR/MRS on the
+   simulator's hot path.
 
-type t = { values : (Sysreg.t, int64) Hashtbl.t }
+   Reset values are architectural where it matters (MPIDR/MIDR
+   identification, CurrentEL is synthesized from PSTATE by the CPU,
+   ICH_VTR advertises the number of list registers). *)
+
+type t = { values : int64 array; dirty : Bytes.t }
 
 let ich_vtr_reset =
   (* ListRegs field [4:0] = number of LRs - 1. *)
@@ -18,30 +24,52 @@ let reset_value (r : Sysreg.t) =
   | ICH_VTR_EL2 -> ich_vtr_reset
   | _ -> 0L
 
-let create () = { values = Hashtbl.create 128 }
+(* Reset image shared by [create]/[reset]; never mutated. *)
+let reset_values : int64 array =
+  Array.init Sysreg.count (fun i -> reset_value (Sysreg.of_index i))
 
-let read t r =
-  match Hashtbl.find_opt t.values r with
-  | Some v -> v
-  | None -> reset_value r
+let create () =
+  { values = Array.copy reset_values; dirty = Bytes.make Sysreg.count '\000' }
+
+let read t r = t.values.(Sysreg.index r)
 
 let write t r v =
-  if Sysreg.read_only r then () else Hashtbl.replace t.values r v
+  if Sysreg.read_only r then ()
+  else begin
+    let i = Sysreg.index r in
+    t.values.(i) <- v;
+    Bytes.unsafe_set t.dirty i '\001'
+  end
 
 (* Unchecked write, for hardware-internal updates (e.g. the CPU setting
    ESR_EL2 on exception entry, the GIC updating ICH_MISR). *)
-let hw_write t r v = Hashtbl.replace t.values r v
+let hw_write t r v =
+  let i = Sysreg.index r in
+  t.values.(i) <- v;
+  Bytes.unsafe_set t.dirty i '\001'
 
-let reset t = Hashtbl.reset t.values
+let reset t =
+  Array.blit reset_values 0 t.values 0 Sysreg.count;
+  Bytes.fill t.dirty 0 Sysreg.count '\000'
 
 (* Copy a register set between two files (used by world switches performed
    by the host hypervisor outside the measured guest). *)
 let copy ~src ~dst regs =
   List.iter (fun r -> hw_write dst r (read src r)) regs
 
+(* Same, over a precomputed dense-index array: the form the world-switch
+   register lists compile to. *)
+let copy_indices ~src ~dst (indices : int array) =
+  for k = 0 to Array.length indices - 1 do
+    let i = Array.unsafe_get indices k in
+    dst.values.(i) <- src.values.(i);
+    Bytes.unsafe_set dst.dirty i '\001'
+  done
+
 let dump t =
   Sysreg.all
   |> List.filter_map (fun r ->
-      match Hashtbl.find_opt t.values r with
-      | Some v when v <> 0L -> Some (r, v)
-      | _ -> None)
+      let i = Sysreg.index r in
+      if Bytes.get t.dirty i = '\001' && t.values.(i) <> 0L then
+        Some (r, t.values.(i))
+      else None)

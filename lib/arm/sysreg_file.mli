@@ -1,8 +1,9 @@
-(** Hardware system-register storage: one value per register identity,
-    with architectural reset values where they matter (MPIDR/MIDR
-    identification, ICH_VTR's list-register count). *)
+(** Hardware system-register storage: a flat int64 array keyed by the
+    dense {!Sysreg.index} plus a dirty bitmap, with architectural reset
+    values where they matter (MPIDR/MIDR identification, ICH_VTR's
+    list-register count).  All operations are O(1) array accesses. *)
 
-type t = { values : (Sysreg.t, int64) Hashtbl.t }
+type t = { values : int64 array; dirty : Bytes.t }
 
 val ich_vtr_reset : int64
 (** ICH_VTR advertising {!Sysreg.lr_count} list registers. *)
@@ -26,5 +27,9 @@ val reset : t -> unit
 val copy : src:t -> dst:t -> Sysreg.t list -> unit
 (** Copy a register set between files (host-side world switches). *)
 
+val copy_indices : src:t -> dst:t -> int array -> unit
+(** {!copy} over a precomputed dense-index array — no per-register
+    dispatch, just an indexed loop. *)
+
 val dump : t -> (Sysreg.t * int64) list
-(** Non-zero registers, for debugging. *)
+(** Written, non-zero registers in {!Sysreg.all} order, for debugging. *)

@@ -28,7 +28,7 @@ type action =
 
 (* VNCR_EL2 decoding (Table 2): bit 0 = Enable, bits [52:12] = BADDR. *)
 let vncr_enable v = Int64.logand v 1L <> 0L
-let vncr_baddr v = Int64.logand v 0x000f_ffff_ffff_f000L
+let vncr_baddr v = Int64.logand v 0x001f_ffff_ffff_f000L
 
 (* Ablation mask: NEVE is three mechanisms (Section 6) — deferral of VM
    registers to memory, redirection of control registers to EL1 twins, and
@@ -127,7 +127,7 @@ let nv2_defers_reads (r : Sysreg.t) =
   | NV_vm_reg | NV_trap_on_write -> true
   | NV_redirect_or_trap _ -> true (* reads come from the cached copy *)
   | NV_redirect _ | NV_redirect_vhe _ | NV_timer_trap -> false
-  | NV_none -> Sysreg.vncr_offset r <> None
+  | NV_none -> Sysreg.has_vncr_offset r
 
 let deferred_slot ~vncr (r : Sysreg.t) =
   match Sysreg.vncr_offset r with
@@ -157,7 +157,7 @@ let route_sysreg_vel2 (features : Features.t) ~(hcr : Hcr.view) ~vncr ~mask
     (* VHE guest hypervisor accessing the VM's EL1 state. *)
     if not defer_on then trap ()
     else if nv2_defers_reads access.reg || not is_read then
-      if Sysreg.vncr_offset access.reg <> None then
+      if Sysreg.has_vncr_offset access.reg then
         deferred_slot ~vncr access.reg
       else trap ()
     else trap ()
@@ -206,7 +206,7 @@ let route_sysreg_vel2 (features : Features.t) ~(hcr : Hcr.view) ~vncr ~mask
              state.  No trap: this is why a VHE guest hypervisor traps
              less than a non-VHE one (Section 5). *)
           Execute
-        else if defer_on && Sysreg.vncr_offset r <> None then
+        else if defer_on && Sysreg.has_vncr_offset r then
           deferred_slot ~vncr r
         else if is_read && not hcr.h_trvm && Sysreg.neve_class r <> NV_vm_reg
         then Execute

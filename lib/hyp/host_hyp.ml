@@ -147,17 +147,19 @@ let l0_enter t =
   let o = l0_ops t in
   Cost.charge t.cpu.Cpu.meter (table t).Cost.l0_exit_dispatch;
   (* save whoever was running at EL1 *)
-  WS.save_list o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el1_state;
-  WS.save_list o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el0_state;
+  WS.save_array o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el1_state_arr;
+  WS.save_array o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el0_state_arr;
   (* restore the host's EL1 world *)
-  WS.restore_list o ~ctx:t.l0_ctx ~via:Sysreg.direct Reglists.el1_state;
+  WS.restore_array o ~ctx:t.l0_ctx ~via:Sysreg.direct Reglists.el1_state_arr;
   WS.deactivate_traps o ~vhe:false
 
 let l0_exit t =
   let o = l0_ops t in
   (* put the interrupted guest context back *)
-  WS.restore_list o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el1_state;
-  WS.restore_list o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el0_state;
+  WS.restore_array o ~ctx:t.guest_stash ~via:Sysreg.direct
+    Reglists.el1_state_arr;
+  WS.restore_array o ~ctx:t.guest_stash ~via:Sysreg.direct
+    Reglists.el0_state_arr;
   WS.activate_traps o ~vhe:false ~hcr:(hcr_for t ~vel2:t.vcpu.Vcpu.in_vel2);
   WS.write_stage2 o ~vttbr:t.shadow_vttbr
 

@@ -131,14 +131,45 @@ let exit_info_reads : Sysreg.t list =
   [ Sysreg.ESR_EL2; Sysreg.ELR_EL2; Sysreg.SPSR_EL2; Sysreg.FAR_EL2;
     Sysreg.HPFAR_EL2 ]
 
+(* --- dense-index compiled forms ---
+
+   The lists above are the readable, ablation-friendly source of truth;
+   the forms below are what the hot paths consume: membership as a flat
+   bool array instead of List.mem, register sets as precomputed
+   dense-index arrays instead of per-element dispatch. *)
+
+let index_array regs = Array.of_list (List.map Sysreg.index regs)
+
+let membership regs =
+  let m = Array.make Sysreg.count false in
+  List.iter (fun r -> m.(Sysreg.index r) <- true) regs;
+  m
+
+let el12_capable_mask = membership el12_capable
+
+let is_el12_capable r = el12_capable_mask.(Sysreg.index r)
+
+let el1_state_arr = Array.of_list el1_state
+let el0_state_arr = Array.of_list el0_state
+let debug_state_arr = Array.of_list debug_state
+let pmu_state_arr = Array.of_list pmu_state
+
+let el1_state_indices = index_array el1_state
+let el0_state_indices = index_array el0_state
+
 (* Offsets of each register in a vCPU's in-memory context-save area; the
-   world-switch code stores to and loads from these slots. *)
-let ctx_slot : Sysreg.t -> int =
-  let tbl = Hashtbl.create 64 in
-  List.iteri (fun i r -> Hashtbl.replace tbl r (8 * i)) Sysreg.all;
-  fun r ->
-    match Hashtbl.find_opt tbl r with
-    | Some off -> off
-    | None -> invalid_arg ("Reglists.ctx_slot: " ^ Sysreg.name r)
+   world-switch code stores to and loads from these slots.  Slot order
+   follows [Sysreg.all] (the layout guest images were built against), the
+   lookup is one array load keyed by the dense index. *)
+let ctx_slot_tbl : int array =
+  let tbl = Array.make Sysreg.count (-1) in
+  List.iteri (fun i r -> tbl.(Sysreg.index r) <- 8 * i) Sysreg.all;
+  tbl
+
+let ctx_slot (r : Sysreg.t) =
+  let i = Sysreg.index r in
+  if i < 0 || i >= Sysreg.count then
+    invalid_arg ("Reglists.ctx_slot: " ^ Sysreg.name r)
+  else ctx_slot_tbl.(i)
 
 let ctx_area_size = 8 * List.length Sysreg.all

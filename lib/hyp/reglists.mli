@@ -47,8 +47,29 @@ val pmu_state : Sysreg.t list
 
 val exit_info_reads : Sysreg.t list
 
+(** {1 Dense-index compiled forms}
+
+    The lists above are the source of truth; these are what the hot
+    paths consume — membership as a flat bool array, register sets as
+    precomputed {!Sysreg.index} arrays. *)
+
+val index_array : Sysreg.t list -> int array
+val membership : Sysreg.t list -> bool array
+
+val is_el12_capable : Sysreg.t -> bool
+(** O(1) membership in {!el12_capable} (replaces a [List.mem] scan on the
+    world-switch path). *)
+
+val el1_state_arr : Sysreg.t array
+val el0_state_arr : Sysreg.t array
+val debug_state_arr : Sysreg.t array
+val pmu_state_arr : Sysreg.t array
+
+val el1_state_indices : int array
+val el0_state_indices : int array
+
 val ctx_slot : Sysreg.t -> int
 (** Byte offset of a register in a context save area; unique per
-    register. *)
+    register.  One array load keyed by {!Sysreg.index}. *)
 
 val ctx_area_size : int

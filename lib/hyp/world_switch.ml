@@ -40,9 +40,10 @@ let own_el2_access ~vhe r =
 (* Access form a hypervisor uses to reach a *VM's* EL1 register: a VHE
    hypervisor must use the _EL12 alias where one exists (plain EL1
    accesses are E2H-redirected to its own EL2 registers); a non-VHE
-   hypervisor uses the register directly. *)
+   hypervisor uses the register directly.  Membership is an O(1) dense-
+   index lookup: this runs once per register per world switch. *)
 let vm_el1_access ~vhe r =
-  if vhe && List.mem r Reglists.el12_capable then Sysreg.el12 r
+  if vhe && Reglists.is_el12_capable r then Sysreg.el12 r
   else Sysreg.direct r
 
 let save_list ops ~ctx ~via regs =
@@ -51,27 +52,37 @@ let save_list ops ~ctx ~via regs =
 let restore_list ops ~ctx ~via regs =
   List.iter (fun r -> ops.wr (via r) (ops.ld (slot ctx r))) regs
 
+(* Same loops over the precomputed register arrays the Reglists compile
+   to — the form every per-switch path below uses. *)
+let save_array ops ~ctx ~via regs =
+  Array.iter (fun r -> ops.st (slot ctx r) (ops.rd (via r))) regs
+
+let restore_array ops ~ctx ~via regs =
+  Array.iter (fun r -> ops.wr (via r) (ops.ld (slot ctx r))) regs
+
 (* --- the VM's EL1 context --- *)
 
 let save_vm_el1 ops ~vhe ~ctx =
-  save_list ops ~ctx ~via:(vm_el1_access ~vhe) Reglists.el1_state
+  save_array ops ~ctx ~via:(vm_el1_access ~vhe) Reglists.el1_state_arr
 
 let restore_vm_el1 ops ~vhe ~ctx =
-  restore_list ops ~ctx ~via:(vm_el1_access ~vhe) Reglists.el1_state
+  restore_array ops ~ctx ~via:(vm_el1_access ~vhe) Reglists.el1_state_arr
 
 (* --- EL0-accessible context (never traps) --- *)
 
-let save_el0 ops ~ctx = save_list ops ~ctx ~via:Sysreg.direct Reglists.el0_state
-let restore_el0 ops ~ctx = restore_list ops ~ctx ~via:Sysreg.direct Reglists.el0_state
+let save_el0 ops ~ctx =
+  save_array ops ~ctx ~via:Sysreg.direct Reglists.el0_state_arr
+let restore_el0 ops ~ctx =
+  restore_array ops ~ctx ~via:Sysreg.direct Reglists.el0_state_arr
 
 (* --- the host's own EL1 context (non-VHE hypervisors only: a VHE
    hypervisor's host state lives in EL2 registers and stays put) --- *)
 
 let save_host_el1 ops ~ctx =
-  save_list ops ~ctx ~via:Sysreg.direct Reglists.el1_state
+  save_array ops ~ctx ~via:Sysreg.direct Reglists.el1_state_arr
 
 let restore_host_el1 ops ~ctx =
-  restore_list ops ~ctx ~via:Sysreg.direct Reglists.el1_state
+  restore_array ops ~ctx ~via:Sysreg.direct Reglists.el1_state_arr
 
 (* --- debug and PMU state (Section 6.1's "performance monitoring,
    debugging, and timer system registers") ---
@@ -81,16 +92,16 @@ let restore_host_el1 ops ~ctx =
    trap per access on ARMv8.3 while NEVE defers them all. *)
 
 let save_debug ops ~ctx =
-  save_list ops ~ctx ~via:Sysreg.direct Reglists.debug_state
+  save_array ops ~ctx ~via:Sysreg.direct Reglists.debug_state_arr
 
 let restore_debug ops ~ctx =
-  restore_list ops ~ctx ~via:Sysreg.direct Reglists.debug_state
+  restore_array ops ~ctx ~via:Sysreg.direct Reglists.debug_state_arr
 
 let save_pmu ops ~ctx =
-  save_list ops ~ctx ~via:Sysreg.direct Reglists.pmu_state
+  save_array ops ~ctx ~via:Sysreg.direct Reglists.pmu_state_arr
 
 let restore_pmu ops ~ctx =
-  restore_list ops ~ctx ~via:Sysreg.direct Reglists.pmu_state
+  restore_array ops ~ctx ~via:Sysreg.direct Reglists.pmu_state_arr
 
 (* --- vGIC hypervisor interface ---
 

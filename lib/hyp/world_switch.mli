@@ -41,6 +41,14 @@ val save_list : ops -> ctx:int64 -> via:(Sysreg.t -> Sysreg.access) ->
 val restore_list : ops -> ctx:int64 -> via:(Sysreg.t -> Sysreg.access) ->
   Sysreg.t list -> unit
 
+val save_array : ops -> ctx:int64 -> via:(Sysreg.t -> Sysreg.access) ->
+  Sysreg.t array -> unit
+(** {!save_list} over a precomputed register array (what the per-switch
+    entry points use). *)
+
+val restore_array : ops -> ctx:int64 -> via:(Sysreg.t -> Sysreg.access) ->
+  Sysreg.t array -> unit
+
 val save_vm_el1 : ops -> vhe:bool -> ctx:int64 -> unit
 val restore_vm_el1 : ops -> vhe:bool -> ctx:int64 -> unit
 val save_el0 : ops -> ctx:int64 -> unit

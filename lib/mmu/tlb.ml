@@ -1,7 +1,13 @@
 (* TLB model: caches completed translations keyed by (VMID, ASID, page).
 
    The simulator uses it to decide whether a memory access needs a walk;
-   TLBI instructions executed on the CPU invalidate entries by VMID. *)
+   TLBI instructions executed on the CPU invalidate entries by VMID.
+
+   Organization is set-associative with FIFO replacement inside each set:
+   when a set is full, the oldest live entry of *that set* is evicted —
+   an insert never disturbs the rest of the TLB.  (This replaces an older
+   model that dropped the whole table when full, which made hit rates
+   collapse periodically and hid the cost of conflict misses.) *)
 
 type key = { vmid : int; asid : int; page : int64 }
 
@@ -9,16 +15,39 @@ type entry = { pa_page : int64; perms : Pte.perms }
 
 type t = {
   entries : (key, entry) Hashtbl.t;
+  sets : key Queue.t array;  (* insertion order per set; may hold stale keys *)
+  ways : int;
   mutable hits : int;
   mutable misses : int;
-  capacity : int;
+  mutable evictions : int;
+  mutable invalidations : int;  (* entries removed by TLBI *)
 }
 
+let default_ways = 4
+
+let rec pow2_ge n k = if k >= n then k else pow2_ge n (k * 2)
+
 let create ?(capacity = 512) () =
-  { entries = Hashtbl.create capacity; hits = 0; misses = 0; capacity }
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
+  let ways = min default_ways capacity in
+  let nsets = pow2_ge ((capacity + ways - 1) / ways) 1 in
+  {
+    entries = Hashtbl.create capacity;
+    sets = Array.init nsets (fun _ -> Queue.create ());
+    ways;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let nsets t = Array.length t.sets
+let ways t = t.ways
 
 let key ~vmid ~asid addr =
   { vmid; asid; page = Walk.page_base addr }
+
+let set_of t k = Hashtbl.hash k land (Array.length t.sets - 1)
 
 let lookup t ~vmid ~asid addr =
   match Hashtbl.find_opt t.entries (key ~vmid ~asid addr) with
@@ -30,20 +59,41 @@ let lookup t ~vmid ~asid addr =
     None
 
 let insert t ~vmid ~asid ~va ~pa ~perms =
-  if Hashtbl.length t.entries >= t.capacity then
-    (* crude replacement: drop everything; a real TLB evicts one way *)
-    Hashtbl.reset t.entries;
-  Hashtbl.replace t.entries (key ~vmid ~asid va)
-    { pa_page = Walk.page_base pa; perms }
+  let k = key ~vmid ~asid va in
+  if not (Hashtbl.mem t.entries k) then begin
+    let q = t.sets.(set_of t k) in
+    (* drop keys whose entries a TLBI already removed *)
+    let live = Queue.create () in
+    Queue.iter (fun k' -> if Hashtbl.mem t.entries k' then Queue.add k' live) q;
+    Queue.clear q;
+    Queue.transfer live q;
+    if Queue.length q >= t.ways then begin
+      let victim = Queue.pop q in
+      Hashtbl.remove t.entries victim;
+      t.evictions <- t.evictions + 1
+    end;
+    Queue.add k q
+  end;
+  Hashtbl.replace t.entries k { pa_page = Walk.page_base pa; perms }
 
 let invalidate_vmid t ~vmid =
   let doomed =
     Hashtbl.fold (fun k _ acc -> if k.vmid = vmid then k :: acc else acc)
       t.entries []
   in
-  List.iter (Hashtbl.remove t.entries) doomed
+  List.iter (Hashtbl.remove t.entries) doomed;
+  t.invalidations <- t.invalidations + List.length doomed
 
-let invalidate_all t = Hashtbl.reset t.entries
+let invalidate_all t =
+  t.invalidations <- t.invalidations + Hashtbl.length t.entries;
+  Hashtbl.reset t.entries;
+  Array.iter Queue.clear t.sets
+
+let occupancy t = Hashtbl.length t.entries
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let invalidations t = t.invalidations
 
 let hit_rate t =
   let total = t.hits + t.misses in

@@ -262,6 +262,110 @@ let test_hvc_encoding_value () =
   check Alcotest.int "eret" 0xd69f03e0 (Encode.encode Insn.Eret);
   check Alcotest.int "nop" 0xd503201f (Encode.encode Insn.Nop)
 
+(* --- the dense register index --- *)
+
+let test_index_bijective () =
+  check Alcotest.int "count = |all|" Sysreg.count (List.length Sysreg.all);
+  let seen = Array.make Sysreg.count false in
+  List.iter
+    (fun r ->
+      let i = Sysreg.index r in
+      if i < 0 || i >= Sysreg.count then
+        Alcotest.failf "%s: index %d out of range" (Sysreg.name r) i;
+      if seen.(i) then Alcotest.failf "%s: index %d collides" (Sysreg.name r) i;
+      seen.(i) <- true;
+      if Sysreg.of_index i <> r then
+        Alcotest.failf "%s: of_index does not invert index" (Sysreg.name r))
+    Sysreg.all;
+  Array.iteri
+    (fun i covered ->
+      if not covered then Alcotest.failf "index %d names no register" i)
+    seen
+
+let test_index_vncr_agreement () =
+  List.iter
+    (fun r ->
+      check Alcotest.bool (Sysreg.name r)
+        (Sysreg.vncr_offset r <> None)
+        (Sysreg.has_vncr_offset r))
+    Sysreg.all
+
+(* --- the array-backed register file, against a naive model ---
+
+   The model is the obvious hashtable implementation (what the file
+   replaced); a long deterministic op sequence must be observationally
+   identical through read and dump. *)
+
+module SF = Arm.Sysreg_file
+
+let test_sysreg_file_model () =
+  let file = SF.create () in
+  let model = Hashtbl.create 256 in
+  let dirty = Hashtbl.create 256 in
+  let model_reset () =
+    Hashtbl.reset model;
+    Hashtbl.reset dirty;
+    List.iter (fun r -> Hashtbl.replace model r (SF.reset_value r)) Sysreg.all
+  in
+  let model_dump () =
+    List.filter_map
+      (fun r ->
+        let v = Hashtbl.find model r in
+        if Hashtbl.mem dirty r && v <> 0L then Some (r, v) else None)
+      Sysreg.all
+  in
+  model_reset ();
+  let state = ref 123456789 in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3fff_ffff;
+    !state mod n
+  in
+  for _ = 1 to 20_000 do
+    let r = Sysreg.of_index (rand Sysreg.count) in
+    match rand 100 with
+    | k when k < 45 ->
+      let v = if rand 8 = 0 then 0L else Int64.of_int (1 + rand 1_000_000) in
+      SF.write file r v;
+      if not (Sysreg.read_only r) then begin
+        Hashtbl.replace model r v;
+        Hashtbl.replace dirty r ()
+      end
+    | k when k < 70 ->
+      let v = Int64.of_int (rand 1_000_000) in
+      SF.hw_write file r v;
+      Hashtbl.replace model r v;
+      Hashtbl.replace dirty r ()
+    | k when k < 96 ->
+      check Alcotest.int64 (Sysreg.name r) (Hashtbl.find model r)
+        (SF.read file r)
+    | 96 ->
+      SF.reset file;
+      model_reset ()
+    | _ ->
+      let d = SF.dump file and md = model_dump () in
+      check Alcotest.int "dump length" (List.length md) (List.length d);
+      List.iter2
+        (fun (mr, mv) (fr, fv) ->
+          if mr <> fr then
+            Alcotest.failf "dump order: model %s, file %s" (Sysreg.name mr)
+              (Sysreg.name fr);
+          check Alcotest.int64 (Sysreg.name mr) mv fv)
+        md d
+  done
+
+let test_copy_indices_matches_copy () =
+  let src = SF.create () and a = SF.create () and b = SF.create () in
+  List.iteri
+    (fun i r -> SF.hw_write src r (Int64.of_int ((i * 37) + 1)))
+    Sysreg.all;
+  let regs = Hyp.Reglists.el1_state in
+  SF.copy ~src ~dst:a regs;
+  SF.copy_indices ~src ~dst:b (Hyp.Reglists.index_array regs);
+  List.iter
+    (fun r ->
+      check Alcotest.int64 (Sysreg.name r) (SF.read a r) (SF.read b r))
+    Sysreg.all
+
 let suite =
   [
     ("pstate: CurrentEL bits", `Quick, test_currentel_bits);
@@ -286,4 +390,11 @@ let suite =
     ("encode: _EL12 forms roundtrip", `Quick, test_encode_el12_roundtrip);
     ("encode: unknown words preserved", `Quick, test_decode_unknown);
     ("encode: architectural opcode values", `Quick, test_hvc_encoding_value);
+    ("sysreg: dense index is a bijection", `Quick, test_index_bijective);
+    ("sysreg: has_vncr_offset agrees with vncr_offset", `Quick,
+     test_index_vncr_agreement);
+    ("sysreg-file: equivalent to the hashtable model", `Quick,
+     test_sysreg_file_model);
+    ("sysreg-file: copy_indices == copy", `Quick,
+     test_copy_indices_matches_copy);
   ]

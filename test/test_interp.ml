@@ -78,6 +78,43 @@ let test_budget_limit () =
   | Interp.Limit -> ()
   | o -> Alcotest.failf "expected limit, got %a" Interp.pp_outcome o
 
+(* Regression: a non-positive budget is already exhausted.  [run] used to
+   test [budget = 0] exactly, so a negative budget decremented forever. *)
+let test_budget_nonpositive () =
+  let cpu = fresh () in
+  Interp.load_program cpu.Cpu.mem ~base
+    [ Insn.Mov (0, Insn.Imm 1L); Insn.Cbnz (0, 0) ];
+  List.iter
+    (fun budget ->
+      match Interp.run cpu ~entry:base ~max_insns:budget with
+      | Interp.Limit -> ()
+      | o ->
+        Alcotest.failf "budget %d: expected limit, got %a" budget
+          Interp.pp_outcome o)
+    [ 0; -1; -1000 ]
+
+(* The decode cache must be invisible: same result as a direct decode for
+   any word, including two words that collide in the same cache slot. *)
+let test_decode_cache_equivalence () =
+  let words =
+    List.map Encode.encode
+      [ Insn.Nop; Insn.Hvc 7; Insn.Eret;
+        Insn.Mrs (3, Sysreg.direct Sysreg.HCR_EL2);
+        Insn.Msr (Sysreg.direct Sysreg.VTTBR_EL2, Insn.Reg 4);
+        Insn.B 5; Insn.Cbnz (2, -3) ]
+    @ [ 0x12345678; 0xdeadbeef; 0 ]
+  in
+  (* same-slot partners: identical low bits select the same cache line *)
+  let colliders = List.map (fun w -> (w + 0x400) land 0xffff_ffff) words in
+  List.iter
+    (fun w ->
+      (* twice: once cold (fills the slot), once warm (served from it) *)
+      for _ = 1 to 2 do
+        let direct = Encode.decode w and cached = Interp.decode_cached w in
+        if direct <> cached then Alcotest.failf "word 0x%08x: cache differs" w
+      done)
+    (words @ colliders @ words)
+
 let test_halt_on_garbage () =
   let cpu = fresh () in
   (* jump straight into unwritten memory: fetch reads zeros *)
@@ -169,6 +206,8 @@ let suite =
     ("forward branch", `Quick, test_forward_branch);
     ("cbz taken", `Quick, test_cbz_taken_and_not);
     ("instruction budget", `Quick, test_budget_limit);
+    ("non-positive budget returns Limit", `Quick, test_budget_nonpositive);
+    ("decode cache is invisible", `Quick, test_decode_cache_equivalence);
     ("halt on unencodable words", `Quick, test_halt_on_garbage);
     ("branch encodings roundtrip", `Quick, test_branch_roundtrips);
     ("disassembler", `Quick, test_disassemble);

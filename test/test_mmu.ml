@@ -243,6 +243,31 @@ let test_tlb () =
     (Mmu.Tlb.lookup tlb ~vmid:1 ~asid:0 0x1234L = None);
   check Alcotest.bool "hit rate tracked" true (Mmu.Tlb.hit_rate tlb > 0.)
 
+let test_tlb_set_eviction () =
+  let tlb = Mmu.Tlb.create ~capacity:8 () in
+  (* flood far past capacity: occupancy must stay bounded by nsets*ways,
+     every overflow must be a single-entry eviction, and the most recent
+     insert must always still be resident (it just went into its set) *)
+  for i = 0 to 63 do
+    let va = Int64.of_int (i * 0x1000) in
+    Mmu.Tlb.insert tlb ~vmid:1 ~asid:0 ~va ~pa:va ~perms:Mmu.Pte.rw;
+    check Alcotest.bool "just-inserted page resident" true
+      (Mmu.Tlb.lookup tlb ~vmid:1 ~asid:0 va <> None)
+  done;
+  let cap = Mmu.Tlb.nsets tlb * Mmu.Tlb.ways tlb in
+  check Alcotest.bool "occupancy bounded" true (Mmu.Tlb.occupancy tlb <= cap);
+  check Alcotest.bool "evictions counted" true (Mmu.Tlb.evictions tlb > 0);
+  (* re-inserting a resident page must not evict anything *)
+  let before = Mmu.Tlb.evictions tlb in
+  Mmu.Tlb.insert tlb ~vmid:1 ~asid:0 ~va:(Int64.of_int (63 * 0x1000))
+    ~pa:0x7000L ~perms:Mmu.Pte.rw;
+  check Alcotest.int "refresh does not evict" before (Mmu.Tlb.evictions tlb);
+  (* TLBI removals land in the invalidation counter, not evictions *)
+  let occ = Mmu.Tlb.occupancy tlb in
+  Mmu.Tlb.invalidate_vmid tlb ~vmid:1;
+  check Alcotest.int "invalidations counted" occ (Mmu.Tlb.invalidations tlb);
+  check Alcotest.int "empty after TLBI" 0 (Mmu.Tlb.occupancy tlb)
+
 let suite =
   [
     qtest test_pte_roundtrip;
@@ -260,4 +285,5 @@ let suite =
     ("shadow: invalidation", `Quick, test_shadow_invalidate);
     qtest test_mmu_vs_model;
     ("tlb: hits, misses, invalidation", `Quick, test_tlb);
+    ("tlb: per-set eviction and counters", `Quick, test_tlb_set_eviction);
   ]

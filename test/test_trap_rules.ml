@@ -297,6 +297,52 @@ let test_eoi_never_traps () =
     [ (v8_3, hcr_nv_nonvhe, 0L); (v8_4, hcr_nv2_nonvhe, vncr_on);
       (v8_3, hcr_vm, 0L) ]
 
+(* Regression: VNCR_EL2.BADDR spans bits [52:12] (Table 2).  A mask one
+   bit short silently relocated any deferred access page based at or
+   above 2^52 — bit 52 of the base vanished from every deferred address. *)
+let test_baddr_bit52 () =
+  let high_page = Int64.shift_left 1L 52 in
+  let vncr = Int64.logor high_page 1L in
+  (match
+     route ~features:v8_4 ~hcr:hcr_nv2_nonvhe ~vncr (msr Sysreg.HCR_EL2)
+   with
+   | TR.Defer_to_memory { addr; reg } ->
+     check Alcotest.bool "register identity" true (reg = Sysreg.HCR_EL2);
+     check Alcotest.int64 "bit 52 of BADDR survives"
+       (Int64.add high_page
+          (Int64.of_int (Option.get (Sysreg.vncr_offset Sysreg.HCR_EL2))))
+       addr
+   | a -> Alcotest.failf "expected deferral, got %a" TR.pp_action a);
+  (* bits above 52 are not BADDR and must still be masked off *)
+  let noisy = Int64.logor (Int64.shift_left 0x7L 53) vncr in
+  match
+    route ~features:v8_4 ~hcr:hcr_nv2_nonvhe ~vncr:noisy (msr Sysreg.HCR_EL2)
+  with
+  | TR.Defer_to_memory { addr; _ } ->
+    check Alcotest.int64 "bits [63:53] ignored"
+      (Int64.add high_page
+         (Int64.of_int (Option.get (Sysreg.vncr_offset Sysreg.HCR_EL2))))
+      addr
+  | a -> Alcotest.failf "expected deferral, got %a" TR.pp_action a
+
+(* The full NV2 round trip at a high BADDR: the deferred write lands in
+   the page, the deferred read comes back from it. *)
+let test_baddr_bit52_roundtrip () =
+  let high_page = Int64.shift_left 1L 52 in
+  let cpu = Arm.Cpu.create ~features:v8_4 () in
+  Arm.Cpu.poke_sysreg cpu Sysreg.HCR_EL2
+    (List.fold_left Hcr.set 0L [ Hcr.vm; Hcr.imo; Hcr.nv; Hcr.nv1; Hcr.nv2 ]);
+  Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 (Int64.logor high_page 1L);
+  cpu.Arm.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1;
+  Arm.Cpu.exec cpu
+    (Insn.Msr (Sysreg.direct Sysreg.VTTBR_EL2, Insn.Imm 0xabcdL));
+  let off = Int64.of_int (Option.get (Sysreg.vncr_offset Sysreg.VTTBR_EL2)) in
+  check Alcotest.int64 "deferred write landed above 2^51" 0xabcdL
+    (Arm.Memory.read64 cpu.Arm.Cpu.mem (Int64.add high_page off));
+  Arm.Cpu.exec cpu (Insn.Mrs (3, Sysreg.direct Sysreg.VTTBR_EL2));
+  check Alcotest.int64 "deferred read round-trips" 0xabcdL
+    (Arm.Cpu.get_reg cpu 3)
+
 let suite =
   [
     ("v8.0: EL2 access at EL1 is UNDEFINED", `Quick, test_v80_el2_access_undef);
@@ -324,4 +370,7 @@ let suite =
     ("NEVE: full classification sweep", `Quick, test_neve_full_sweep);
     ("SGI writes trap everywhere", `Quick, test_sgi_always_traps);
     ("virtual EOI never traps", `Quick, test_eoi_never_traps);
+    ("NEVE: BADDR covers bit 52", `Quick, test_baddr_bit52);
+    ("NEVE: deferral round-trips above 2^51", `Quick,
+     test_baddr_bit52_roundtrip);
   ]

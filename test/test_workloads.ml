@@ -430,9 +430,32 @@ let test_meter_delta () =
   check Alcotest.int "by kind" 1
     (Option.value ~default:0 (List.assoc_opt Cost.Trap_hvc d.Cost.d_by_kind))
 
+(* Golden values for the paper workload matrix, pinned from the tree
+   before the dense-index register file and decode cache landed: the
+   performance work must not move a single simulated cycle or trap. *)
+let test_table6_goldens () =
+  let expect =
+    [ (vm, 2596., 1.); (v83, 424461., 121.); (v83_vhe, 222715., 57.);
+      (neve, 82323., 13.); (neve_vhe, 83507., 13.) ]
+  in
+  List.iter
+    (fun (col, cycles, traps) ->
+      let r = Micro.measure_arm ~iters:4 col Micro.Hypercall in
+      check (Alcotest.float 0.5) "cycles" cycles r.Micro.cycles;
+      check (Alcotest.float 0.5) "traps" traps r.Micro.traps)
+    expect;
+  let x86_vm = Micro.measure_x86 ~iters:4 Scenario.X86_vm Micro.Hypercall in
+  let x86_nested =
+    Micro.measure_x86 ~iters:4 Scenario.X86_nested Micro.Hypercall
+  in
+  check (Alcotest.float 0.5) "x86 VM cycles" 1230. x86_vm.Micro.cycles;
+  check (Alcotest.float 0.5) "x86 nested cycles" 37255. x86_nested.Micro.cycles
+
 let suite =
   [
     ("micro: hypercall cost ordering", `Quick, test_hypercall_ordering);
+    ("micro: Table 6 goldens unchanged by the perf pass", `Quick,
+     test_table6_goldens);
     ("micro: NEVE VHE dearer at equal traps", `Quick,
      test_neve_vhe_costs_more_despite_equal_traps);
     ("micro: Virtual EOI constant 71 cycles", `Quick, test_virtual_eoi_constant);
