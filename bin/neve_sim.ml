@@ -299,6 +299,62 @@ let chaos_cmd =
           invariant checking; exit nonzero on any anonymous crash")
     Term.(const run $ seed_arg $ faults_arg $ traps_arg $ verbose_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "Generator seed (same seed, byte-identical report)." in
+    Arg.(value & opt int 0 & info [ "seed"; "s" ] ~doc)
+  in
+  let n_arg =
+    let doc = "Number of programs to generate and check." in
+    Arg.(value & opt int 1000 & info [ "iterations"; "n" ] ~doc)
+  in
+  let max_seconds_arg =
+    let doc =
+      "Wall-clock budget in seconds; 0 disables.  A budget can truncate \
+       the program count, so budgeted runs are only seed-deterministic \
+       in what they report per program, not in how many they reach."
+    in
+    Arg.(value & opt float 0.0 & info [ "max-seconds"; "t" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit deterministic JSON stats instead of the text report." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Directory for minimized divergence repros (created if missing)."
+    in
+    Arg.(value & opt string "test/corpus" & info [ "corpus-dir" ] ~doc)
+  in
+  let run seed n max_seconds json corpus_dir verbose =
+    setup_logs verbose;
+    let should_stop =
+      if max_seconds <= 0.0 then fun () -> false
+      else begin
+        let deadline = Unix.gettimeofday () +. max_seconds in
+        fun () -> Unix.gettimeofday () > deadline
+      end
+    in
+    if not (Sys.file_exists corpus_dir) then Unix.mkdir corpus_dir 0o755;
+    let stats =
+      Fuzz.Campaign.run ~should_stop ~corpus_dir ~seed ~n ()
+    in
+    if json then print_endline (Fuzz.Campaign.json_stats stats)
+    else Fmt.pr "%a@." Fuzz.Campaign.pp_stats stats;
+    if Fuzz.Campaign.divergence_count stats > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: random guest-hypervisor \
+          programs run under every nested ARM column (trap-and-emulate, \
+          NEVE, and their paravirtualized twins); exit nonzero on any \
+          architectural divergence or trap-ordering violation, writing a \
+          minimized repro into the corpus directory")
+    Term.(
+      const run $ seed_arg $ n_arg $ max_seconds_arg $ json_arg $ corpus_arg
+      $ verbose_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -312,4 +368,4 @@ let () =
        (Cmd.group ~default info
           [ table1_cmd; table6_cmd; table7_cmd; fig2_cmd; traps_cmd;
             classify_cmd; validate_cmd; ablation_cmd; recursive_cmd;
-            sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd ]))
+            sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd; fuzz_cmd ]))

@@ -12,11 +12,13 @@ type outcome =
   | Halted of int64   (* fetched an unencodable word at this address *)
   | Breakpoint        (* executed the halt marker *)
   | Limit             (* instruction budget exhausted *)
+  | Stopped           (* the [stop] predicate fired *)
 
 let pp_outcome ppf = function
   | Halted a -> Fmt.pf ppf "halted at 0x%Lx" a
   | Breakpoint -> Fmt.string ppf "breakpoint"
   | Limit -> Fmt.string ppf "limit"
+  | Stopped -> Fmt.string ppf "stopped"
 
 (* The halt marker: an architecturally-valid instruction a test program
    ends with ([hvc #0x3f] would be a real hypercall, so use a branch-to-
@@ -69,6 +71,7 @@ let cache_size = 1 lsl cache_bits
 let cache_mask = cache_size - 1
 let cache_keys = Array.make cache_size (-1)
 let cache_vals = Array.make cache_size (Encode.D_unknown 0)
+let decode_cache_size = cache_size
 
 let decode_cached w =
   let slot = w land cache_mask in
@@ -85,10 +88,11 @@ let decode_cached w =
    instruction — the fault injector's hook into straight-line guest
    code.  Any non-positive budget is already exhausted (a negative one
    must not run unbounded). *)
-let run ?on_step (cpu : Cpu.t) ~entry ~max_insns =
+let run ?on_step ?(stop = fun _ -> false) (cpu : Cpu.t) ~entry ~max_insns =
   cpu.Cpu.pc <- entry;
   let rec step budget =
-    if budget <= 0 then Limit
+    if stop cpu then Stopped
+    else if budget <= 0 then Limit
     else
       let w = fetch32 cpu.Cpu.mem cpu.Cpu.pc in
       if w = halt_marker then Breakpoint

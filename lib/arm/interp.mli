@@ -11,6 +11,7 @@ type outcome =
   | Halted of int64  (** fetched an unencodable word at this address *)
   | Breakpoint       (** reached the halt marker *)
   | Limit            (** instruction budget exhausted *)
+  | Stopped          (** the [stop] predicate fired *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -30,9 +31,21 @@ val decode_cached : int -> Encode.decoded
 (** {!Encode.decode} through a direct-mapped global cache keyed by the
     instruction word (sound because decode is pure). *)
 
+val decode_cache_size : int
+(** Number of direct-mapped slots — words congruent modulo this collide
+    on a slot (exported so tests can construct adversarial collisions). *)
+
 val run :
-  ?on_step:(Cpu.t -> unit) -> Cpu.t -> entry:int64 -> max_insns:int -> outcome
+  ?on_step:(Cpu.t -> unit) ->
+  ?stop:(Cpu.t -> bool) ->
+  Cpu.t ->
+  entry:int64 ->
+  max_insns:int ->
+  outcome
 (** [on_step] fires before each executed instruction — the hook used by
-    the fault injector to perturb straight-line guest code. *)
+    the fault injector to perturb straight-line guest code.  [stop] is
+    checked before each fetch; when it returns [true] the run ends with
+    {!Stopped} — the differential fuzzer's way of ending a program at a
+    semantic boundary (leaving virtual EL2) rather than an address. *)
 
 val disassemble : Memory.t -> base:int64 -> count:int -> (int64 * string) list

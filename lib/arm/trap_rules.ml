@@ -296,7 +296,19 @@ let route ?(mask = nv2_full) (features : Features.t) ~(hcr : Hcr.view) ~vncr
     end
   | Insn.Msr (access, op) -> begin
       let rt = match op with Insn.Reg r -> r | Insn.Imm _ -> 0 in
+      (* A guest write to a read-only EL1-level register (MPIDR, MIDR,
+         the counter, the GIC IAR) is UNDEFINED under every mechanism;
+         routing it into a trap would let one mechanism "emulate" a
+         write real hardware refuses.  EL2-level read-only registers
+         keep their class routing (their writes trap from virtual EL2 so
+         the host can reject them identically everywhere), and the host
+         itself at EL2 keeps the ignore-write convenience semantics. *)
       if access.Sysreg.reg = Sysreg.CurrentEL then Undef
+      else if
+        el <> Pstate.EL2
+        && Sysreg.read_only access.Sysreg.reg
+        && Sysreg.min_el access.Sysreg.reg <> Pstate.EL2
+      then Undef
       else
       match el with
       | Pstate.EL2 -> route_sysreg_el2 features ~hcr ~access

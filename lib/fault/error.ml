@@ -28,6 +28,9 @@ type kind =
       (* the rewriter met an instruction shape it cannot encode *)
   | Invariant_broken of string
       (* an architectural invariant check failed hard *)
+  | Oracle_divergence of string
+      (* differential fuzzing: two trap mechanisms disagreed on an
+         architecturally visible outcome *)
 
 let kind_to_string = function
   | Unknown_sysreg (op0, op1, crn, crm, op2) ->
@@ -38,6 +41,7 @@ let kind_to_string = function
   | Unknown_access_form a -> "access form outside the paravirt registry: " ^ a
   | Unsupported_rewrite i -> "no rewrite for instruction: " ^ i
   | Invariant_broken s -> "invariant broken: " ^ s
+  | Oracle_divergence s -> "oracle divergence: " ^ s
 
 (* Machine context captured at the raise site. *)
 type context = {

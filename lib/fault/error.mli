@@ -18,6 +18,9 @@ type kind =
   | Unsupported_rewrite of string
       (** the rewriter met an instruction shape it cannot encode *)
   | Invariant_broken of string
+  | Oracle_divergence of string
+      (** differential fuzzing: two trap mechanisms disagreed on an
+          architecturally visible outcome *)
 
 val kind_to_string : kind -> string
 

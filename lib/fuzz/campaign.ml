@@ -1,0 +1,210 @@
+(* The campaign loop: generate, run differentially, shrink what
+   diverges, write repros, count coverage. *)
+
+type found = {
+  f_program : int;
+  f_words : int array;
+  f_min_words : int array;
+  f_divergences : string list;
+  f_repro_path : string option;
+}
+
+type stats = {
+  s_seed : int;
+  s_programs : int;
+  s_requested : int;
+  s_rule_covered : int;
+  s_rule_total : int;
+  s_insn_forms : string list;
+  s_insn_form_total : int;
+  s_aborts : int;
+  s_column_traps : (string * int) list;
+  s_found : found list;
+}
+
+let divergence_count st = List.length st.s_found
+
+let replay words =
+  List.map Diff.divergence_to_string (Diff.run_words words).res_divergences
+
+let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3) ~seed ~n
+    () =
+  let gen = Gen.create ~seed in
+  let column_traps =
+    List.map (fun c -> (c.Diff.col_name, ref 0)) Diff.columns
+  in
+  let aborts = ref 0 and found = ref [] and ran = ref 0 in
+  let i = ref 0 in
+  while !i < n && not (should_stop ()) do
+    let prog = Gen.program gen in
+    let words = Prog.to_words prog in
+    let res = Diff.run_words words in
+    incr ran;
+    List.iter
+      (fun (c, o) ->
+        match List.assoc_opt c.Diff.col_name column_traps with
+        | Some r -> r := !r + o.Diff.ob_traps
+        | None -> ())
+      res.Diff.res_obs;
+    if
+      List.for_all (fun (_, o) -> o.Diff.ob_error <> None) res.Diff.res_obs
+      && res.Diff.res_divergences = []
+    then incr aborts;
+    if res.Diff.res_divergences <> [] then begin
+      let f =
+        if List.length !found >= max_found then
+          {
+            f_program = !i;
+            f_words = words;
+            f_min_words = words;
+            f_divergences =
+              List.map Diff.divergence_to_string res.Diff.res_divergences;
+            f_repro_path = None;
+          }
+        else begin
+          let min_prog =
+            Shrink.minimize
+              ~still_fails:(fun p -> Diff.diverges (Prog.to_words p))
+              prog
+          in
+          let min_words = Prog.to_words min_prog in
+          let divs = replay min_words in
+          let divs =
+            (* shrinking preserves *some* failure, not necessarily the
+               original one; fall back to the unshrunk reports *)
+            if divs = [] then
+              List.map Diff.divergence_to_string res.Diff.res_divergences
+            else divs
+          in
+          let repro_path =
+            match corpus_dir with
+            | None -> None
+            | Some dir ->
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "div-seed%d-p%d.repro" seed !i)
+              in
+              Prog.save ~path
+                ~header:
+                  ([
+                     "neve fuzz repro";
+                     Printf.sprintf "campaign seed=%d program=%d" seed !i;
+                   ]
+                  @ List.map (fun d -> "divergence: " ^ d) divs)
+                min_words;
+              Some path
+          in
+          {
+            f_program = !i;
+            f_words = words;
+            f_min_words = min_words;
+            f_divergences = divs;
+            f_repro_path = repro_path;
+          }
+        end
+      in
+      found := f :: !found
+    end;
+    incr i
+  done;
+  {
+    s_seed = seed;
+    s_programs = !ran;
+    s_requested = n;
+    s_rule_covered = Gen.covered_count gen;
+    s_rule_total = Gen.registry_size;
+    s_insn_forms = Gen.insn_forms_used gen;
+    s_insn_form_total = Gen.insn_form_total;
+    s_aborts = !aborts;
+    s_column_traps = List.map (fun (n, r) -> (n, !r)) column_traps;
+    s_found = List.rev !found;
+  }
+
+(* --- reporting --- *)
+
+let pp_stats ppf st =
+  Fmt.pf ppf "@[<v>fuzz: seed=%d programs=%d/%d@," st.s_seed st.s_programs
+    st.s_requested;
+  Fmt.pf ppf "trap-rule coverage: %d/%d (%.1f%%)@," st.s_rule_covered
+    st.s_rule_total
+    (100.0 *. float_of_int st.s_rule_covered /. float_of_int st.s_rule_total);
+  Fmt.pf ppf "insn-form coverage: %d/%d [%s]@,"
+    (List.length st.s_insn_forms)
+    st.s_insn_form_total
+    (String.concat " " st.s_insn_forms);
+  if st.s_aborts > 0 then
+    Fmt.pf ppf "programs aborted identically under every column: %d@,"
+      st.s_aborts;
+  List.iter
+    (fun (name, traps) -> Fmt.pf ppf "  %-32s traps=%d@," name traps)
+    st.s_column_traps;
+  (match st.s_found with
+   | [] -> Fmt.pf ppf "result: no divergences"
+   | fs ->
+     Fmt.pf ppf "result: %d DIVERGENCE(S)" (List.length fs);
+     List.iter
+       (fun f ->
+         Fmt.pf ppf "@,program #%d (%d insns, %d after shrinking)%a"
+           f.f_program (Array.length f.f_words)
+           (Array.length f.f_min_words)
+           Fmt.(
+             option (fun ppf p -> pf ppf "@,  repro: %s" p))
+           f.f_repro_path;
+         List.iter (fun d -> Fmt.pf ppf "@,  %s" d) f.f_divergences)
+       fs);
+  Fmt.pf ppf "@]"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_stats st =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"seed\":%d,\"programs\":%d,\"requested\":%d,\"divergences\":%d,\
+        \"aborts\":%d,\"trap_rules_covered\":%d,\"trap_rules_total\":%d,\
+        \"trap_rule_coverage\":%.4f,\"insn_forms_used\":%d,\
+        \"insn_forms_total\":%d"
+       st.s_seed st.s_programs st.s_requested (divergence_count st)
+       st.s_aborts st.s_rule_covered st.s_rule_total
+       (float_of_int st.s_rule_covered /. float_of_int st.s_rule_total)
+       (List.length st.s_insn_forms)
+       st.s_insn_form_total);
+  Buffer.add_string b ",\"columns\":[";
+  List.iteri
+    (fun i (name, traps) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"traps\":%d}" (json_escape name)
+           traps))
+    st.s_column_traps;
+  Buffer.add_string b "],\"found\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"program\":%d,\"insns\":%d,\"min_insns\":%d,%s\"reports\":[%s]}"
+           f.f_program (Array.length f.f_words)
+           (Array.length f.f_min_words)
+           (match f.f_repro_path with
+            | Some p -> Printf.sprintf "\"repro\":\"%s\"," (json_escape p)
+            | None -> "")
+           (String.concat ","
+              (List.map
+                 (fun d -> "\"" ^ json_escape d ^ "\"")
+                 f.f_divergences))))
+    st.s_found;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,54 @@
+(** Fuzzing campaigns: the loop behind [neve_sim fuzz] and the CI smoke
+    job.
+
+    A campaign is fully determined by [(seed, n)]: the generator's PRNG
+    is its only entropy source, so two same-seed runs produce
+    byte-identical reports (the optional [should_stop] time budget is
+    the one escape hatch, and it only truncates the program count). *)
+
+type found = {
+  f_program : int;          (** index of the diverging program *)
+  f_words : int array;      (** original encoded program *)
+  f_min_words : int array;  (** after shrinking *)
+  f_divergences : string list;
+      (** rendered reports ({!Diff.divergence_to_string}) of the
+          minimized program *)
+  f_repro_path : string option;  (** where the repro file was written *)
+}
+
+type stats = {
+  s_seed : int;
+  s_programs : int;              (** programs actually run *)
+  s_requested : int;
+  s_rule_covered : int;
+  s_rule_total : int;
+  s_insn_forms : string list;
+  s_insn_form_total : int;
+  s_aborts : int;  (** programs every column aborted on, identically *)
+  s_column_traps : (string * int) list;
+  s_found : found list;
+}
+
+val divergence_count : stats -> int
+
+val run :
+  ?should_stop:(unit -> bool) ->
+  ?corpus_dir:string ->
+  ?max_found:int ->
+  seed:int ->
+  n:int ->
+  unit ->
+  stats
+(** Generate and check [n] programs.  On divergence the program is
+    shrunk with {!Shrink.minimize} and, when [corpus_dir] is given,
+    written there as [div-seed<seed>-p<index>.repro]; after [max_found]
+    divergences (default 3) the campaign keeps counting but stops
+    shrinking/saving. *)
+
+val replay : int array -> string list
+(** Run one encoded program through the oracle; rendered divergence
+    reports, empty on agreement.  Used by corpus regression tests. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+val json_stats : stats -> string
+(** Deterministic single-line JSON (no timestamps, no wall-clock). *)

@@ -1,0 +1,304 @@
+(* Differential driver: one program, every mechanism, one answer.
+
+   The run protocol is the same for every column:
+   - a fresh single-CPU nested machine, guest hypervisor started in
+     virtual EL2 (Machine.boot is NOT used: boot erets into the nested
+     VM, and the fuzzer's programs *are* the guest hypervisor);
+   - x28 holds the shared-page base in every column (the paravirt
+     binary-patching convention — harmless where unused);
+   - paravirtualized columns run the binary-patched text, hardware
+     columns the original words;
+   - after the interpreter stops, a final eret through the
+     guest-access funnel (trapped on hardware, rewritten to hvc on
+     paravirt) folds the execution mapping and drains the NEVE page, so
+     the virtual register files are authoritative in every column when
+     the oracle reads them.
+
+   Observations deliberately exclude mechanism-private state: the
+   hardware register file (host-owned), the deferred access page and the
+   vCPU context region.  What a guest could see must match; what only
+   the host sees may differ. *)
+
+module Insn = Arm.Insn
+module Sysreg = Arm.Sysreg
+module Sysreg_file = Arm.Sysreg_file
+module Memory = Arm.Memory
+module Cpu = Arm.Cpu
+module Interp = Arm.Interp
+module Pstate = Arm.Pstate
+module Config = Hyp.Config
+module Machine = Hyp.Machine
+module Host_hyp = Hyp.Host_hyp
+module Paravirt = Hyp.Paravirt
+module Vcpu = Hyp.Vcpu
+module Gaccess = Hyp.Gaccess
+
+type column = { col_name : string; col_config : Config.t }
+
+let columns =
+  List.map
+    (fun (name, config) -> { col_name = name; col_config = config })
+    Workloads.Scenario.fuzz_columns
+
+let groups =
+  let vhe, non_vhe =
+    List.partition (fun c -> c.col_config.Config.guest_vhe) columns
+  in
+  [ ("non-VHE", non_vhe); ("VHE", vhe) ]
+
+let text_base = 0x2000_0000L
+
+(* Branches only go forward and every taken trap re-runs nothing, so the
+   true execution length is bounded by the word count; the slack covers
+   the post-eret continuation and the final fold. *)
+let budget_for words = (2 * Array.length words) + 64
+
+type obs = {
+  ob_error : string option;
+  ob_outcome : string;
+  ob_pc : int64;
+  ob_pstate : string;
+  ob_in_vel2 : bool;
+  ob_regs : int64 array;
+  ob_vel2 : (string * int64) list;
+  ob_vel1 : (string * int64) list;
+  ob_mem : (int * int64) list;
+  ob_traps : int;
+  ob_ctx : Fault.Error.context option;
+}
+
+let empty_obs =
+  {
+    ob_error = None;
+    ob_outcome = "";
+    ob_pc = 0L;
+    ob_pstate = "";
+    ob_in_vel2 = false;
+    ob_regs = [||];
+    ob_vel2 = [];
+    ob_vel1 = [];
+    ob_mem = [];
+    ob_traps = 0;
+    ob_ctx = None;
+  }
+
+let file_obs (file : Sysreg_file.t) =
+  List.filter_map
+    (fun r ->
+      let v = Sysreg_file.read file r in
+      if v <> Sysreg_file.reset_value r then Some (Sysreg.name r, v)
+      else None)
+    Sysreg.all
+
+let mem_obs mem =
+  let words = Gen.scratch_len / 8 in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let addr = Int64.of_int (Gen.scratch_base + (8 * i)) in
+      let v = Memory.read64 mem addr in
+      go (i - 1) (if v = 0L then acc else (Gen.scratch_base + (8 * i), v) :: acc)
+  in
+  go (words - 1) []
+
+let run_column ~budget config words =
+  let m = Machine.create ~ncpus:1 config Host_hyp.Nested in
+  let cpu = m.Machine.cpus.(0) and host = m.Machine.hosts.(0) in
+  try
+    Host_hyp.start_guest_hypervisor host;
+    let page_base = host.Host_hyp.vcpu.Vcpu.page_base in
+    let text =
+      if Config.is_paravirt config then
+        Paravirt.patch_text config ~page_base words
+      else words
+    in
+    Interp.load m.Machine.mem ~base:text_base text;
+    Cpu.set_reg cpu Paravirt.page_base_reg page_base;
+    (* A generated program is guest-HYPERVISOR code: its scope ends the
+       moment an eret leaves virtual EL2.  Running on past that point
+       would execute the same (possibly patched) text at virtual EL1,
+       where boot-time paravirt rewriting is not meant to be transparent
+       — patching assumes the text only ever runs at EL2. *)
+    let stop _ = not host.Host_hyp.vcpu.Vcpu.in_vel2 in
+    let outcome = Interp.run cpu ~stop ~entry:text_base ~max_insns:budget in
+    (* where/how the program stopped, before the fold moves the PC *)
+    let pc = cpu.Cpu.pc in
+    let pstate = Fmt.str "%a" Pstate.pp cpu.Cpu.pstate in
+    let in_vel2 = host.Host_hyp.vcpu.Vcpu.in_vel2 in
+    (* fold: a final eret (trapped / rewritten) makes the virtual files
+       authoritative under every mechanism *)
+    if in_vel2 then Gaccess.eret (Gaccess.v cpu config ~page_base);
+    {
+      ob_error = None;
+      ob_outcome = Fmt.str "%a" Interp.pp_outcome outcome;
+      ob_pc = pc;
+      ob_pstate = pstate;
+      ob_in_vel2 = in_vel2;
+      ob_regs = Array.init 31 (Cpu.get_reg cpu);
+      ob_vel2 = file_obs host.Host_hyp.vcpu.Vcpu.vel2;
+      ob_vel1 = file_obs host.Host_hyp.vcpu.Vcpu.vel1;
+      ob_mem = mem_obs m.Machine.mem;
+      ob_traps = cpu.Cpu.meter.Cost.traps;
+      ob_ctx = Some (Fault.Error.context_of_cpu cpu);
+    }
+  with e ->
+    {
+      empty_obs with
+      ob_error = Some (Printexc.to_string e);
+      ob_traps = cpu.Cpu.meter.Cost.traps;
+      ob_ctx = Some (Fault.Error.context_of_cpu cpu);
+    }
+
+(* --- comparison --- *)
+
+let pp_named ppf (n, v) = Fmt.pf ppf "%s=0x%Lx" n v
+
+let first_list_diff pp a b =
+  (* both lists are in the same canonical order; report the first
+     element present or differing on one side only *)
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> None
+    | x :: a', y :: b' when x = y -> go a' b'
+    | _ ->
+      let show = function
+        | [] -> "<absent>"
+        | x :: _ -> Fmt.str "%a" pp x
+      in
+      Some (Printf.sprintf "ref has %s, column has %s" (show a) (show b))
+  in
+  go a b
+
+let diff_obs (ref_o : obs) (o : obs) : (string * string) list =
+  match (ref_o.ob_error, o.ob_error) with
+  | Some e1, Some e2 ->
+    if e1 = e2 then []
+    else [ ("error", Printf.sprintf "ref raised %s, column raised %s" e1 e2) ]
+  | Some e, None -> [ ("error", "ref raised " ^ e ^ ", column did not") ]
+  | None, Some e -> [ ("error", "column raised " ^ e ^ ", ref did not") ]
+  | None, None ->
+    let acc = ref [] in
+    let add field detail = acc := (field, detail) :: !acc in
+    if ref_o.ob_outcome <> o.ob_outcome then
+      add "exit-class"
+        (Printf.sprintf "ref %s, column %s" ref_o.ob_outcome o.ob_outcome);
+    if ref_o.ob_pc <> o.ob_pc then
+      add "pc" (Printf.sprintf "ref 0x%Lx, column 0x%Lx" ref_o.ob_pc o.ob_pc);
+    if ref_o.ob_pstate <> o.ob_pstate then
+      add "pstate"
+        (Printf.sprintf "ref %s, column %s" ref_o.ob_pstate o.ob_pstate);
+    if ref_o.ob_in_vel2 <> o.ob_in_vel2 then
+      add "in-vel2"
+        (Printf.sprintf "ref %b, column %b" ref_o.ob_in_vel2 o.ob_in_vel2);
+    Array.iteri
+      (fun i v ->
+        if i < Array.length o.ob_regs && o.ob_regs.(i) <> v then
+          add
+            (Printf.sprintf "x%d" i)
+            (Printf.sprintf "ref 0x%Lx, column 0x%Lx" v o.ob_regs.(i)))
+      ref_o.ob_regs;
+    (match first_list_diff pp_named ref_o.ob_vel2 o.ob_vel2 with
+     | Some d -> add "vel2-file" d
+     | None -> ());
+    (match first_list_diff pp_named ref_o.ob_vel1 o.ob_vel1 with
+     | Some d -> add "vel1-file" d
+     | None -> ());
+    (match
+       first_list_diff
+         (fun ppf (a, v) -> Fmt.pf ppf "[0x%x]=0x%Lx" a v)
+         ref_o.ob_mem o.ob_mem
+     with
+     | Some d -> add "scratch-memory" d
+     | None -> ());
+    List.rev !acc
+
+type divergence = {
+  dv_group : string;
+  dv_ref : string;
+  dv_col : string;
+  dv_field : string;
+  dv_detail : string;
+  dv_context : Fault.Error.context option;
+}
+
+let divergence_to_string d =
+  Fault.Error.to_string
+    (Fault.Error.Oracle_divergence
+       (Printf.sprintf "[%s] %s vs %s: %s — %s" d.dv_group d.dv_ref d.dv_col
+          d.dv_field d.dv_detail))
+    d.dv_context
+
+type result = {
+  res_obs : (column * obs) list;
+  res_divergences : divergence list;
+}
+
+(* Trap-count ordering inside a group: each paravirtualized twin must
+   produce exactly its hardware twin's count (the repo's methodological
+   claim), and NEVE must never trap more than trap-and-emulate. *)
+let ordering_divergences group cols_obs =
+  let find mech =
+    List.find_opt
+      (fun (c, _) -> c.col_config.Config.mech = mech)
+      cols_obs
+  in
+  let check rel name_of = function
+    | Some (ca, (oa : obs)), Some (cb, (ob : obs))
+      when oa.ob_error = None && ob.ob_error = None ->
+      if rel oa.ob_traps ob.ob_traps then []
+      else
+        [
+          {
+            dv_group = group;
+            dv_ref = ca.col_name;
+            dv_col = cb.col_name;
+            dv_field = "trap-ordering";
+            dv_detail =
+              Printf.sprintf "%s: %d traps vs %d traps" name_of oa.ob_traps
+                ob.ob_traps;
+            dv_context = ob.ob_ctx;
+          };
+        ]
+    | _ -> []
+  in
+  check (fun a b -> a = b) "hw/pv twins must match"
+    (find Config.Hw_v8_3, find Config.Pv_v8_3)
+  @ check (fun a b -> a = b) "hw/pv twins must match"
+      (find Config.Hw_neve, find Config.Pv_neve)
+  @ check (fun a b -> b <= a) "NEVE must not out-trap trap-and-emulate"
+      (find Config.Hw_v8_3, find Config.Hw_neve)
+
+let run_words words =
+  let budget = budget_for words in
+  let res_obs =
+    List.map (fun c -> (c, run_column ~budget c.col_config words)) columns
+  in
+  let divergences =
+    List.concat_map
+      (fun (group, cols) ->
+        let cols_obs =
+          List.filter (fun (c, _) -> List.memq c cols) res_obs
+        in
+        match cols_obs with
+        | [] -> []
+        | (ref_c, ref_o) :: rest ->
+          List.concat_map
+            (fun (c, o) ->
+              List.map
+                (fun (field, detail) ->
+                  {
+                    dv_group = group;
+                    dv_ref = ref_c.col_name;
+                    dv_col = c.col_name;
+                    dv_field = field;
+                    dv_detail = detail;
+                    dv_context = o.ob_ctx;
+                  })
+                (diff_obs ref_o o))
+            rest
+          @ ordering_divergences group cols_obs)
+      groups
+  in
+  { res_obs; res_divergences = divergences }
+
+let diverges words = (run_words words).res_divergences <> []

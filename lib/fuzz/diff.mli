@@ -1,0 +1,75 @@
+(** The differential driver and cross-mechanism oracle.
+
+    One program runs under every ARM nested column of
+    [Workloads.Scenario.fuzz_columns] — trap-and-emulate (ARMv8.3),
+    NEVE, and their paravirtualized twins, for both guest-hypervisor
+    designs.  Columns sharing a design (VHE / non-VHE) form a {e group}
+    inside which the paper's transparency claim must hold exactly:
+    identical final virtual EL1/EL2 register files, guest-visible
+    memory, general registers, PSTATE/EL and exit class.  Trap counts
+    may differ, but only in the paper-predicted direction — each
+    paravirtualized twin produces exactly its hardware twin's count, and
+    NEVE never traps more than trap-and-emulate. *)
+
+type column = { col_name : string; col_config : Hyp.Config.t }
+
+val columns : column list
+val groups : (string * column list) list
+(** Columns partitioned by guest-hypervisor design ("non-VHE"/"VHE"). *)
+
+val text_base : int64
+(** Where programs are loaded and entered. *)
+
+val budget_for : int array -> int
+(** Instruction budget for a program of this many words. *)
+
+(** What the oracle sees of one column after a run. *)
+type obs = {
+  ob_error : string option;
+      (** an escaped exception — compared like any other outcome *)
+  ob_outcome : string;   (** interpreter exit class *)
+  ob_pc : int64;         (** PC when the program stopped (pre-fold) *)
+  ob_pstate : string;    (** PSTATE/EL when the program stopped *)
+  ob_in_vel2 : bool;
+  ob_regs : int64 array; (** x0..x30 *)
+  ob_vel2 : (string * int64) list;  (** non-reset virtual EL2 registers *)
+  ob_vel1 : (string * int64) list;  (** non-reset virtual EL1 registers *)
+  ob_mem : (int * int64) list;      (** non-zero scratch words *)
+  ob_traps : int;
+  ob_ctx : Fault.Error.context option;
+}
+
+val run_column : budget:int -> Hyp.Config.t -> int array -> obs
+(** Run one encoded program under one configuration: fresh machine,
+    guest hypervisor started in virtual EL2, text binary-patched for
+    paravirtualized columns, and a final (trapped) [eret] folding the
+    execution mapping and the deferred page back into the virtual files
+    so every mechanism's state is compared from the same vantage. *)
+
+type divergence = {
+  dv_group : string;
+  dv_ref : string;     (** reference column *)
+  dv_col : string;     (** disagreeing column *)
+  dv_field : string;
+  dv_detail : string;
+  dv_context : Fault.Error.context option;
+}
+
+val divergence_to_string : divergence -> string
+(** Rendered through [Fault.Error.to_string] with an
+    [Oracle_divergence] kind, carrying the disagreeing column's machine
+    context. *)
+
+type result = {
+  res_obs : (column * obs) list;
+  res_divergences : divergence list;
+}
+
+val run_words : int array -> result
+(** The full oracle: run under every column, compare architectural
+    observations within each group, then check trap-count ordering
+    (twin equality, NEVE <= trap-and-emulate). *)
+
+val diverges : int array -> bool
+(** [run_words] produced at least one divergence — the shrinker's
+    predicate. *)

@@ -1,0 +1,26 @@
+(* ddmin over snippet lists.  Each predicate call replays the candidate
+   under every column, so the shrinker trades a few dozen machine runs
+   for a repro small enough to read. *)
+
+let remove_range l ~at ~len =
+  List.filteri (fun i _ -> i < at || i >= at + len) l
+
+let minimize ~still_fails prog =
+  let rec chunk_pass chunk prog =
+    if chunk < 1 then prog
+    else begin
+      (* walk the program removing [chunk]-sized windows where the
+         failure survives; restart the walk on the shrunk program *)
+      let rec walk at prog =
+        if at >= List.length prog then prog
+        else
+          let cand = remove_range prog ~at ~len:chunk in
+          if List.length cand < List.length prog && still_fails cand then
+            walk at cand
+          else walk (at + chunk) prog
+      in
+      chunk_pass (chunk / 2) (walk 0 prog)
+    end
+  in
+  let n = List.length prog in
+  if n <= 1 then prog else chunk_pass (max 1 (n / 2)) prog

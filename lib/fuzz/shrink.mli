@@ -1,0 +1,12 @@
+(** Delta-debugging shrinker.
+
+    Minimizes a failing program at snippet granularity — the only
+    removal unit that keeps programs well-formed (memory accesses keep
+    their address-materializing [mov]; branches keep landing on snippet
+    boundaries).  Deterministic: no randomness, the result depends only
+    on the input program and the predicate. *)
+
+val minimize : still_fails:(Prog.t -> bool) -> Prog.t -> Prog.t
+(** Greedy ddmin: repeatedly remove chunks (halving the chunk size down
+    to single snippets) while [still_fails] holds, until no single
+    snippet can be removed. *)

@@ -112,11 +112,28 @@ let page_backed t r =
   Config.is_neve t.config && t.vcpu.Vcpu.in_vel2
   && Core.Deferred_page.has_slot r
 
+(* While the guest hypervisor is at virtual EL2, the execution mapping
+   loaded by [inject_vel2] is live in hardware for EVERY nested
+   mechanism: hardware exception entry inside virtual EL2 (an SVC or an
+   UNDEF taken by the guest hypervisor) writes the EL1 twins directly.
+   Trap-time reads and writes of an execution-mapped register must
+   therefore go through the stashed hardware twin even when the
+   configuration does not redirect untrapped accesses — otherwise state
+   hardware wrote behind the trap handler's back is lost, and the stash
+   fold in [emulate_eret] clobbers trapped writes with stale values. *)
+let stash_twin t r =
+  match twin_backed t r with
+  | Some _ as s -> s
+  | None ->
+    if t.vcpu.Vcpu.in_vel2 then
+      List.assoc_opt r Core.Classify.redirected_pairs
+    else None
+
 (* Read a virtual-EL2 register value from wherever it currently lives.
    Reads of twin-backed registers must use the *stash* when the hardware
    has already been switched away (the caller passes ~from_stash). *)
 let vel2_read ?(from_stash = false) t r =
-  match twin_backed t r with
+  match (if from_stash then stash_twin t r else twin_backed t r) with
   | Some twin ->
     if from_stash then
       Memory.read64 t.cpu.Cpu.mem
@@ -225,7 +242,13 @@ let neve_populate t =
 
 let neve_drain t =
   let write_virtual r v =
-    if Sysreg.min_el r = Arm.Pstate.EL2 then Vcpu.write_vel2 t.vcpu r v
+    (* A register redirected to a hardware EL1 twin under this
+       configuration is never written through the page while the guest
+       hypervisor runs — its page slot is a stale shadow from
+       [neve_populate], and draining it would clobber the authoritative
+       value the execution-mapping fold took from the twin. *)
+    if twin_backed t r <> None then ()
+    else if Sysreg.min_el r = Arm.Pstate.EL2 then Vcpu.write_vel2 t.vcpu r v
     else Vcpu.write_vel1 t.vcpu r v
   in
   Core.Deferred_page.drain t.page ~write_virtual;
@@ -402,7 +425,7 @@ let emulate_sysreg t ~(access : Sysreg.access) ~rt ~is_read =
     (if is_read then begin
        let v =
          if vel2_target then
-           match twin_backed t r with
+           match stash_twin t r with
            | Some twin -> stash_read t twin
            | None -> Vcpu.read_vel2 t.vcpu r
          else Vcpu.read_vel1 t.vcpu r
@@ -413,7 +436,7 @@ let emulate_sysreg t ~(access : Sysreg.access) ~rt ~is_read =
        let v = Cpu.get_trapped_reg t.cpu rt in
        if vel2_target then begin
          Vcpu.write_vel2 t.vcpu r v;
-         (match twin_backed t r with
+         (match stash_twin t r with
           | Some twin ->
             Memory.write64 t.cpu.Cpu.mem (stash_slot t twin) v
           | None -> ());

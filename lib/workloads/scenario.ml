@@ -30,6 +30,30 @@ let fig2_columns =
     ("x86 Nested", X86 X86_nested);
   ]
 
+(* The differential fuzzer's column matrix: every ARM nested column of
+   Figure 2 plus its paravirtualized twin on the same guest-hypervisor
+   design.  The twins run the same guest programs after binary patching,
+   so the fuzzer's oracle can hold all four mechanisms per design to the
+   same architectural outcome. *)
+let fuzz_columns =
+  let pv_twin mech =
+    match mech with
+    | Hyp.Config.Hw_v8_3 -> Hyp.Config.Pv_v8_3
+    | Hyp.Config.Hw_neve -> Hyp.Config.Pv_neve
+    | pv -> pv
+  in
+  List.concat_map
+    (fun (name, col) ->
+      match col with
+      | Arm (Arm_nested cfg) ->
+        let twin =
+          Hyp.Config.v ~guest_vhe:cfg.Hyp.Config.guest_vhe
+            ~gicv2:cfg.Hyp.Config.gicv2 (pv_twin cfg.Hyp.Config.mech)
+        in
+        [ (name, cfg); (name ^ " (paravirt)", twin) ]
+      | _ -> [])
+    fig2_columns
+
 (* Build a booted ARM machine for a column. *)
 let make_arm ?(ncpus = 2) ?table (col : arm_column) =
   let config, scen =

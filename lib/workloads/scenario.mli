@@ -14,6 +14,11 @@ val column_name : column -> string
 val fig2_columns : (string * column) list
 (** The seven columns of Figure 2, in the paper's order. *)
 
+val fuzz_columns : (string * Hyp.Config.t) list
+(** The differential fuzzer's matrix: every ARM nested column of
+    {!fig2_columns} plus its paravirtualized twin (same guest-hypervisor
+    design, instructions rewritten), in figure order. *)
+
 val make_arm : ?ncpus:int -> ?table:Cost.table -> arm_column -> Hyp.Machine.t
 (** Build and boot an ARM machine for a column (2 CPUs by default, for
     the IPI benchmarks). *)

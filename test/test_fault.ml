@@ -23,7 +23,8 @@ let qtest = QCheck_alcotest.to_alcotest
 (* --- the plan is deterministic and one-shot --- *)
 
 let test_plan_deterministic () =
-  let mk () = Plan.make ~seed:123 ~faults:16 ~horizon:5000 in
+  let seed = 123 in
+  let mk () = Plan.make ~seed ~faults:16 ~horizon:5000 in
   let drain p =
     let fired = ref [] in
     for traps = 1 to 5000 do
@@ -32,29 +33,47 @@ let test_plan_deterministic () =
     List.rev !fired
   in
   let a = drain (mk ()) and b = drain (mk ()) in
-  check Alcotest.bool "same seed, same fired sequence" true (a = b);
-  check Alcotest.int "all events fire within the horizon" 16 (List.length a);
+  check Alcotest.bool
+    (Printf.sprintf "same seed, same fired sequence (seed=%d)" seed)
+    true (a = b);
+  check Alcotest.int
+    (Printf.sprintf "all events fire within the horizon (seed=%d)" seed)
+    16 (List.length a);
   let p = mk () in
   let all = Plan.due p ~traps:5000 in
-  check Alcotest.int "one big poll pops everything" 16 (List.length all);
-  check Alcotest.int "events fire exactly once" 0
+  check Alcotest.int
+    (Printf.sprintf "one big poll pops everything (seed=%d)" seed)
+    16 (List.length all);
+  check Alcotest.int
+    (Printf.sprintf "events fire exactly once (seed=%d)" seed)
+    0
     (List.length (Plan.due p ~traps:5000))
 
 let test_plan_kind_filter () =
-  let p = Plan.make ~seed:7 ~faults:32 ~horizon:100 in
+  let seed = 7 in
+  let p = Plan.make ~seed ~faults:32 ~horizon:100 in
   let s2 = Plan.due ~kind:Plan.S2_fault p ~traps:100 in
-  check Alcotest.bool "kind filter returns only that kind" true
+  check Alcotest.bool
+    (Printf.sprintf "kind filter returns only that kind (seed=%d)" seed)
+    true
     (List.for_all (fun k -> k = Plan.S2_fault) s2);
   let rest = Plan.due p ~traps:100 in
-  check Alcotest.bool "filtered events were consumed" true
+  check Alcotest.bool
+    (Printf.sprintf "filtered events were consumed (seed=%d)" seed)
+    true
     (List.for_all (fun k -> k <> Plan.S2_fault) rest);
-  check Alcotest.int "nothing is lost between the two polls" 32
+  check Alcotest.int
+    (Printf.sprintf "nothing is lost between the two polls (seed=%d)" seed)
+    32
     (List.length s2 + List.length rest)
 
 let test_corrupt_changes_value () =
-  let p = Plan.make ~seed:99 ~faults:1 ~horizon:10 in
+  let seed = 99 in
+  let p = Plan.make ~seed ~faults:1 ~horizon:10 in
   let v = 0xdead_beefL in
-  check Alcotest.bool "corruption never returns the input" true
+  check Alcotest.bool
+    (Printf.sprintf "corruption never returns the input (seed=%d)" seed)
+    true
     (Plan.corrupt p v <> v)
 
 (* --- the stage-2 walker's injection hook --- *)
@@ -405,15 +424,20 @@ let test_hvc_fuzz_hw = hvc_fuzz_config Config.Hw_v8_3 "ARMv8.3 hw"
 (* --- chaos: same seed, same report, and no anonymous crashes --- *)
 
 let test_chaos_reproducible () =
+  let seed = 7 in
   let render () =
     Fmt.str "%a" Workloads.Chaos.pp_report
-      (Workloads.Chaos.run ~seed:7 ~faults:8 ~traps:1500 ())
+      (Workloads.Chaos.run ~seed ~faults:8 ~traps:1500 ())
   in
   let a = render () and b = render () in
-  check Alcotest.string "two runs render byte-identically" a b;
-  check Alcotest.bool "the sweep never crashed anonymously" true
+  check Alcotest.string
+    (Printf.sprintf "two runs render byte-identically (seed=%d)" seed)
+    a b;
+  check Alcotest.bool
+    (Printf.sprintf "the sweep never crashed anonymously (seed=%d)" seed)
+    true
     (Workloads.Chaos.crashes
-       (Workloads.Chaos.run ~seed:7 ~faults:8 ~traps:1500 ())
+       (Workloads.Chaos.run ~seed ~faults:8 ~traps:1500 ())
     = [])
 
 let suite =

@@ -1,0 +1,280 @@
+(* Tests for the differential conformance fuzzer: encode/decode
+   roundtrip over the full instruction set, decode-cache soundness under
+   adversarial slot collisions, trap-rule coverage of the generator,
+   shrinker behaviour, corpus replay, and campaign determinism.
+
+   Every seeded assertion interpolates its seed into the failure
+   message, so a red run can be reproduced without re-reading the test
+   source. *)
+
+module Insn = Arm.Insn
+module Sysreg = Arm.Sysreg
+module Encode = Arm.Encode
+module Interp = Arm.Interp
+module Config = Hyp.Config
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- satellite: Encode.decode o Encode.encode = id ------------------- *)
+
+(* Random instances of every ENCODABLE instruction shape.  The access
+   universe is the paravirtualizer's own ([Paravirt.forms]): every
+   direct register plus the _EL12/_EL02 aliases — the same accesses the
+   binary patcher must roundtrip through memory. *)
+let forms = Hyp.Paravirt.forms
+
+let gen_access st = forms.(Random.State.int st (Array.length forms))
+let gen_reg st = Random.State.int st 31
+let gen_off st =
+  let o = Random.State.int st 2001 - 1000 in
+  if o = 0 then 1 else o
+
+let gen_encodable st =
+  match Random.State.int st 18 with
+  | 0 -> Insn.Mrs (gen_reg st, gen_access st)
+  | 1 -> Insn.Msr (gen_access st, Insn.Reg (gen_reg st))
+  | 2 -> Insn.Hvc (Random.State.int st 0x10000)
+  | 3 -> Insn.Svc (Random.State.int st 0x10000)
+  | 4 -> Insn.Smc (Random.State.int st 0x10000)
+  | 5 -> Insn.Eret
+  | 6 -> Insn.Nop
+  | 7 -> Insn.Isb
+  | 8 -> Insn.Dsb
+  | 9 ->
+    Insn.Ldr
+      (gen_reg st,
+       Insn.Based (gen_reg st, Int64.of_int (8 * Random.State.int st 0x1000)))
+  | 10 ->
+    Insn.Str
+      (gen_reg st,
+       Insn.Based (gen_reg st, Int64.of_int (8 * Random.State.int st 0x1000)))
+  | 11 ->
+    Insn.Mov (gen_reg st, Insn.Imm (Int64.of_int (Random.State.int st 0x10000)))
+  | 12 ->
+    Insn.Add
+      (gen_reg st, gen_reg st,
+       Insn.Imm (Int64.of_int (Random.State.int st 0x1000)))
+  | 13 ->
+    Insn.Sub
+      (gen_reg st, gen_reg st,
+       Insn.Imm (Int64.of_int (Random.State.int st 0x1000)))
+  | 14 -> Insn.Add (gen_reg st, gen_reg st, Insn.Reg (gen_reg st))
+  | 15 -> Insn.Sub (gen_reg st, gen_reg st, Insn.Reg (gen_reg st))
+  | 16 -> Insn.B (gen_off st)
+  | _ ->
+    if Random.State.bool st then Insn.Cbz (gen_reg st, gen_off st)
+    else Insn.Cbnz (gen_reg st, gen_off st)
+
+let arb_encodable = QCheck.make ~print:Insn.to_string gen_encodable
+
+let test_roundtrip =
+  QCheck.Test.make ~count:2000
+    ~name:"encode/decode roundtrip over every encodable shape"
+    arb_encodable
+    (fun insn ->
+      if Encode.roundtrips insn then true
+      else
+        QCheck.Test.fail_reportf "%s (word %08x) does not roundtrip"
+          (Insn.to_string insn)
+          (Encode.encode insn))
+
+(* The remaining constructors have no single-word A64 form; [encode]
+   must refuse them rather than emit a wrong word — the binary patcher
+   relies on this partiality being loud. *)
+let test_unencodable_raises () =
+  let shapes =
+    [
+      Insn.Msr (Sysreg.direct Sysreg.HCR_EL2, Insn.Imm 1L);
+      Insn.Mov (0, Insn.Reg 1);
+      Insn.Mov (0, Insn.Imm 0x10000L);
+      Insn.Add (0, 1, Insn.Imm 0x1000L);
+      Insn.And (0, 1, Insn.Reg 2);
+      Insn.Orr (0, 1, Insn.Reg 2);
+      Insn.Eor (0, 1, Insn.Reg 2);
+      Insn.Lsl (0, 1, 3);
+      Insn.Lsr (0, 1, 3);
+      Insn.Tlbi_vmalls12e1;
+      Insn.Tlbi_alle2;
+      Insn.Wfi;
+      Insn.Ldr (0, Insn.Abs 0x1000L);
+      Insn.Str (0, Insn.Abs 0x1000L);
+    ]
+  in
+  List.iter
+    (fun insn ->
+      match Encode.encode insn with
+      | w ->
+        Alcotest.failf "expected Invalid_argument for %s, got word %08x"
+          (Insn.to_string insn) w
+      | exception Invalid_argument _ -> ())
+    shapes
+
+(* --- satellite: decode_cached = decode under slot collisions --------- *)
+
+let test_decode_cache_collisions =
+  QCheck.Test.make ~count:1000
+    ~name:"decode_cached = decode under adversarial slot collisions"
+    QCheck.(pair arb_encodable (int_range 1 4096))
+    (fun (insn, k) ->
+      (* two words congruent modulo the cache size fight over one
+         direct-mapped slot; alternating lookups force evictions *)
+      let w1 = Encode.encode insn in
+      let w2 = (w1 + (k * Interp.decode_cache_size)) land 0xffff_ffff in
+      let agree w = Interp.decode_cached w = Encode.decode w in
+      agree w1 && agree w2 && agree w1 && agree w2)
+
+(* --- satellite: coverage matrix -------------------------------------- *)
+
+let coverage_seed = 1729
+let coverage_budget = 4000
+
+let test_coverage_matrix () =
+  let gen = Fuzz.Gen.create ~seed:coverage_seed in
+  let drawn = ref 0 in
+  while
+    Fuzz.Gen.covered_count gen < Fuzz.Gen.registry_size
+    && !drawn < coverage_budget
+  do
+    ignore (Fuzz.Gen.program gen);
+    incr drawn
+  done;
+  (* every register with an EL2 trap rule, in each routing configuration:
+     a failure lists the unreachable rules by name *)
+  List.iter
+    (fun config ->
+      let missing =
+        List.filter
+          (fun r -> not (Fuzz.Gen.is_covered gen r))
+          (Fuzz.Gen.rules_for config)
+      in
+      if missing <> [] then
+        Alcotest.failf
+          "config %s: %d trap rules unreachable after %d programs (seed=%d): %s"
+          (Config.name config) (List.length missing) !drawn coverage_seed
+          (String.concat ", " (List.map Fuzz.Gen.rule_name missing)))
+    Config.all_nested;
+  check Alcotest.int
+    (Printf.sprintf "full registry covered (seed=%d)" coverage_seed)
+    Fuzz.Gen.registry_size
+    (Fuzz.Gen.covered_count gen)
+
+let test_rules_nonempty () =
+  List.iter
+    (fun config ->
+      check Alcotest.bool
+        (Printf.sprintf "%s has trap rules" (Config.name config))
+        true
+        (Fuzz.Gen.rules_for config <> []))
+    Config.all_nested
+
+(* --- the oracle on a handcrafted program ------------------------------ *)
+
+(* EL2-register accesses from virtual EL2: trap-and-emulate must trap on
+   each, NEVE defers or redirects — agreement on state with strictly
+   fewer NEVE exits is the paper's core claim in miniature. *)
+let test_trap_reduction_direction () =
+  let words =
+    Array.of_list
+      (List.map Encode.encode
+         [
+           Insn.Mov (0, Insn.Imm 0x1234L);
+           Insn.Msr (Sysreg.direct Sysreg.TPIDR_EL2, Insn.Reg 0);
+           Insn.Mrs (1, Sysreg.direct Sysreg.TPIDR_EL2);
+           Insn.Msr (Sysreg.direct Sysreg.VBAR_EL2, Insn.Reg 0);
+           Insn.Mrs (2, Sysreg.direct Sysreg.VBAR_EL2);
+         ])
+  in
+  let res = Fuzz.Diff.run_words words in
+  check
+    (Alcotest.list Alcotest.string)
+    "no divergences" []
+    (List.map Fuzz.Diff.divergence_to_string res.Fuzz.Diff.res_divergences);
+  let traps name =
+    match
+      List.find_opt
+        (fun (c, _) -> c.Fuzz.Diff.col_name = name)
+        res.Fuzz.Diff.res_obs
+    with
+    | Some (_, o) -> o.Fuzz.Diff.ob_traps
+    | None -> Alcotest.failf "missing column %s" name
+  in
+  check Alcotest.bool "NEVE exits fewer times than trap-and-emulate" true
+    (traps "NEVE Nested" < traps "ARMv8.3 Nested")
+
+(* --- shrinker --------------------------------------------------------- *)
+
+let test_shrinker_minimizes () =
+  let needle = Fuzz.Prog.Straight [ Insn.Eret ] in
+  let noise i =
+    Fuzz.Prog.Straight [ Insn.Mov (i mod 8, Insn.Imm (Int64.of_int i)) ]
+  in
+  let prog =
+    List.init 9 noise @ [ needle ] @ List.init 9 (fun i -> noise (i + 16))
+  in
+  let still_fails p = List.mem needle p in
+  let min = Fuzz.Shrink.minimize ~still_fails prog in
+  check Alcotest.int "shrinks to the single failing snippet" 1
+    (List.length min);
+  check Alcotest.bool "kept the needle" true (still_fails min)
+
+(* --- corpus replay ---------------------------------------------------- *)
+
+let corpus_dir = "corpus"
+
+let test_corpus_replay () =
+  let files =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort compare
+  in
+  check Alcotest.bool "corpus is present (dune copies test/corpus)" true
+    (files <> []);
+  List.iter
+    (fun f ->
+      let path = Filename.concat corpus_dir f in
+      let repro = Fuzz.Prog.load ~path in
+      match Fuzz.Campaign.replay repro.Fuzz.Prog.r_words with
+      | [] -> ()
+      | reports ->
+        Alcotest.failf "%s: divergence reappeared:\n%s" path
+          (String.concat "\n" reports))
+    files
+
+(* --- campaign determinism and cleanliness ----------------------------- *)
+
+let campaign_seed = 3
+let campaign_n = 120
+
+let test_campaign_deterministic_and_clean () =
+  let run () = Fuzz.Campaign.run ~seed:campaign_seed ~n:campaign_n () in
+  let a = run () and b = run () in
+  check Alcotest.string
+    (Printf.sprintf "same seed, byte-identical stats (seed=%d)" campaign_seed)
+    (Fuzz.Campaign.json_stats a)
+    (Fuzz.Campaign.json_stats b);
+  check Alcotest.int
+    (Printf.sprintf "no divergences over %d programs (seed=%d)" campaign_n
+       campaign_seed)
+    0
+    (Fuzz.Campaign.divergence_count a)
+
+let suite =
+  [
+    qtest test_roundtrip;
+    Alcotest.test_case "encode refuses unencodable shapes" `Quick
+      test_unencodable_raises;
+    qtest test_decode_cache_collisions;
+    Alcotest.test_case "generator covers every trap rule per config" `Quick
+      test_coverage_matrix;
+    Alcotest.test_case "every nested config has trap rules" `Quick
+      test_rules_nonempty;
+    Alcotest.test_case "oracle: agreement with fewer NEVE exits" `Quick
+      test_trap_reduction_direction;
+    Alcotest.test_case "shrinker minimizes to the failing snippet" `Quick
+      test_shrinker_minimizes;
+    Alcotest.test_case "corpus repros replay cleanly" `Quick
+      test_corpus_replay;
+    Alcotest.test_case "campaign: deterministic and clean" `Slow
+      test_campaign_deterministic_and_clean;
+  ]

@@ -16,4 +16,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("fault", Test_fault.suite);
       ("properties", Test_properties.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
