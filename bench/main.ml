@@ -190,9 +190,10 @@ let benchmarks () =
 (* --- bench trajectory (--json): machine-readable throughput snapshot ---
 
    One row per simulated configuration: simulated-cycle throughput, trap
-   rates, and the wall-clock rate at which this build of the simulator
-   retires simulated instructions.  Written to BENCH_PR2.json so runs of
-   successive trees can be diffed mechanically. *)
+   rates (total and per exit class), and the wall-clock rate at which
+   this build of the simulator retires simulated instructions.  Written
+   to BENCH_PR4.json so runs of successive trees can be diffed
+   mechanically (BENCH_PR2.json holds the previous tree's numbers). *)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -214,6 +215,7 @@ type config_sample = {
   cs_cycles : int;
   cs_insns : int;
   cs_traps : int;
+  cs_breakdown : (string * int) list;  (* per-exit-class trap counts *)
 }
 
 let sum_deltas ds =
@@ -221,6 +223,25 @@ let sum_deltas ds =
     (fun (c, i, t) (d : Cost.delta) ->
       (c + d.Cost.d_cycles, i + d.Cost.d_insns, t + d.Cost.d_traps))
     (0, 0, 0) ds
+
+(* Sum per-kind trap deltas across meters, reported in the stable
+   [Cost.all_trap_kinds] order with zero rows dropped. *)
+let merge_by_kind ds =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Cost.delta) ->
+      List.iter
+        (fun (k, n) ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+          Hashtbl.replace tbl k (prev + n))
+        d.Cost.d_by_kind)
+    ds;
+  List.filter_map
+    (fun k ->
+      match Hashtbl.find_opt tbl k with
+      | Some n when n > 0 -> Some (Cost.trap_kind_name k, n)
+      | _ -> None)
+    Cost.all_trap_kinds
 
 let sample_arm ~iters (name, col) =
   let m = Workloads.Scenario.make_arm col in
@@ -241,7 +262,8 @@ let sample_arm ~iters (name, col) =
   let cycles, insns, traps = sum_deltas deltas in
   { cs_name = name; cs_workload = "micro4";
     cs_ops = iters * List.length benches; cs_wall = wall;
-    cs_cycles = cycles; cs_insns = insns; cs_traps = traps }
+    cs_cycles = cycles; cs_insns = insns; cs_traps = traps;
+    cs_breakdown = merge_by_kind deltas }
 
 let sample_x86 ~iters (name, col) =
   let t = Workloads.Scenario.make_x86 col in
@@ -256,7 +278,7 @@ let sample_x86 ~iters (name, col) =
   let d = Cost.delta_since meter snap in
   { cs_name = name; cs_workload = "hypercall"; cs_ops = iters;
     cs_wall = wall; cs_cycles = d.Cost.d_cycles; cs_insns = d.Cost.d_insns;
-    cs_traps = d.Cost.d_traps }
+    cs_traps = d.Cost.d_traps; cs_breakdown = merge_by_kind [ d ] }
 
 let buf_sample b s =
   let fop v = float_of_int v /. float_of_int s.cs_ops in
@@ -268,10 +290,15 @@ let buf_sample b s =
     \     \"wall_seconds\": %.6f,\n\
     \     \"sim_cycles\": %d, \"sim_insns\": %d, \"traps\": %d,\n\
     \     \"sim_cycles_per_op\": %.1f, \"traps_per_op\": %.3f,\n\
-    \     \"wall_ops_per_sec\": %.1f, \"wall_sim_insns_per_sec\": %.1f}"
+    \     \"wall_ops_per_sec\": %.1f, \"wall_sim_insns_per_sec\": %.1f,\n\
+    \     \"trap_breakdown\": {%s}}"
     (json_escape s.cs_name) s.cs_workload s.cs_ops s.cs_wall s.cs_cycles
     s.cs_insns s.cs_traps (fop s.cs_cycles) (fop s.cs_traps)
     (per_sec s.cs_ops) (per_sec s.cs_insns)
+    (String.concat ", "
+       (List.map
+          (fun (k, n) -> Printf.sprintf "\"%s\": %d" (json_escape k) n)
+          s.cs_breakdown))
 
 let run_json () =
   let iters = 200 in
@@ -286,7 +313,7 @@ let run_json () =
   let total_insns = List.fold_left (fun a s -> a + s.cs_insns) 0 samples in
   let b = Buffer.create 4096 in
   Printf.bprintf b
-    "{\n  \"schema\": \"neve-bench-trajectory/1\",\n\
+    "{\n  \"schema\": \"neve-bench-trajectory/2\",\n\
     \  \"iters\": %d,\n  \"total_wall_seconds\": %.6f,\n\
     \  \"total_sim_insns\": %d,\n\
     \  \"wall_sim_insns_per_sec\": %.1f,\n  \"configs\": [\n"
@@ -298,7 +325,7 @@ let run_json () =
       buf_sample b s)
     samples;
   Buffer.add_string b "\n  ]\n}\n";
-  let path = "BENCH_PR2.json" in
+  let path = "BENCH_PR4.json" in
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;

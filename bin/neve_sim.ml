@@ -299,6 +299,138 @@ let chaos_cmd =
           invariant checking; exit nonzero on any anonymous crash")
     Term.(const run $ seed_arg $ faults_arg $ traps_arg $ verbose_arg)
 
+(* --- exit-attribution tracing --- *)
+
+(* Run the microbenchmark suite traced under each ARM configuration and
+   print the per-exit-class trap breakdown (the Table 7 taxonomy).  The
+   tracer's class counters must sum to exactly the trap total the cost
+   meters measured over the same window — [Cost.record_trap] is the one
+   chokepoint both go through — so a mismatch is a simulator bug and the
+   command exits nonzero. *)
+let trace_cmd =
+  let chrome_arg =
+    let doc = "Write Chrome trace-event JSON (chrome://tracing) to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Write aggregate metrics JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run iters chrome json verbose =
+    setup_logs verbose;
+    let arm_cols =
+      Workloads.Micro.arm_columns_table1 @ Workloads.Micro.arm_columns_neve
+    in
+    let benches = Workloads.Micro.all in
+    let sample (name, col) =
+      let m = Workloads.Scenario.make_arm col in
+      (* warm up untraced so boot and first-touch traps stay out of the
+         attribution window *)
+      List.iter (fun b -> Workloads.Micro.arm_op m b ()) benches;
+      Trace.enable ~capacity:65536 ();
+      let meters =
+        Array.to_list
+          (Array.map
+             (fun (c : Arm.Cpu.t) -> c.Arm.Cpu.meter)
+             m.Hyp.Machine.cpus)
+      in
+      let snaps = List.map Cost.snapshot meters in
+      for _ = 1 to iters do
+        List.iter (fun b -> Workloads.Micro.arm_op m b ()) benches
+      done;
+      let meter_traps =
+        List.fold_left2
+          (fun acc meter snap ->
+            acc + (Cost.delta_since meter snap).Cost.d_traps)
+          0 meters snaps
+      in
+      let counts = Trace.class_counts () in
+      let total = Trace.class_total () in
+      let events = Trace.events () in
+      let drops = Trace.dropped () in
+      Trace.disable ();
+      (name, counts, total, meter_traps, events, drops)
+    in
+    let rows = List.map sample arm_cols in
+    (* the breakdown table: one row per exit class, one column per config *)
+    let classes =
+      List.sort_uniq compare
+        (List.concat_map (fun (_, counts, _, _, _, _) -> List.map fst counts)
+           rows)
+    in
+    Fmt.pr "Exit attribution: traps per class, %d iterations of %d \
+            microbenchmarks@.@."
+      iters (List.length benches);
+    Fmt.pr "%-14s" "";
+    List.iter (fun (name, _, _, _, _, _) -> Fmt.pr " %18s" name) rows;
+    Fmt.pr "@.";
+    List.iter
+      (fun cls ->
+        Fmt.pr "%-14s" cls;
+        List.iter
+          (fun (_, counts, _, _, _, _) ->
+            Fmt.pr " %18d"
+              (Option.value ~default:0 (List.assoc_opt cls counts)))
+          rows;
+        Fmt.pr "@.")
+      classes;
+    Fmt.pr "%-14s" "total";
+    List.iter (fun (_, _, total, _, _, _) -> Fmt.pr " %18d" total) rows;
+    Fmt.pr "@.@.";
+    let ok = ref true in
+    List.iter
+      (fun (name, _, total, meter_traps, _, drops) ->
+        if total <> meter_traps then begin
+          ok := false;
+          Fmt.epr
+            "MISMATCH %s: class counters sum to %d, meters counted %d \
+             traps@."
+            name total meter_traps
+        end
+        else
+          Fmt.pr "%-22s %6d traps, class sums match%s@." name total
+            (if drops > 0 then
+               Printf.sprintf " (ring wrapped, %d events dropped)" drops
+             else ""))
+      rows;
+    (match chrome with
+     | None -> ()
+     | Some path ->
+       let streams =
+         List.map (fun (name, _, _, _, events, _) -> (name, events)) rows
+       in
+       let oc = open_out path in
+       output_string oc (Trace.chrome_json streams);
+       close_out oc;
+       Fmt.pr "wrote %s@." path);
+    (match json with
+     | None -> ()
+     | Some path ->
+       let configs =
+         List.map
+           (fun (name, counts, _, meter_traps, _, _) ->
+             (name, counts, meter_traps))
+           rows
+       in
+       let oc = open_out path in
+       output_string oc
+         (Trace.metrics_json
+            ~extra:[ ("iters", iters); ("benches", List.length benches) ]
+            configs);
+       close_out oc;
+       Fmt.pr "wrote %s@." path);
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Trace the microbenchmark suite under every ARM configuration, \
+          print the per-exit-class trap breakdown, and check it sums to \
+          the meters' trap totals; optionally export Chrome trace-event \
+          and metrics JSON")
+    Term.(const run $ iters_arg $ chrome_arg $ json_arg $ verbose_arg)
+
 let fuzz_cmd =
   let seed_arg =
     let doc = "Generator seed (same seed, byte-identical report)." in
@@ -326,7 +458,15 @@ let fuzz_cmd =
     in
     Arg.(value & opt string "test/corpus" & info [ "corpus-dir" ] ~doc)
   in
-  let run seed n max_seconds json corpus_dir verbose =
+  let trace_arg =
+    let doc =
+      "Replay each minimized divergence with event tracing enabled and \
+       print the reference and disagreeing columns' event streams side \
+       by side."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run seed n max_seconds json corpus_dir traced verbose =
     setup_logs verbose;
     let should_stop =
       if max_seconds <= 0.0 then fun () -> false
@@ -337,7 +477,7 @@ let fuzz_cmd =
     in
     if not (Sys.file_exists corpus_dir) then Unix.mkdir corpus_dir 0o755;
     let stats =
-      Fuzz.Campaign.run ~should_stop ~corpus_dir ~seed ~n ()
+      Fuzz.Campaign.run ~should_stop ~corpus_dir ~traced ~seed ~n ()
     in
     if json then print_endline (Fuzz.Campaign.json_stats stats)
     else Fmt.pr "%a@." Fuzz.Campaign.pp_stats stats;
@@ -353,7 +493,7 @@ let fuzz_cmd =
           minimized repro into the corpus directory")
     Term.(
       const run $ seed_arg $ n_arg $ max_seconds_arg $ json_arg $ corpus_arg
-      $ verbose_arg)
+      $ trace_arg $ verbose_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
@@ -368,4 +508,5 @@ let () =
        (Cmd.group ~default info
           [ table1_cmd; table6_cmd; table7_cmd; fig2_cmd; traps_cmd;
             classify_cmd; validate_cmd; ablation_cmd; recursive_cmd;
-            sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd; fuzz_cmd ]))
+            sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd; fuzz_cmd;
+            trace_cmd ]))

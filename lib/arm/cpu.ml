@@ -112,6 +112,10 @@ let exception_entry t (e : Exn.entry) =
     t.pstate <- Pstate.at Pstate.EL2;
     t.saved_regs <- Array.copy t.regs :: t.saved_regs;
     Cost.charge t.meter c.Cost.trap_entry;
+    if !Trace.on then
+      Trace.emit ~cycles:t.meter.Cost.cycles
+        ~a0:(Int64.of_int (Exn.ec_code e.ec))
+        ~a1:(Int64.of_int e.iss) ~detail:(Exn.entry_label e) Trace.Exn_entry;
     (match t.el2_handler with
      | Some h -> h t e
      | None -> raise (No_el2_handler e))
@@ -124,6 +128,10 @@ let exception_entry t (e : Exn.entry) =
      | None -> ());
     t.pstate <- Pstate.at Pstate.EL1;
     Cost.charge t.meter c.Cost.exc_entry_el1;
+    if !Trace.on then
+      Trace.emit ~cycles:t.meter.Cost.cycles
+        ~a0:(Int64.of_int (Exn.ec_code e.ec))
+        ~a1:(Int64.of_int e.iss) ~detail:(Exn.entry_label e) Trace.Exn_entry;
     (match t.el1_handler with
      | Some h -> h t e
      | None -> ())
@@ -156,7 +164,10 @@ let do_eret t =
         at ELR so the simulation stays alive. *)
      ());
   t.pc <- elr;
-  Cost.charge t.meter c.Cost.trap_return
+  Cost.charge t.meter c.Cost.trap_return;
+  if !Trace.on then
+    Trace.emit ~cycles:t.meter.Cost.cycles ~a0:elr
+      ~detail:(Pstate.el_name t.pstate.Pstate.el) Trace.Exn_return
 
 (* --- system-register read/write with side effects --- *)
 
@@ -289,11 +300,17 @@ and exec_action t (insn : Insn.t) action =
         set_reg t rt (Memory.read64 t.mem addr);
         t.meter.Cost.mem_accesses <- t.meter.Cost.mem_accesses + 1;
         Cost.charge_insn t.meter c.Cost.mem_load;
+        if !Trace.on then
+          Trace.emit ~cycles:t.meter.Cost.cycles ~a0:addr ~detail:"read"
+            Trace.Vncr_redirect;
         advance_pc t
       | Insn.Msr (_, v) ->
         Memory.write64 t.mem addr (operand_value t v);
         t.meter.Cost.mem_accesses <- t.meter.Cost.mem_accesses + 1;
         Cost.charge_insn t.meter c.Cost.mem_store;
+        if !Trace.on then
+          Trace.emit ~cycles:t.meter.Cost.cycles ~a0:addr ~detail:"write"
+            Trace.Vncr_redirect;
         advance_pc t
       | _ -> assert false
     end

@@ -109,3 +109,9 @@ let pp_entry ppf e =
     (Pstate.el_name e.target) e.iss
     Fmt.(option (fun ppf a -> pf ppf ", far=0x%Lx" a))
     e.fault_addr
+
+(* Compact one-line form for trace events (class, target EL, syndrome).
+   Only built when tracing is on — callers guard the allocation. *)
+let entry_label e =
+  Printf.sprintf "%s->%s iss=0x%x" (ec_name e.ec) (Pstate.el_name e.target)
+    e.iss

@@ -50,3 +50,7 @@ type entry = {
 }
 
 val pp_entry : Format.formatter -> entry -> unit
+
+val entry_label : entry -> string
+(** Compact ["EC->EL iss=0x.."] form for trace-event details.  Allocates;
+    callers guard with [if !Trace.on then ...]. *)

@@ -90,6 +90,9 @@ let decode_cached w =
    must not run unbounded). *)
 let run ?on_step ?(stop = fun _ -> false) (cpu : Cpu.t) ~entry ~max_insns =
   cpu.Cpu.pc <- entry;
+  if !Trace.on then
+    Trace.emit ~cycles:cpu.Cpu.meter.Cost.cycles ~a0:entry
+      ~a1:(Int64.of_int max_insns) Trace.Run_begin;
   let rec step budget =
     if stop cpu then Stopped
     else if budget <= 0 then Limit
@@ -104,7 +107,11 @@ let run ?on_step ?(stop = fun _ -> false) (cpu : Cpu.t) ~entry ~max_insns =
           Cpu.exec cpu insn;
           step (budget - 1)
   in
-  step max_insns
+  let outcome = step max_insns in
+  if !Trace.on then
+    Trace.emit ~cycles:cpu.Cpu.meter.Cost.cycles ~a0:cpu.Cpu.pc
+      ~detail:(Fmt.str "%a" pp_outcome outcome) Trace.Run_end;
+  outcome
 
 (* Disassemble a range of memory, for debugging and the examples. *)
 let disassemble mem ~base ~count =

@@ -41,13 +41,19 @@ let write t r v = Memory.write64 t.mem (slot_addr t r) v
 (* Populate the page from a register-valued function (typically the
    virtual-EL2 state the host hypervisor maintains for the vCPU). *)
 let populate t ~read_virtual =
-  List.iter (fun r -> write t r (read_virtual r)) Sysreg.vncr_layout
+  List.iter (fun r -> write t r (read_virtual r)) Sysreg.vncr_layout;
+  if !Trace.on then
+    Trace.emit ~a0:(Int64.of_int (List.length Sysreg.vncr_layout)) ~a1:t.base
+      Trace.Page_populate
 
 (* Drain the page back into a register sink (typically the virtual-EL2
    state), e.g. when the guest hypervisor is descheduled or erets into the
    nested VM and the host needs the authoritative values. *)
 let drain t ~write_virtual =
-  List.iter (fun r -> write_virtual r (read t r)) Sysreg.vncr_layout
+  List.iter (fun r -> write_virtual r (read t r)) Sysreg.vncr_layout;
+  if !Trace.on then
+    Trace.emit ~a0:(Int64.of_int (List.length Sysreg.vncr_layout)) ~a1:t.base
+      Trace.Page_drain
 
 (* Registers the host must push into hardware EL1 state when entering the
    nested VM: the Table 3 "VM Execution Control" subset that lives in the

@@ -36,10 +36,15 @@ let disabled_value = 0L
    hypervisor (EL2) operation; it is performed as a raw write because the
    host owns the register. *)
 let program (cpu : Arm.Cpu.t) t =
-  Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 (encode t)
+  Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 (encode t);
+  if !Trace.on then
+    Trace.emit ~a0:t.baddr
+      ~a1:(if t.enable then 1L else 0L)
+      Trace.Vncr_program
 
 let disable (cpu : Arm.Cpu.t) =
-  Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 disabled_value
+  Arm.Cpu.poke_sysreg cpu Sysreg.VNCR_EL2 disabled_value;
+  if !Trace.on then Trace.emit ~detail:"disable" Trace.Vncr_program
 
 let read (cpu : Arm.Cpu.t) = decode (Arm.Cpu.peek_sysreg cpu Sysreg.VNCR_EL2)
 

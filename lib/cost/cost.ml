@@ -167,11 +167,25 @@ let charge_insn m n =
   m.insns <- m.insns + 1;
   charge m n
 
+(* Pure instruction accounting, no cycle charge: for platform models whose
+   per-operation cycle costs are calibrated blobs (the x86 VMCS-access
+   constants) but whose retired-instruction counts should still be
+   visible to the bench harness. *)
+let count_insns m n =
+  assert (n >= 0);
+  m.insns <- m.insns + n
+
+(* The single chokepoint every classified trap passes through — ARM traps
+   from the trap router and IRQ delivery, x86 VM exits from Vtx.  Emitting
+   the trace event here is what makes the tracer's per-class counter sums
+   equal the meters' trap totals by construction. *)
 let record_trap ?(detail = "") m kind =
   m.traps <- m.traps + 1;
   let prev = Option.value ~default:0 (Hashtbl.find_opt m.by_kind kind) in
   Hashtbl.replace m.by_kind kind (prev + 1);
-  if m.logging then m.log <- (kind, detail) :: m.log
+  if m.logging then m.log <- (kind, detail) :: m.log;
+  if !Trace.on then
+    Trace.emit ~cycles:m.cycles ~cls:(trap_kind_name kind) ~detail Trace.Trap
 
 let set_logging m b =
   m.logging <- b;

@@ -86,7 +86,18 @@ type meter = {
 val make_meter : ?table:table -> unit -> meter
 val charge : meter -> int -> unit
 val charge_insn : meter -> int -> unit
+
+val count_insns : meter -> int -> unit
+(** Account [n] retired instructions without charging cycles — for
+    platform models (x86 VMCS accesses) whose cycle costs are calibrated
+    constants but whose instruction counts feed the bench harness. *)
+
 val record_trap : ?detail:string -> meter -> trap_kind -> unit
+(** The single chokepoint every classified trap passes through.  When
+    tracing is enabled it also emits a [Trace.Trap] event whose class is
+    {!trap_kind_name}, which is why the tracer's per-class counter sums
+    equal the meters' trap totals by construction. *)
+
 val set_logging : meter -> bool -> unit
 
 val trap_log : meter -> (trap_kind * string) list

@@ -49,6 +49,7 @@ type context = {
   fc_el : Arm.Pstate.el;
   fc_pc : int64;
   fc_trail : string list;  (* most recent traps first *)
+  fc_events : string list; (* rendered trace tail, oldest first *)
 }
 
 exception Sim_fault of kind * context option
@@ -63,20 +64,30 @@ let context_of_cpu ?(id = 0) (cpu : Arm.Cpu.t) =
          (fun (k, detail) -> Cost.trap_kind_name k ^ " " ^ detail)
          cpu.Arm.Cpu.meter.Cost.log)
   in
+  let events =
+    if Trace.is_on () then List.map Trace.render (Trace.last trail_depth)
+    else []
+  in
   {
     fc_cpu = id;
     fc_el = cpu.Arm.Cpu.pstate.Arm.Pstate.el;
     fc_pc = cpu.Arm.Cpu.pc;
     fc_trail = trail;
+    fc_events = events;
   }
 
 let pp_context ppf c =
-  Fmt.pf ppf "cpu%d %s pc=0x%Lx%a" c.fc_cpu (Arm.Pstate.el_name c.fc_el)
+  Fmt.pf ppf "cpu%d %s pc=0x%Lx%a%a" c.fc_cpu (Arm.Pstate.el_name c.fc_el)
     c.fc_pc
     Fmt.(
       if c.fc_trail = [] then nop
       else fun ppf () ->
         pf ppf " trail=[%s]" (String.concat "; " c.fc_trail))
+    ()
+    Fmt.(
+      if c.fc_events = [] then nop
+      else fun ppf () ->
+        pf ppf " events=[%s]" (String.concat "; " c.fc_events))
     ()
 
 let to_string kind ctx =

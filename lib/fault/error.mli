@@ -29,6 +29,9 @@ type context = {
   fc_el : Arm.Pstate.el;
   fc_pc : int64;
   fc_trail : string list;  (** most recent traps first *)
+  fc_events : string list;
+      (** rendered tail of the trace ring (oldest first); empty unless
+          tracing was enabled when the context was captured *)
 }
 
 exception Sim_fault of kind * context option

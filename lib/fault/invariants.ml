@@ -12,6 +12,7 @@ type violation = {
   v_el : Arm.Pstate.el;
   v_pc : int64;
   v_detail : string;
+  v_events : string list;  (* rendered trace tail, oldest first *)
 }
 
 let v ?(id = 0) (cpu : Arm.Cpu.t) name detail =
@@ -21,11 +22,18 @@ let v ?(id = 0) (cpu : Arm.Cpu.t) name detail =
     v_el = cpu.Arm.Cpu.pstate.Arm.Pstate.el;
     v_pc = cpu.Arm.Cpu.pc;
     v_detail = detail;
+    v_events =
+      (if Trace.is_on () then List.map Trace.render (Trace.last 8) else []);
   }
 
 let pp_violation ppf x =
-  Fmt.pf ppf "%s: cpu%d %s pc=0x%Lx: %s" x.v_name x.v_cpu
+  Fmt.pf ppf "%s: cpu%d %s pc=0x%Lx: %s%a" x.v_name x.v_cpu
     (Arm.Pstate.el_name x.v_el) x.v_pc x.v_detail
+    Fmt.(
+      if x.v_events = [] then nop
+      else fun ppf () ->
+        pf ppf " events=[%s]" (String.concat "; " x.v_events))
+    ()
 
 let to_string x = Fmt.str "%a" pp_violation x
 

@@ -12,6 +12,9 @@ type violation = {
   v_el : Arm.Pstate.el;
   v_pc : int64;
   v_detail : string;
+  v_events : string list;
+      (** rendered tail of the trace ring (oldest first); empty unless
+          tracing was enabled when the violation was built *)
 }
 
 val v : ?id:int -> Arm.Cpu.t -> string -> string -> violation

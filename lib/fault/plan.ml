@@ -91,6 +91,9 @@ let due ?kind t ~traps =
       then begin
         ev.ev_fired <- true;
         t.injected <- (ev.ev_trap, ev.ev_kind) :: t.injected;
+        if !Trace.on then
+          Trace.emit ~a0:(Int64.of_int ev.ev_trap)
+            ~detail:(kind_name ev.ev_kind) Trace.Fault_inject;
         fired := ev.ev_kind :: !fired
       end)
     t.events;

@@ -7,6 +7,9 @@ type found = {
   f_min_words : int array;
   f_divergences : string list;
   f_repro_path : string option;
+  f_streams : (string * string list) list;
+      (* per-column rendered trace events of the minimized program, only
+         when the campaign ran traced *)
 }
 
 type stats = {
@@ -27,8 +30,25 @@ let divergence_count st = List.length st.s_found
 let replay words =
   List.map Diff.divergence_to_string (Diff.run_words words).res_divergences
 
-let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3) ~seed ~n
-    () =
+(* Re-run one program traced and keep the event streams of the two
+   columns the first divergence names (reference, then disagreeing); all
+   columns' streams when the traced replay no longer diverges. *)
+let streams_of words =
+  let res = Diff.run_words ~traced:true words in
+  let all =
+    List.map
+      (fun (c, o) -> (c.Diff.col_name, o.Diff.ob_events))
+      res.Diff.res_obs
+  in
+  match res.Diff.res_divergences with
+  | d :: _ ->
+    List.filter
+      (fun (n, _) -> n = d.Diff.dv_ref || n = d.Diff.dv_col)
+      all
+  | [] -> all
+
+let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
+    ?(traced = false) ~seed ~n () =
   let gen = Gen.create ~seed in
   let column_traps =
     List.map (fun c -> (c.Diff.col_name, ref 0)) Diff.columns
@@ -60,6 +80,7 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3) ~seed ~n
             f_divergences =
               List.map Diff.divergence_to_string res.Diff.res_divergences;
             f_repro_path = None;
+            f_streams = [];
           }
         else begin
           let min_prog =
@@ -100,6 +121,7 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3) ~seed ~n
             f_min_words = min_words;
             f_divergences = divs;
             f_repro_path = repro_path;
+            f_streams = (if traced then streams_of min_words else []);
           }
         end
       in
@@ -121,6 +143,37 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3) ~seed ~n
   }
 
 (* --- reporting --- *)
+
+(* Two event streams rendered side by side, one line per event; streams
+   of unequal length pad the short side. *)
+let pp_streams ppf = function
+  | [ (na, ea); (nb, eb) ] ->
+    let w =
+      List.fold_left
+        (fun m s -> max m (String.length s))
+        (String.length na) ea
+    in
+    Fmt.pf ppf "@,  %-*s | %s" w na nb;
+    let rec go a b =
+      match (a, b) with
+      | [], [] -> ()
+      | x :: a', [] ->
+        Fmt.pf ppf "@,  %-*s |" w x;
+        go a' []
+      | [], y :: b' ->
+        Fmt.pf ppf "@,  %-*s | %s" w "" y;
+        go [] b'
+      | x :: a', y :: b' ->
+        Fmt.pf ppf "@,  %-*s | %s" w x y;
+        go a' b'
+    in
+    go ea eb
+  | streams ->
+    List.iter
+      (fun (n, es) ->
+        Fmt.pf ppf "@,  -- %s" n;
+        List.iter (fun e -> Fmt.pf ppf "@,  %s" e) es)
+      streams
 
 let pp_stats ppf st =
   Fmt.pf ppf "@[<v>fuzz: seed=%d programs=%d/%d@," st.s_seed st.s_programs
@@ -150,7 +203,8 @@ let pp_stats ppf st =
            Fmt.(
              option (fun ppf p -> pf ppf "@,  repro: %s" p))
            f.f_repro_path;
-         List.iter (fun d -> Fmt.pf ppf "@,  %s" d) f.f_divergences)
+         List.iter (fun d -> Fmt.pf ppf "@,  %s" d) f.f_divergences;
+         if f.f_streams <> [] then pp_streams ppf f.f_streams)
        fs);
   Fmt.pf ppf "@]"
 

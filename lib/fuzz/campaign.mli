@@ -14,6 +14,11 @@ type found = {
       (** rendered reports ({!Diff.divergence_to_string}) of the
           minimized program *)
   f_repro_path : string option;  (** where the repro file was written *)
+  f_streams : (string * string list) list;
+      (** rendered per-column trace-event streams of the minimized
+          program — the divergence's reference and disagreeing columns,
+          printed side by side by {!pp_stats}.  Empty unless the
+          campaign ran with [traced] *)
 }
 
 type stats = {
@@ -35,6 +40,7 @@ val run :
   ?should_stop:(unit -> bool) ->
   ?corpus_dir:string ->
   ?max_found:int ->
+  ?traced:bool ->
   seed:int ->
   n:int ->
   unit ->
@@ -43,7 +49,10 @@ val run :
     shrunk with {!Shrink.minimize} and, when [corpus_dir] is given,
     written there as [div-seed<seed>-p<index>.repro]; after [max_found]
     divergences (default 3) the campaign keeps counting but stops
-    shrinking/saving. *)
+    shrinking/saving.  [traced] (default false) replays each minimized
+    divergence with tracing enabled and stores the event streams in
+    [f_streams]; generation and the oracle itself stay untraced, so
+    found/coverage results are identical either way. *)
 
 val replay : int array -> string list
 (** Run one encoded program through the oracle; rendered divergence

@@ -65,6 +65,7 @@ type obs = {
   ob_mem : (int * int64) list;
   ob_traps : int;
   ob_ctx : Fault.Error.context option;
+  ob_events : string list;
 }
 
 let empty_obs =
@@ -80,6 +81,7 @@ let empty_obs =
     ob_mem = [];
     ob_traps = 0;
     ob_ctx = None;
+    ob_events = [];
   }
 
 let file_obs (file : Sysreg_file.t) =
@@ -101,7 +103,20 @@ let mem_obs mem =
   in
   go (words - 1) []
 
-let run_column ~budget config words =
+let run_column ?(traced = false) ~budget config words =
+  if traced then Trace.enable ~capacity:8192 ();
+  (* capture the column's event stream before the ring is reused, then
+     drop back to untraced so corpus replays stay byte-identical *)
+  let finish obs =
+    if not traced then obs
+    else begin
+      let obs =
+        { obs with ob_events = List.map Trace.render (Trace.events ()) }
+      in
+      Trace.disable ();
+      obs
+    end
+  in
   let m = Machine.create ~ncpus:1 config Host_hyp.Nested in
   let cpu = m.Machine.cpus.(0) and host = m.Machine.hosts.(0) in
   try
@@ -128,26 +143,28 @@ let run_column ~budget config words =
     (* fold: a final eret (trapped / rewritten) makes the virtual files
        authoritative under every mechanism *)
     if in_vel2 then Gaccess.eret (Gaccess.v cpu config ~page_base);
-    {
-      ob_error = None;
-      ob_outcome = Fmt.str "%a" Interp.pp_outcome outcome;
-      ob_pc = pc;
-      ob_pstate = pstate;
-      ob_in_vel2 = in_vel2;
-      ob_regs = Array.init 31 (Cpu.get_reg cpu);
-      ob_vel2 = file_obs host.Host_hyp.vcpu.Vcpu.vel2;
-      ob_vel1 = file_obs host.Host_hyp.vcpu.Vcpu.vel1;
-      ob_mem = mem_obs m.Machine.mem;
-      ob_traps = cpu.Cpu.meter.Cost.traps;
-      ob_ctx = Some (Fault.Error.context_of_cpu cpu);
-    }
+    finish
+      {
+        empty_obs with
+        ob_outcome = Fmt.str "%a" Interp.pp_outcome outcome;
+        ob_pc = pc;
+        ob_pstate = pstate;
+        ob_in_vel2 = in_vel2;
+        ob_regs = Array.init 31 (Cpu.get_reg cpu);
+        ob_vel2 = file_obs host.Host_hyp.vcpu.Vcpu.vel2;
+        ob_vel1 = file_obs host.Host_hyp.vcpu.Vcpu.vel1;
+        ob_mem = mem_obs m.Machine.mem;
+        ob_traps = cpu.Cpu.meter.Cost.traps;
+        ob_ctx = Some (Fault.Error.context_of_cpu cpu);
+      }
   with e ->
-    {
-      empty_obs with
-      ob_error = Some (Printexc.to_string e);
-      ob_traps = cpu.Cpu.meter.Cost.traps;
-      ob_ctx = Some (Fault.Error.context_of_cpu cpu);
-    }
+    finish
+      {
+        empty_obs with
+        ob_error = Some (Printexc.to_string e);
+        ob_traps = cpu.Cpu.meter.Cost.traps;
+        ob_ctx = Some (Fault.Error.context_of_cpu cpu);
+      }
 
 (* --- comparison --- *)
 
@@ -268,10 +285,12 @@ let ordering_divergences group cols_obs =
   @ check (fun a b -> b <= a) "NEVE must not out-trap trap-and-emulate"
       (find Config.Hw_v8_3, find Config.Hw_neve)
 
-let run_words words =
+let run_words ?traced words =
   let budget = budget_for words in
   let res_obs =
-    List.map (fun c -> (c, run_column ~budget c.col_config words)) columns
+    List.map
+      (fun c -> (c, run_column ?traced ~budget c.col_config words))
+      columns
   in
   let divergences =
     List.concat_map

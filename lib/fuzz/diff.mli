@@ -37,14 +37,20 @@ type obs = {
   ob_mem : (int * int64) list;      (** non-zero scratch words *)
   ob_traps : int;
   ob_ctx : Fault.Error.context option;
+  ob_events : string list;
+      (** rendered trace events for the whole column run; captured only
+          when [traced] was set, empty otherwise *)
 }
 
-val run_column : budget:int -> Hyp.Config.t -> int array -> obs
+val run_column : ?traced:bool -> budget:int -> Hyp.Config.t -> int array -> obs
 (** Run one encoded program under one configuration: fresh machine,
     guest hypervisor started in virtual EL2, text binary-patched for
     paravirtualized columns, and a final (trapped) [eret] folding the
     execution mapping and the deferred page back into the virtual files
-    so every mechanism's state is compared from the same vantage. *)
+    so every mechanism's state is compared from the same vantage.
+    [traced] (default false) records the column's event stream into
+    [ob_events]; tracing is switched off again before returning, and the
+    architectural observation is identical either way. *)
 
 type divergence = {
   dv_group : string;
@@ -65,7 +71,7 @@ type result = {
   res_divergences : divergence list;
 }
 
-val run_words : int array -> result
+val run_words : ?traced:bool -> int array -> result
 (** The full oracle: run under every column, compare architectural
     observations within each group, then check trap-count ordering
     (twin equality, NEVE <= trap-and-emulate). *)

@@ -110,6 +110,9 @@ let inject lrs ~vintid ?(priority = 0xa0) () =
     lrs.(i) <-
       encode_lr { empty_lr with lr_state = Irq.Pending; lr_vintid = vintid;
                                 lr_priority = priority };
+    if !Trace.on then
+      Trace.emit ~a0:(Int64.of_int vintid) ~a1:(Int64.of_int i)
+        Trace.Gic_inject;
     Some i
 
 (* The VM acknowledges the highest-priority pending virtual interrupt:
@@ -128,6 +131,9 @@ let v_acknowledge lrs =
   | None -> None
   | Some (i, l) ->
     lrs.(i) <- encode_lr { l with lr_state = Irq.Active };
+    if !Trace.on then
+      Trace.emit ~a0:(Int64.of_int l.lr_vintid) ~a1:(Int64.of_int i)
+        Trace.Gic_ack;
     Some l.lr_vintid
 
 (* The VM completes (EOIs) a virtual interrupt: hardware updates the LR,
@@ -149,6 +155,8 @@ let v_eoi lrs ~vintid =
         lrs.(i) <- encode_lr l'
       end)
     lrs;
+  if !found && !Trace.on then
+    Trace.emit ~a0:(Int64.of_int vintid) Trace.Gic_eoi;
   !found
 
 let pending_count lrs =

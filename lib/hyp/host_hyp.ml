@@ -162,23 +162,35 @@ let stash_slot t r = Int64.add t.guest_stash (Int64.of_int (Reglists.ctx_slot r)
 
 let l0_enter t =
   let o = l0_ops t in
+  let copies0 = WS.reg_copies () in
   Cost.charge t.cpu.Cpu.meter (table t).Cost.l0_exit_dispatch;
   (* save whoever was running at EL1 *)
   WS.save_array o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el1_state_arr;
   WS.save_array o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el0_state_arr;
   (* restore the host's EL1 world *)
   WS.restore_array o ~ctx:t.l0_ctx ~via:Sysreg.direct Reglists.el1_state_arr;
-  WS.deactivate_traps o ~vhe:false
+  WS.deactivate_traps o ~vhe:false;
+  if !Trace.on then
+    Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles
+      ~a0:(Int64.of_int (WS.reg_copies () - copies0))
+      ~a1:(Int64.of_int t.vcpu.Vcpu.id)
+      Trace.Ws_enter
 
 let l0_exit t =
   let o = l0_ops t in
+  let copies0 = WS.reg_copies () in
   (* put the interrupted guest context back *)
   WS.restore_array o ~ctx:t.guest_stash ~via:Sysreg.direct
     Reglists.el1_state_arr;
   WS.restore_array o ~ctx:t.guest_stash ~via:Sysreg.direct
     Reglists.el0_state_arr;
   WS.activate_traps o ~vhe:false ~hcr:(hcr_for t ~vel2:t.vcpu.Vcpu.in_vel2);
-  WS.write_stage2 o ~vttbr:t.shadow_vttbr
+  WS.write_stage2 o ~vttbr:t.shadow_vttbr;
+  if !Trace.on then
+    Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles
+      ~a0:(Int64.of_int (WS.reg_copies () - copies0))
+      ~a1:(Int64.of_int t.vcpu.Vcpu.id)
+      Trace.Ws_exit
 
 (* Bookkeeping view of the stashed guest EL1 state (cost already paid by
    l0_enter's stores). *)
@@ -260,9 +272,15 @@ let neve_on t = Config.is_neve t.config
 let set_vncr t ~enable =
   match t.config.Config.mech with
   | Config.Hw_neve ->
-    Cpu.poke_sysreg t.cpu Sysreg.VNCR_EL2
-      (if enable then Core.Deferred_page.vncr_value t.page ~enable:true
-       else Core.Vncr.disabled_value)
+    let v =
+      if enable then Core.Deferred_page.vncr_value t.page ~enable:true
+      else Core.Vncr.disabled_value
+    in
+    Cpu.poke_sysreg t.cpu Sysreg.VNCR_EL2 v;
+    if !Trace.on then
+      Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles ~a0:v
+        ~a1:(if enable then 1L else 0L)
+        Trace.Vncr_program
   | _ -> ()
 
 (* Switch the vCPU from "nested VM running" to "guest hypervisor running"
@@ -479,7 +497,11 @@ let handle_hvc t operand =
      guest put in the immediate. *)
   if Config.is_paravirt t.config && operand >= 64 then begin
     (* paravirtualized hypervisor instruction (Section 4) *)
-    match Paravirt.decode_op operand with
+    let op = Paravirt.decode_op operand in
+    if !Trace.on then
+      Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles
+        ~a0:(Int64.of_int operand) ~detail:(Paravirt.op_name op) Trace.Pv_hvc;
+    match op with
     | Paravirt.Op_sysreg { access; rt; is_read } ->
       let switched = emulate_sysreg t ~access ~rt ~is_read in
       if not switched then begin

@@ -80,6 +80,15 @@ let decode_op operand =
       }
   else Op_invalid operand
 
+let op_name = function
+  | Op_hypercall n -> Printf.sprintf "hypercall#%d" n
+  | Op_sysreg { access; rt; is_read } ->
+    Printf.sprintf "%s %s x%d"
+      (if is_read then "mrs" else "msr")
+      (Sysreg.access_name access) rt
+  | Op_eret -> "eret"
+  | Op_invalid n -> Printf.sprintf "invalid#%d" n
+
 (* What would the target architecture do with this instruction, executed at
    EL1 by the guest hypervisor?  [page_base] is the shared memory region
    standing in for the deferred access page. *)
@@ -201,4 +210,13 @@ let patch_word (config : Config.t) ~page_base (w : int) : int =
     end
 
 let patch_text config ~page_base words =
-  Array.map (patch_word config ~page_base) words
+  let out = Array.map (patch_word config ~page_base) words in
+  if !Trace.on then begin
+    let changed = ref 0 in
+    Array.iteri (fun i w -> if w <> out.(i) then incr changed) words;
+    Trace.emit
+      ~a0:(Int64.of_int !changed)
+      ~a1:(Int64.of_int (Array.length words))
+      ~detail:(Config.name config) Trace.Pv_patch
+  end;
+  out

@@ -48,6 +48,9 @@ val decode_op : int -> op
 (** Total — a guest can pass any operand, so malformed ones decode to
     {!Op_invalid} instead of raising. *)
 
+val op_name : op -> string
+(** Human-readable form for trace-event details. *)
+
 val target_route :
   Config.t -> page_base:int64 -> Insn.t -> Trap_rules.action
 (** What the configuration's target architecture does with an instruction

@@ -46,18 +46,30 @@ let vm_el1_access ~vhe r =
   if vhe && Reglists.is_el12_capable r then Sysreg.el12 r
   else Sysreg.direct r
 
+(* Register copies performed by save/restore loops since startup.  The
+   world-switch tracer reads the delta around l0 enter/exit to attribute a
+   copy count to each switch; a plain monotonic counter keeps the loops
+   allocation-free. *)
+let copied = ref 0
+
+let reg_copies () = !copied
+
 let save_list ops ~ctx ~via regs =
+  copied := !copied + List.length regs;
   List.iter (fun r -> ops.st (slot ctx r) (ops.rd (via r))) regs
 
 let restore_list ops ~ctx ~via regs =
+  copied := !copied + List.length regs;
   List.iter (fun r -> ops.wr (via r) (ops.ld (slot ctx r))) regs
 
 (* Same loops over the precomputed register arrays the Reglists compile
    to — the form every per-switch path below uses. *)
 let save_array ops ~ctx ~via regs =
+  copied := !copied + Array.length regs;
   Array.iter (fun r -> ops.st (slot ctx r) (ops.rd (via r))) regs
 
 let restore_array ops ~ctx ~via regs =
+  copied := !copied + Array.length regs;
   Array.iter (fun r -> ops.wr (via r) (ops.ld (slot ctx r))) regs
 
 (* --- the VM's EL1 context --- *)

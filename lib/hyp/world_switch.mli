@@ -25,6 +25,11 @@ val tampered_ops : ops -> tamper:(int64 -> int64) -> ops
 
 val slot : int64 -> Sysreg.t -> int64
 
+val reg_copies : unit -> int
+(** Monotonic count of register copies performed by the save/restore
+    loops since startup.  The world-switch tracer takes deltas around
+    enter/exit to attribute a copy count to each switch. *)
+
 val own_el2_access : vhe:bool -> Sysreg.t -> Sysreg.access
 (** How a hypervisor reaches its {e own} EL2 register: the E2H-redirected
     EL1 form where one exists for VHE (no trap when deprivileged), the

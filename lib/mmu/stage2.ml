@@ -21,7 +21,13 @@ let vttbr t =
   (* VMID in bits [63:48], base address below. *)
   Int64.logor (Int64.shift_left (Int64.of_int t.vmid) 48) t.base
 
-let translate t ~ipa ~is_write = Walk.walk t.mem ~base:t.base ~ia:ipa ~is_write
+let translate t ~ipa ~is_write =
+  if !Trace.on then
+    Trace.emit ~a0:ipa
+      ~a1:(if is_write then 1L else 0L)
+      ~detail:(Printf.sprintf "vmid=%d" t.vmid)
+      Trace.S2_walk;
+  Walk.walk t.mem ~base:t.base ~ia:ipa ~is_write
 
 let map_page t ~ipa ~pa ~perms =
   Walk.map_page t.mem t.alloc ~base:t.base ~ia:ipa ~pa ~perms

@@ -53,9 +53,13 @@ let lookup t ~vmid ~asid addr =
   match Hashtbl.find_opt t.entries (key ~vmid ~asid addr) with
   | Some e ->
     t.hits <- t.hits + 1;
+    if !Trace.on then
+      Trace.emit ~a0:addr ~a1:(Int64.of_int vmid) Trace.Tlb_hit;
     Some (Int64.add e.pa_page (Walk.page_offset addr), e.perms)
   | None ->
     t.misses <- t.misses + 1;
+    if !Trace.on then
+      Trace.emit ~a0:addr ~a1:(Int64.of_int vmid) Trace.Tlb_miss;
     None
 
 let insert t ~vmid ~asid ~va ~pa ~perms =
@@ -70,7 +74,10 @@ let insert t ~vmid ~asid ~va ~pa ~perms =
     if Queue.length q >= t.ways then begin
       let victim = Queue.pop q in
       Hashtbl.remove t.entries victim;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      if !Trace.on then
+        Trace.emit ~a0:victim.page ~a1:(Int64.of_int victim.vmid)
+          Trace.Tlb_evict
     end;
     Queue.add k q
   end;
@@ -82,12 +89,19 @@ let invalidate_vmid t ~vmid =
       t.entries []
   in
   List.iter (Hashtbl.remove t.entries) doomed;
-  t.invalidations <- t.invalidations + List.length doomed
+  t.invalidations <- t.invalidations + List.length doomed;
+  if !Trace.on then
+    Trace.emit
+      ~a0:(Int64.of_int (List.length doomed))
+      ~a1:(Int64.of_int vmid) ~detail:"vmid" Trace.Tlb_invalidate
 
 let invalidate_all t =
-  t.invalidations <- t.invalidations + Hashtbl.length t.entries;
+  let n = Hashtbl.length t.entries in
+  t.invalidations <- t.invalidations + n;
   Hashtbl.reset t.entries;
-  Array.iter Queue.clear t.sets
+  Array.iter Queue.clear t.sets;
+  if !Trace.on then
+    Trace.emit ~a0:(Int64.of_int n) ~detail:"all" Trace.Tlb_invalidate
 
 let occupancy t = Hashtbl.length t.entries
 let hits t = t.hits

@@ -1,0 +1,294 @@
+(* Exit-attribution tracing: a preallocated ring of typed events plus
+   per-exit-class counters keyed by the paper's Table 7 taxonomy.
+
+   The design constraint is the disabled path: every emission site in the
+   simulator is guarded by [if !Trace.on then ...], so a run with tracing
+   off pays one load-and-branch per site and allocates nothing — the
+   bench guard against BENCH_PR2.json holds the simulator to that.  When
+   tracing is on, events are written in place into preallocated mutable
+   records (the ring never allocates per event; only the argument strings
+   the call sites build do).
+
+   Time is simulated time, never wall clock: an event's [cycles] come
+   from the emitting meter where one exists, and the sink carries the
+   last-seen cycle count forward for emitters that have no meter (TLB,
+   vGIC codec, fault plans).  Sequence numbers order everything totally,
+   so traces are byte-deterministic for a given run — the fuzzer's
+   same-seed guarantee survives tracing. *)
+
+type kind =
+  | Trap            (* a classified trap (Cost.record_trap chokepoint) *)
+  | Exn_entry       (* architectural exception entry *)
+  | Exn_return      (* eret *)
+  | Ws_enter        (* world switch into the host hypervisor (l0_enter) *)
+  | Ws_exit         (* world switch back out (l0_exit) *)
+  | Page_populate   (* deferred access page populated *)
+  | Page_drain      (* deferred access page drained/folded *)
+  | Vncr_program    (* VNCR_EL2 written by the host *)
+  | Vncr_redirect   (* an access redirected to the page by NV2 *)
+  | Tlb_hit
+  | Tlb_miss
+  | Tlb_evict
+  | Tlb_invalidate
+  | S2_walk         (* stage-2 table walk *)
+  | Gic_inject      (* virtual interrupt placed in a list register *)
+  | Gic_ack         (* VM acknowledged a virtual interrupt *)
+  | Gic_eoi         (* VM completed a virtual interrupt *)
+  | Fault_inject    (* the fault plan fired an event *)
+  | Pv_hvc          (* paravirt hvc protocol operand decoded *)
+  | Pv_patch        (* binary patcher rewrote a text section *)
+  | Run_begin       (* interpreter run started *)
+  | Run_end         (* interpreter run finished *)
+
+let kind_name = function
+  | Trap -> "trap"
+  | Exn_entry -> "exn-entry"
+  | Exn_return -> "exn-return"
+  | Ws_enter -> "ws-enter"
+  | Ws_exit -> "ws-exit"
+  | Page_populate -> "page-populate"
+  | Page_drain -> "page-drain"
+  | Vncr_program -> "vncr-program"
+  | Vncr_redirect -> "vncr-redirect"
+  | Tlb_hit -> "tlb-hit"
+  | Tlb_miss -> "tlb-miss"
+  | Tlb_evict -> "tlb-evict"
+  | Tlb_invalidate -> "tlb-invalidate"
+  | S2_walk -> "s2-walk"
+  | Gic_inject -> "gic-inject"
+  | Gic_ack -> "gic-ack"
+  | Gic_eoi -> "gic-eoi"
+  | Fault_inject -> "fault-inject"
+  | Pv_hvc -> "pv-hvc"
+  | Pv_patch -> "pv-patch"
+  | Run_begin -> "run-begin"
+  | Run_end -> "run-end"
+
+(* In-place ring slot: every field mutable so emission writes, never
+   allocates. *)
+type event = {
+  mutable e_seq : int;
+  mutable e_cycles : int;
+  mutable e_kind : kind;
+  mutable e_cls : string;   (* exit class, for [Trap] events *)
+  mutable e_a0 : int64;
+  mutable e_a1 : int64;
+  mutable e_detail : string;
+}
+
+(* Immutable copy handed out by the accessors. *)
+type view = {
+  v_seq : int;
+  v_cycles : int;
+  v_kind : kind;
+  v_cls : string;
+  v_a0 : int64;
+  v_a1 : int64;
+  v_detail : string;
+}
+
+let default_capacity = 4096
+
+type sink = {
+  mutable ring : event array;
+  mutable next : int;       (* total events ever emitted *)
+  mutable clock : int;      (* last simulated-cycle stamp seen *)
+  counters : (string, int ref) Hashtbl.t;
+}
+
+let fresh_event () =
+  { e_seq = 0; e_cycles = 0; e_kind = Trap; e_cls = ""; e_a0 = 0L; e_a1 = 0L;
+    e_detail = "" }
+
+let sink = {
+  ring = [||];
+  next = 0;
+  clock = 0;
+  counters = Hashtbl.create 16;
+}
+
+(* The single branch the disabled path pays.  Exposed as a ref so call
+   sites compile to a load and a conditional jump, nothing more. *)
+let on = ref false
+
+let is_on () = !on
+
+let reset () =
+  sink.next <- 0;
+  sink.clock <- 0;
+  Hashtbl.reset sink.counters
+
+let enable ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
+  if Array.length sink.ring <> capacity then
+    sink.ring <- Array.init capacity (fun _ -> fresh_event ());
+  reset ();
+  on := true
+
+let disable () = on := false
+
+let capacity () = Array.length sink.ring
+
+let emit ?cycles ?(cls = "") ?(a0 = 0L) ?(a1 = 0L) ?(detail = "") kind =
+  if !on then begin
+    let cyc =
+      match cycles with
+      | Some c ->
+        if c > sink.clock then sink.clock <- c;
+        c
+      | None -> sink.clock
+    in
+    let e = sink.ring.(sink.next mod Array.length sink.ring) in
+    e.e_seq <- sink.next;
+    e.e_cycles <- cyc;
+    e.e_kind <- kind;
+    e.e_cls <- cls;
+    e.e_a0 <- a0;
+    e.e_a1 <- a1;
+    e.e_detail <- detail;
+    sink.next <- sink.next + 1;
+    if kind = Trap then
+      match Hashtbl.find_opt sink.counters cls with
+      | Some r -> incr r
+      | None -> Hashtbl.add sink.counters cls (ref 1)
+  end
+
+let total_emitted () = sink.next
+
+let dropped () = max 0 (sink.next - Array.length sink.ring)
+
+let view_of (e : event) = {
+  v_seq = e.e_seq;
+  v_cycles = e.e_cycles;
+  v_kind = e.e_kind;
+  v_cls = e.e_cls;
+  v_a0 = e.e_a0;
+  v_a1 = e.e_a1;
+  v_detail = e.e_detail;
+}
+
+(* Events still in the window, oldest first. *)
+let events () =
+  let cap = Array.length sink.ring in
+  if cap = 0 then []
+  else begin
+    let n = min sink.next cap in
+    let first = sink.next - n in
+    List.init n (fun i -> view_of sink.ring.((first + i) mod cap))
+  end
+
+let last n =
+  let evs = events () in
+  let len = List.length evs in
+  if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs
+
+(* Monotonically-aggregated per-exit-class counters: only [Trap] events
+   count, so the class totals sum to exactly the number of classified
+   traps the run took. *)
+let class_counts () =
+  Hashtbl.fold (fun cls r acc -> (cls, !r) :: acc) sink.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let class_count cls =
+  match Hashtbl.find_opt sink.counters cls with
+  | Some r -> !r
+  | None -> 0
+
+let class_total () =
+  Hashtbl.fold (fun _ r acc -> acc + !r) sink.counters 0
+
+(* --- rendering --- *)
+
+let pp_view ppf v =
+  Fmt.pf ppf "#%d @%d %s%s%a%a%s" v.v_seq v.v_cycles (kind_name v.v_kind)
+    (if v.v_cls = "" then "" else "/" ^ v.v_cls)
+    Fmt.(if v.v_a0 = 0L then nop else fun ppf () -> pf ppf " a0=0x%Lx" v.v_a0)
+    ()
+    Fmt.(if v.v_a1 = 0L then nop else fun ppf () -> pf ppf " a1=0x%Lx" v.v_a1)
+    ()
+    (if v.v_detail = "" then "" else " " ^ v.v_detail)
+
+let render v = Fmt.str "%a" pp_view v
+
+(* --- exporters --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Chrome trace-event JSON (the "JSON object format": a {"traceEvents":
+   [...]} wrapper).  One process per named stream, every event an instant
+   ("ph":"i") stamped with its sequence number — strictly monotonic and
+   deterministic, which wall-clock stamps would not be.  Simulated cycles
+   ride along in args. *)
+let chrome_json streams =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let add_event s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b s
+  in
+  List.iteri
+    (fun pid (name, views) ->
+      add_event
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+            \"args\":{\"name\":\"%s\"}}"
+           pid (json_escape name));
+      List.iter
+        (fun v ->
+          add_event
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\
+                \"ts\":%d,\"pid\":%d,\"tid\":0,\"args\":{\"cycles\":%d,\
+                \"cls\":\"%s\",\"a0\":\"0x%Lx\",\"a1\":\"0x%Lx\",\
+                \"detail\":\"%s\"}}"
+               (json_escape
+                  (if v.v_cls = "" then kind_name v.v_kind
+                   else kind_name v.v_kind ^ "/" ^ v.v_cls))
+               (json_escape (kind_name v.v_kind))
+               v.v_seq pid v.v_cycles (json_escape v.v_cls) v.v_a0 v.v_a1
+               (json_escape v.v_detail)))
+        views)
+    streams;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+(* Aggregate metrics JSON: per-stream class counts and totals. *)
+let metrics_json ?(extra = []) streams =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema\":\"neve-trace-metrics/1\"";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf ",\"%s\":%d" (json_escape k) v))
+    extra;
+  Buffer.add_string b ",\"configs\":[";
+  List.iteri
+    (fun i (name, counts, meter_traps) ->
+      if i > 0 then Buffer.add_char b ',';
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"traps\":%d,\"meter_traps\":%d,\
+                         \"classes\":{"
+           (json_escape name) total meter_traps);
+      List.iteri
+        (fun j (cls, n) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":%d" (json_escape cls) n))
+        counts;
+      Buffer.add_string b "}}")
+    streams;
+  Buffer.add_string b "]}";
+  Buffer.contents b

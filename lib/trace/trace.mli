@@ -1,0 +1,119 @@
+(** Exit-attribution tracing: a preallocated ring buffer of typed events
+    plus monotonically-aggregated per-exit-class counters keyed by the
+    paper's Table 7 taxonomy (the class strings are
+    [Cost.trap_kind_name] values — the dependency points the other way,
+    [cost] emits into [trace]).
+
+    Emission sites throughout the simulator are guarded by
+    [if !Trace.on then ...]: with tracing disabled each site costs one
+    load-and-branch and allocates nothing.  Timestamps are simulated
+    cycles and sequence numbers, never wall clock, so traces are
+    byte-deterministic per run. *)
+
+(** Event taxonomy (DESIGN.md section 4f maps these onto the paper's
+    Table 7 exit classes). *)
+type kind =
+  | Trap            (** a classified trap ([Cost.record_trap] chokepoint) *)
+  | Exn_entry       (** architectural exception entry (EL, class, syndrome) *)
+  | Exn_return      (** eret *)
+  | Ws_enter        (** world switch into the host hypervisor *)
+  | Ws_exit         (** world switch back to the guest *)
+  | Page_populate   (** deferred access page populated *)
+  | Page_drain      (** deferred access page drained/folded *)
+  | Vncr_program    (** VNCR_EL2 written by the host *)
+  | Vncr_redirect   (** an access redirected to the page by NV2 *)
+  | Tlb_hit
+  | Tlb_miss
+  | Tlb_evict
+  | Tlb_invalidate
+  | S2_walk         (** stage-2 table walk *)
+  | Gic_inject      (** virtual interrupt placed in a list register *)
+  | Gic_ack         (** VM acknowledged a virtual interrupt *)
+  | Gic_eoi         (** VM completed a virtual interrupt *)
+  | Fault_inject    (** the fault plan fired an event *)
+  | Pv_hvc          (** paravirt hvc protocol operand decoded *)
+  | Pv_patch        (** binary patcher rewrote a text section *)
+  | Run_begin       (** interpreter run started *)
+  | Run_end         (** interpreter run finished *)
+
+val kind_name : kind -> string
+
+(** Immutable copy of a ring slot. *)
+type view = {
+  v_seq : int;        (** global sequence number (total order) *)
+  v_cycles : int;     (** simulated cycles when emitted *)
+  v_kind : kind;
+  v_cls : string;     (** exit class, for [Trap] events *)
+  v_a0 : int64;
+  v_a1 : int64;
+  v_detail : string;
+}
+
+val on : bool ref
+(** The single branch the disabled path pays.  Call sites guard emission
+    (and any argument construction) with [if !Trace.on then ...].  Use
+    {!enable}/{!disable} to flip it — never write it directly, or the
+    ring may be unallocated. *)
+
+val is_on : unit -> bool
+
+val enable : ?capacity:int -> unit -> unit
+(** Preallocate a ring of [capacity] (default 4096) event slots, clear
+    all counters, and turn emission on.  Re-enabling with the same
+    capacity reuses the allocation. *)
+
+val disable : unit -> unit
+(** Turn emission off.  Buffered events and counters stay readable. *)
+
+val reset : unit -> unit
+(** Clear events and counters without touching the enabled flag. *)
+
+val capacity : unit -> int
+
+val emit :
+  ?cycles:int ->
+  ?cls:string ->
+  ?a0:int64 ->
+  ?a1:int64 ->
+  ?detail:string ->
+  kind ->
+  unit
+(** Write one event into the ring (no-op when disabled).  [cycles]
+    advances the sink's clock; emitters without a meter inherit the last
+    stamp.  A [Trap] event increments the per-class counter for [cls]. *)
+
+val total_emitted : unit -> int
+(** Events emitted since {!enable}/{!reset}, including overwritten ones. *)
+
+val dropped : unit -> int
+(** Events overwritten because the ring wrapped. *)
+
+val events : unit -> view list
+(** The retained window, oldest first (at most {!capacity} events). *)
+
+val last : int -> view list
+(** The newest [n] retained events, oldest first. *)
+
+val class_counts : unit -> (string * int) list
+(** Per-exit-class trap counters, sorted by class name.  Only [Trap]
+    events count, so the sum equals the number of classified traps —
+    {!class_total} — by construction. *)
+
+val class_count : string -> int
+val class_total : unit -> int
+
+val pp_view : Format.formatter -> view -> unit
+val render : view -> string
+
+val chrome_json : (string * view list) list -> string
+(** Chrome trace-event JSON ({"traceEvents": [...]} object format): one
+    process per named stream, each event an instant stamped with its
+    sequence number, simulated cycles in [args].  Loads in
+    chrome://tracing and Perfetto. *)
+
+val metrics_json :
+  ?extra:(string * int) list ->
+  (string * (string * int) list * int) list ->
+  string
+(** Aggregate metrics JSON over [(name, class_counts, meter_traps)]
+    rows; [extra] adds top-level integer fields. *)

@@ -160,12 +160,18 @@ let create ?table ~nested () =
 
 (* --- guest-side operations --- *)
 
-let hypercall t = Vtx.vm_exit t.vtx Vtx.Exit_vmcall
-let device_io t = Vtx.vm_exit t.vtx Vtx.Exit_io
+let hypercall t =
+  Cost.count_insns t.vtx.Vtx.meter 1;
+  Vtx.vm_exit t.vtx Vtx.Exit_vmcall
+
+let device_io t =
+  Cost.count_insns t.vtx.Vtx.meter 1;
+  Vtx.vm_exit t.vtx Vtx.Exit_io
 
 (* An IPI: the sender exits on the APIC ICR write; the receiver exits on
    the external interrupt. *)
 let send_ipi ~sender ~receiver =
+  Cost.count_insns sender.vtx.Vtx.meter 1;
   Vtx.vm_exit sender.vtx Vtx.Exit_apic_access;
   Vtx.vm_exit receiver.vtx Vtx.Exit_ext_interrupt
 

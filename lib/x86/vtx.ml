@@ -99,10 +99,12 @@ let vm_enter t =
 (* vmread/vmwrite executed in root mode (the L0 hypervisor): plain VMCS
    access. *)
 let vmread_root t vmcs f =
+  Cost.count_insns t.meter 1;
   Cost.charge t.meter (table t).Cost.x86_vmread;
   Vmcs.read vmcs f
 
 let vmwrite_root t vmcs f v =
+  Cost.count_insns t.meter 1;
   Cost.charge t.meter (table t).Cost.x86_vmwrite;
   Vmcs.write vmcs f v
 
@@ -110,6 +112,7 @@ let vmwrite_root t vmcs f v =
    with VMCS shadowing the access is satisfied from the linked shadow VMCS
    without an exit; without shadowing it exits to L0. *)
 let vmread_l1 t vmcs12 f =
+  Cost.count_insns t.meter 1;
   if t.shadowing && Vmcs.shadowable f then begin
     Cost.charge t.meter (table t).Cost.x86_vmread;
     Vmcs.read vmcs12 f
@@ -121,6 +124,7 @@ let vmread_l1 t vmcs12 f =
   end
 
 let vmwrite_l1 t vmcs12 f v =
+  Cost.count_insns t.meter 1;
   if t.shadowing && Vmcs.shadowable f then begin
     Cost.charge t.meter (table t).Cost.x86_vmwrite;
     Vmcs.write vmcs12 f v
@@ -132,7 +136,11 @@ let vmwrite_l1 t vmcs12 f v =
 
 (* vmresume executed by the guest hypervisor: always exits to L0, which
    merges vmcs12 into vmcs02 and enters L2 (the Turtles flow). *)
-let vmresume_l1 t = vm_exit t Exit_vmresume
+let vmresume_l1 t =
+  Cost.count_insns t.meter 1;
+  vm_exit t Exit_vmresume
 
 (* APICv: the guest completes an interrupt without any exit. *)
-let apicv_eoi t = Cost.charge t.meter (table t).Cost.x86_apicv_eoi
+let apicv_eoi t =
+  Cost.count_insns t.meter 1;
+  Cost.charge t.meter (table t).Cost.x86_apicv_eoi

@@ -117,7 +117,7 @@ let test_table3_contents () =
     Sysreg.table3
 
 let test_table4_contents () =
-  (* the paper's prose says 17; the table as printed lists 18 rows *)
+  (* row count discrepancy: see EXPERIMENTS.md "Tables 2-5" *)
   check Alcotest.int "Table 4 rows" 18 (List.length Sysreg.table4);
   check Alcotest.int "redirect group" 10 (List.length Sysreg.table4_redirect);
   check Alcotest.int "VHE redirect group" 2

@@ -17,4 +17,5 @@ let () =
       ("fault", Test_fault.suite);
       ("properties", Test_properties.suite);
       ("fuzz", Test_fuzz.suite);
+      ("trace", Test_trace.suite);
     ]

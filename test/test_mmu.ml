@@ -243,6 +243,19 @@ let test_tlb () =
     (Mmu.Tlb.lookup tlb ~vmid:1 ~asid:0 0x1234L = None);
   check Alcotest.bool "hit rate tracked" true (Mmu.Tlb.hit_rate tlb > 0.)
 
+let test_tlb_hit_rate_fresh () =
+  (* zero lookups: the rate must be a well-defined 0.0, not 0/0 = NaN *)
+  let tlb = Mmu.Tlb.create ~capacity:8 () in
+  let r = Mmu.Tlb.hit_rate tlb in
+  check Alcotest.bool "not NaN" false (Float.is_nan r);
+  check (Alcotest.float 0.0) "fresh TLB rate is 0.0" 0.0 r;
+  (* one miss, one hit: rate is exactly 1/2 *)
+  ignore (Mmu.Tlb.lookup tlb ~vmid:1 ~asid:0 0x1000L);
+  Mmu.Tlb.insert tlb ~vmid:1 ~asid:0 ~va:0x1000L ~pa:0x9000L
+    ~perms:Mmu.Pte.rw;
+  ignore (Mmu.Tlb.lookup tlb ~vmid:1 ~asid:0 0x1000L);
+  check (Alcotest.float 1e-9) "half" 0.5 (Mmu.Tlb.hit_rate tlb)
+
 let test_tlb_set_eviction () =
   let tlb = Mmu.Tlb.create ~capacity:8 () in
   (* flood far past capacity: occupancy must stay bounded by nsets*ways,
@@ -285,5 +298,6 @@ let suite =
     ("shadow: invalidation", `Quick, test_shadow_invalidate);
     qtest test_mmu_vs_model;
     ("tlb: hits, misses, invalidation", `Quick, test_tlb);
+    ("tlb: hit rate defined on zero lookups", `Quick, test_tlb_hit_rate_fresh);
     ("tlb: per-set eviction and counters", `Quick, test_tlb_set_eviction);
   ]
