@@ -466,7 +466,15 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let run seed n max_seconds json corpus_dir traced verbose =
+  let snap_oracle_arg =
+    let doc =
+      "Also run each column's snapshot-at-k/restore/resume twin and \
+       report any difference from the uninterrupted run — trap counts \
+       included — as a divergence (the restore-equivalence oracle)."
+    in
+    Arg.(value & flag & info [ "snap-oracle" ] ~doc)
+  in
+  let run seed n max_seconds json corpus_dir traced snap_oracle verbose =
     setup_logs verbose;
     let should_stop =
       if max_seconds <= 0.0 then fun () -> false
@@ -477,7 +485,8 @@ let fuzz_cmd =
     in
     if not (Sys.file_exists corpus_dir) then Unix.mkdir corpus_dir 0o755;
     let stats =
-      Fuzz.Campaign.run ~should_stop ~corpus_dir ~traced ~seed ~n ()
+      Fuzz.Campaign.run ~should_stop ~corpus_dir ~traced ~snap_oracle ~seed
+        ~n ()
     in
     if json then print_endline (Fuzz.Campaign.json_stats stats)
     else Fmt.pr "%a@." Fuzz.Campaign.pp_stats stats;
@@ -493,7 +502,183 @@ let fuzz_cmd =
           minimized repro into the corpus directory")
     Term.(
       const run $ seed_arg $ n_arg $ max_seconds_arg $ json_arg $ corpus_arg
-      $ trace_arg $ verbose_arg)
+      $ trace_arg $ snap_oracle_arg $ verbose_arg)
+
+(* --- snapshot / restore / live migration --- *)
+
+let single_vm_arg =
+  let doc = "Use a plain (non-nested) VM instead of a nested guest." in
+  Arg.(value & flag & info [ "single-vm" ] ~doc)
+
+let make_scenario mech vhe single_vm =
+  if single_vm then Workloads.Scenario.Arm_vm
+  else Workloads.Scenario.Arm_nested (Hyp.Config.v ~guest_vhe:vhe mech)
+
+(* a deterministic guest-side warm-up touching traps, computation and
+   device emulation, so snapshots carry non-trivial state *)
+let drive m n =
+  for _ = 1 to n do
+    Hyp.Machine.hypercall m ~cpu:0;
+    Hyp.Machine.compute m ~cpu:0 ~insns:32;
+    Hyp.Machine.mmio_access m ~cpu:0 ~addr:0x0a00_0000L ~is_write:true
+  done
+
+let print_machine_summary m =
+  let meter = m.Hyp.Machine.cpus.(0).Arm.Cpu.meter in
+  Fmt.pr "  config    %s@." (Hyp.Config.name m.Hyp.Machine.config);
+  Fmt.pr "  scenario  %s@."
+    (match m.Hyp.Machine.scenario with
+    | Hyp.Host_hyp.Single_vm -> "single-vm"
+    | Hyp.Host_hyp.Nested -> "nested");
+  Fmt.pr "  cpus      %d@." (Hyp.Machine.ncpus m);
+  Fmt.pr "  cycles    %d   insns %d   traps %d@." meter.Cost.cycles
+    meter.Cost.insns meter.Cost.traps
+
+let snapshot_cmd =
+  let file_arg =
+    let doc = "Snapshot image file to write." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let ops_arg =
+    let doc =
+      "Guest operations (hypercall + compute + device I/O rounds) to run \
+       before the snapshot is taken."
+    in
+    Arg.(value & opt int 4 & info [ "ops" ] ~doc)
+  in
+  let run mech vhe single_vm ops file verbose =
+    setup_logs verbose;
+    let m = Workloads.Scenario.make_arm (make_scenario mech vhe single_vm) in
+    drive m ops;
+    let s = Snap.to_string m in
+    if not (String.equal s (Snap.to_string m)) then begin
+      Fmt.epr "BUG: snapshot is not byte-deterministic@.";
+      exit 1
+    end;
+    let oc = open_out_bin file in
+    output_string oc s;
+    close_out oc;
+    Fmt.pr "wrote %s (%d bytes, snapshot format v%d)@." file
+      (String.length s) Snap.version;
+    print_machine_summary m
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Build a machine, run a deterministic guest workload, and write \
+          a versioned byte-deterministic snapshot of its complete state \
+          (memory, per-CPU registers, virtual EL1/EL2 files, vGIC, \
+          shadow stage-2, cost meters)")
+    Term.(
+      const run $ mech_arg $ vhe_arg $ single_vm_arg $ ops_arg $ file_arg
+      $ verbose_arg)
+
+let restore_cmd =
+  let file_arg =
+    let doc = "Snapshot image file to read." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc = "Guest operation rounds to run after the restore." in
+    Arg.(value & opt int 2 & info [ "resume-ops" ] ~doc)
+  in
+  let run file resume verbose =
+    setup_logs verbose;
+    let s =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error msg -> Fmt.epr "%s@." msg; exit 1
+    in
+    match Snap.restore s with
+    | exception Snap.Format_error msg ->
+      Fmt.epr "%s: not a usable snapshot: %s@." file msg;
+      exit 1
+    | m ->
+      if not (String.equal s (Snap.to_string m)) then begin
+        Fmt.epr "BUG: restored machine re-saves differently@.";
+        exit 1
+      end;
+      Fmt.pr "restored %s (%d bytes); re-save is byte-identical@." file
+        (String.length s);
+      print_machine_summary m;
+      if resume > 0 then begin
+        drive m resume;
+        Fmt.pr "resumed for %d guest operation rounds:@." resume;
+        print_machine_summary m
+      end
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Restore a machine from a snapshot image, verify the restored \
+          machine re-saves byte-identically, and resume guest execution \
+          on it")
+    Term.(const run $ file_arg $ resume_arg $ verbose_arg)
+
+let migrate_cmd =
+  let threshold_arg =
+    let doc =
+      "Stop pre-copy once the residual dirty set is at most this many \
+       pages."
+    in
+    Arg.(value & opt int 8 & info [ "threshold" ] ~doc)
+  in
+  let rounds_arg =
+    let doc = "Pre-copy round budget before forcing stop-and-copy." in
+    Arg.(value & opt int 16 & info [ "max-rounds" ] ~doc)
+  in
+  let busy_arg =
+    let doc =
+      "Rounds during which the guest keeps running and dirtying pages \
+       concurrently with the copy stream; later rounds are idle."
+    in
+    Arg.(value & opt int 2 & info [ "busy-rounds" ] ~doc)
+  in
+  let writes_arg =
+    let doc = "Distinct pages the busy guest dirties per round." in
+    Arg.(value & opt int 6 & info [ "writes" ] ~doc)
+  in
+  let run mech vhe single_vm threshold max_rounds busy writes verbose =
+    setup_logs verbose;
+    let src = Workloads.Scenario.make_arm (make_scenario mech vhe single_vm) in
+    drive src 4;
+    let workload m ~round =
+      if round < busy then begin
+        Hyp.Machine.hypercall m ~cpu:0;
+        for i = 0 to writes - 1 do
+          Arm.Memory.write64 m.Hyp.Machine.mem
+            (Int64.of_int (0x7800_0000 + (4096 * i) + (8 * round)))
+            (Int64.of_int (round + i + 1))
+        done
+      end
+    in
+    let dst, r = Snap.Migrate.run ~threshold ~max_rounds ~workload src in
+    Fmt.pr "Live migration (%s, %s):@.@."
+      (Hyp.Config.name src.Hyp.Machine.config)
+      (match src.Hyp.Machine.scenario with
+      | Hyp.Host_hyp.Single_vm -> "single-vm"
+      | Hyp.Host_hyp.Nested -> "nested");
+    Fmt.pr "%a@.@." Snap.Migrate.pp_report r;
+    (match Snap.diff src dst with
+    | None -> Fmt.pr "source and destination machines are byte-identical@."
+    | Some (path, detail) ->
+      Fmt.epr "MIGRATION BUG: %s differs: %s@." path detail;
+      exit 1);
+    if not r.Snap.Migrate.r_converged then begin
+      Fmt.epr "pre-copy did not converge within %d rounds@." max_rounds;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Pre-copy live migration driven by stage-2 dirty-page tracking: \
+          iterative copy rounds against a configurable busy guest, \
+          stop-and-copy with simulated downtime, and a byte-identity \
+          check between source and destination (nonzero exit on \
+          non-convergence or any state difference)")
+    Term.(
+      const run $ mech_arg $ vhe_arg $ single_vm_arg $ threshold_arg
+      $ rounds_arg $ busy_arg $ writes_arg $ verbose_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
@@ -509,4 +694,4 @@ let () =
           [ table1_cmd; table6_cmd; table7_cmd; fig2_cmd; traps_cmd;
             classify_cmd; validate_cmd; ablation_cmd; recursive_cmd;
             sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd; fuzz_cmd;
-            trace_cmd ]))
+            trace_cmd; snapshot_cmd; restore_cmd; migrate_cmd ]))

@@ -113,7 +113,7 @@ let exception_entry t (e : Exn.entry) =
     t.saved_regs <- Array.copy t.regs :: t.saved_regs;
     Cost.charge t.meter c.Cost.trap_entry;
     if !Trace.on then
-      Trace.emit ~cycles:t.meter.Cost.cycles
+      Trace.emit ~cycles:t.meter.Cost.cycles ~tid:t.meter.Cost.tid
         ~a0:(Int64.of_int (Exn.ec_code e.ec))
         ~a1:(Int64.of_int e.iss) ~detail:(Exn.entry_label e) Trace.Exn_entry;
     (match t.el2_handler with
@@ -129,7 +129,7 @@ let exception_entry t (e : Exn.entry) =
     t.pstate <- Pstate.at Pstate.EL1;
     Cost.charge t.meter c.Cost.exc_entry_el1;
     if !Trace.on then
-      Trace.emit ~cycles:t.meter.Cost.cycles
+      Trace.emit ~cycles:t.meter.Cost.cycles ~tid:t.meter.Cost.tid
         ~a0:(Int64.of_int (Exn.ec_code e.ec))
         ~a1:(Int64.of_int e.iss) ~detail:(Exn.entry_label e) Trace.Exn_entry;
     (match t.el1_handler with
@@ -166,7 +166,7 @@ let do_eret t =
   t.pc <- elr;
   Cost.charge t.meter c.Cost.trap_return;
   if !Trace.on then
-    Trace.emit ~cycles:t.meter.Cost.cycles ~a0:elr
+    Trace.emit ~cycles:t.meter.Cost.cycles ~tid:t.meter.Cost.tid ~a0:elr
       ~detail:(Pstate.el_name t.pstate.Pstate.el) Trace.Exn_return
 
 (* --- system-register read/write with side effects --- *)
@@ -301,7 +301,7 @@ and exec_action t (insn : Insn.t) action =
         t.meter.Cost.mem_accesses <- t.meter.Cost.mem_accesses + 1;
         Cost.charge_insn t.meter c.Cost.mem_load;
         if !Trace.on then
-          Trace.emit ~cycles:t.meter.Cost.cycles ~a0:addr ~detail:"read"
+          Trace.emit ~cycles:t.meter.Cost.cycles ~tid:t.meter.Cost.tid ~a0:addr ~detail:"read"
             Trace.Vncr_redirect;
         advance_pc t
       | Insn.Msr (_, v) ->
@@ -309,7 +309,7 @@ and exec_action t (insn : Insn.t) action =
         t.meter.Cost.mem_accesses <- t.meter.Cost.mem_accesses + 1;
         Cost.charge_insn t.meter c.Cost.mem_store;
         if !Trace.on then
-          Trace.emit ~cycles:t.meter.Cost.cycles ~a0:addr ~detail:"write"
+          Trace.emit ~cycles:t.meter.Cost.cycles ~tid:t.meter.Cost.tid ~a0:addr ~detail:"write"
             Trace.Vncr_redirect;
         advance_pc t
       | _ -> assert false

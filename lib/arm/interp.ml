@@ -91,7 +91,7 @@ let decode_cached w =
 let run ?on_step ?(stop = fun _ -> false) (cpu : Cpu.t) ~entry ~max_insns =
   cpu.Cpu.pc <- entry;
   if !Trace.on then
-    Trace.emit ~cycles:cpu.Cpu.meter.Cost.cycles ~a0:entry
+    Trace.emit ~cycles:cpu.Cpu.meter.Cost.cycles ~tid:cpu.Cpu.meter.Cost.tid ~a0:entry
       ~a1:(Int64.of_int max_insns) Trace.Run_begin;
   let rec step budget =
     if stop cpu then Stopped
@@ -109,7 +109,7 @@ let run ?on_step ?(stop = fun _ -> false) (cpu : Cpu.t) ~entry ~max_insns =
   in
   let outcome = step max_insns in
   if !Trace.on then
-    Trace.emit ~cycles:cpu.Cpu.meter.Cost.cycles ~a0:cpu.Cpu.pc
+    Trace.emit ~cycles:cpu.Cpu.meter.Cost.cycles ~tid:cpu.Cpu.meter.Cost.tid ~a0:cpu.Cpu.pc
       ~detail:(Fmt.str "%a" pp_outcome outcome) Trace.Run_end;
   outcome
 

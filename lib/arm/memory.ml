@@ -8,9 +8,13 @@ type t = {
   mutable mmio : (int64 * int64 * string) list;
       (* [start, start+len) regions with no backing store; accesses to them
          are what stage-2 leaves unmapped so they fault for emulation *)
+  mutable on_write : (int64 -> unit) option;
+      (* write observer (dirty-page tracking): called with the byte
+         address after every stored word.  One option check on the store
+         path when unused. *)
 }
 
-let create () = { words = Hashtbl.create 1024; mmio = [] }
+let create () = { words = Hashtbl.create 1024; mmio = []; on_write = None }
 
 let check_aligned addr =
   if Int64.rem addr 8L <> 0L then
@@ -22,7 +26,8 @@ let read64 t addr =
 
 let write64 t addr v =
   check_aligned addr;
-  Hashtbl.replace t.words addr v
+  Hashtbl.replace t.words addr v;
+  match t.on_write with None -> () | Some f -> f addr
 
 let add_mmio_region t ~start ~len ~name =
   t.mmio <- (start, Int64.add start len, name) :: t.mmio
@@ -33,6 +38,16 @@ let mmio_region_of t addr =
     t.mmio
 
 let clear t = Hashtbl.reset t.words
+
+(* Every backed, nonzero word in ascending address order.  A canonical
+   view: an absent word and a stored zero read identically, so zeros are
+   dropped — two memories with the same contents produce the same list
+   regardless of hash-bucket history. *)
+let sorted_words t =
+  Hashtbl.fold
+    (fun addr v acc -> if v = 0L then acc else (addr, v) :: acc)
+    t.words []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
 
 (* Zero an aligned range (used to initialize deferred access pages). *)
 let zero_range t ~start ~len =

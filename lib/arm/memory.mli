@@ -6,6 +6,9 @@
 type t = {
   words : (int64, int64) Hashtbl.t;
   mutable mmio : (int64 * int64 * string) list;
+  mutable on_write : (int64 -> unit) option;
+      (** write observer (dirty-page tracking): called with the byte
+          address after every stored word *)
 }
 
 val create : unit -> t
@@ -23,6 +26,11 @@ val add_mmio_region : t -> start:int64 -> len:int64 -> name:string -> unit
 
 val mmio_region_of : t -> int64 -> string option
 (** Name of the device region containing an address, if any. *)
+
+val sorted_words : t -> (int64 * int64) list
+(** Every backed, nonzero word in ascending address order — a canonical
+    view of the contents (absent and stored-zero words read identically
+    and are both omitted). *)
 
 val clear : t -> unit
 

@@ -50,6 +50,9 @@ type table = {
   x86_guest_hyp_logic : int; (* L1 KVM software per nested exit *)
   x86_apicv_eoi : int;       (* hardware-accelerated EOI *)
   arm_virtual_eoi : int;     (* GIC virtual-interface EOI, no trap *)
+  mig_page_copy : int;       (* live migration: copying one 4 KB page *)
+  mig_state_copy : int;      (* live migration: CPU/device state transfer
+                                during the stop-and-copy phase *)
 }
 
 (* Defaults.  The architectural constants come straight from the paper's
@@ -92,6 +95,8 @@ let default : table = {
   x86_guest_hyp_logic = 7000;
   x86_apicv_eoi = 316;
   arm_virtual_eoi = 71;
+  mig_page_copy = 1200;
+  mig_state_copy = 24000;
 }
 
 (* Trap classification used for reporting (Table 7 and the trap-analysis
@@ -146,6 +151,8 @@ type meter = {
   by_kind : (trap_kind, int) Hashtbl.t;
   mutable log : (trap_kind * string) list;  (* newest first *)
   mutable logging : bool;
+  mutable tid : int;  (* owning CPU id; the trace lane for events this
+                         meter emits *)
 }
 
 let make_meter ?(table = default) () = {
@@ -157,6 +164,7 @@ let make_meter ?(table = default) () = {
   by_kind = Hashtbl.create 16;
   log = [];
   logging = false;
+  tid = 0;
 }
 
 let charge m n =
@@ -185,7 +193,8 @@ let record_trap ?(detail = "") m kind =
   Hashtbl.replace m.by_kind kind (prev + 1);
   if m.logging then m.log <- (kind, detail) :: m.log;
   if !Trace.on then
-    Trace.emit ~cycles:m.cycles ~cls:(trap_kind_name kind) ~detail Trace.Trap
+    Trace.emit ~cycles:m.cycles ~tid:m.tid ~cls:(trap_kind_name kind) ~detail
+      Trace.Trap
 
 let set_logging m b =
   m.logging <- b;

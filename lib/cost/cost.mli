@@ -45,6 +45,10 @@ type table = {
   x86_guest_hyp_logic : int;
   x86_apicv_eoi : int;     (** the 316-cycle x86 Virtual EOI *)
   arm_virtual_eoi : int;   (** the 71-cycle ARM Virtual EOI *)
+  mig_page_copy : int;     (** live migration: copying one 4 KB page *)
+  mig_state_copy : int;
+      (** live migration: CPU/device state transfer during the
+          stop-and-copy phase *)
 }
 
 val default : table
@@ -81,6 +85,9 @@ type meter = {
   by_kind : (trap_kind, int) Hashtbl.t;
   mutable log : (trap_kind * string) list;  (** newest first *)
   mutable logging : bool;
+  mutable tid : int;
+      (** owning CPU id — the trace lane for events this meter emits
+          (set by [Machine.create]; standalone meters stay on lane 0) *)
 }
 
 val make_meter : ?table:table -> unit -> meter

@@ -31,6 +31,9 @@ type kind =
   | Oracle_divergence of string
       (* differential fuzzing: two trap mechanisms disagreed on an
          architecturally visible outcome *)
+  | Bad_topology of string
+      (* a machine shape that cannot be built: a CPU count outside the
+         per-vCPU memory-region budget *)
 
 let kind_to_string = function
   | Unknown_sysreg (op0, op1, crn, crm, op2) ->
@@ -42,6 +45,7 @@ let kind_to_string = function
   | Unsupported_rewrite i -> "no rewrite for instruction: " ^ i
   | Invariant_broken s -> "invariant broken: " ^ s
   | Oracle_divergence s -> "oracle divergence: " ^ s
+  | Bad_topology s -> "bad machine topology: " ^ s
 
 (* Machine context captured at the raise site. *)
 type context = {

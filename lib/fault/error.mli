@@ -21,6 +21,9 @@ type kind =
   | Oracle_divergence of string
       (** differential fuzzing: two trap mechanisms disagreed on an
           architecturally visible outcome *)
+  | Bad_topology of string
+      (** a machine shape that cannot be built: a CPU count outside the
+          per-vCPU memory-region budget *)
 
 val kind_to_string : kind -> string
 

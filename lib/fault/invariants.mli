@@ -28,6 +28,12 @@ type state
 
 val state : unit -> state
 
+val state_dump : state -> int array
+(** The watermark counters in a fixed order, for checkpoint/restore. *)
+
+val state_load : state -> int array -> unit
+(** Inverse of {!state_dump}; ignores malformed arrays. *)
+
 val check_cpu : ?id:int -> Arm.Cpu.t -> violation list
 (** Steady-state checks: SPSR_EL2/SPSR_EL1 decode to a legal mode at or
     below their bank's EL; ELR_EL2/ELR_EL1 and PC are 4-byte aligned. *)

@@ -110,6 +110,44 @@ let flip t = Rng.bool t.rng
 
 let injected t = List.rev t.injected
 
+(* --- raw state, for checkpoint/restore ---
+
+   A plan is deterministic but stateful: the PRNG cursor, the fired flag
+   on each event and the injected log all advance as the machine runs.
+   Snapshotting a machine mid-plan must carry that cursor exactly, or the
+   restored machine would re-fire events (or corrupt with a different
+   mask) and diverge from the original run. *)
+
+type raw = {
+  raw_seed : int;
+  raw_rng : int64;                       (* splitmix64 cursor *)
+  raw_events : (int * kind * bool) list; (* (trap, kind, fired), in order *)
+  raw_injected : (int * kind) list;      (* newest first, as stored *)
+}
+
+let to_raw t =
+  {
+    raw_seed = t.seed;
+    raw_rng = t.rng.Rng.s;
+    raw_events =
+      Array.to_list
+        (Array.map (fun ev -> (ev.ev_trap, ev.ev_kind, ev.ev_fired)) t.events);
+    raw_injected = t.injected;
+  }
+
+let of_raw r =
+  {
+    seed = r.raw_seed;
+    rng = { Rng.s = r.raw_rng };
+    events =
+      Array.of_list
+        (List.map
+           (fun (trap, kind, fired) ->
+             { ev_trap = trap; ev_kind = kind; ev_fired = fired })
+           r.raw_events);
+    injected = r.raw_injected;
+  }
+
 let injected_counts t =
   List.map
     (fun k -> (k, List.length (List.filter (fun (_, k') -> k' = k) t.injected)))

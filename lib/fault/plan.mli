@@ -51,6 +51,19 @@ val flip : t -> bool
 val injected : t -> (int * kind) list
 (** Events fired so far, oldest first, with their scheduled trap count. *)
 
+(** Complete mutable state of a plan, for checkpoint/restore: the PRNG
+    cursor, every event's fired flag and the injected log.  A restored
+    plan continues exactly where the saved one stopped. *)
+type raw = {
+  raw_seed : int;
+  raw_rng : int64;
+  raw_events : (int * kind * bool) list;
+  raw_injected : (int * kind) list;  (** newest first *)
+}
+
+val to_raw : t -> raw
+val of_raw : raw -> t
+
 val injected_counts : t -> (kind * int) list
 val pending : t -> int
 val pp : Format.formatter -> t -> unit

@@ -27,14 +27,15 @@ type stats = {
 
 let divergence_count st = List.length st.s_found
 
-let replay words =
-  List.map Diff.divergence_to_string (Diff.run_words words).res_divergences
+let replay ?snap_oracle words =
+  List.map Diff.divergence_to_string
+    (Diff.run_words ?snap_oracle words).res_divergences
 
 (* Re-run one program traced and keep the event streams of the two
    columns the first divergence names (reference, then disagreeing); all
    columns' streams when the traced replay no longer diverges. *)
-let streams_of words =
-  let res = Diff.run_words ~traced:true words in
+let streams_of ?snap_oracle words =
+  let res = Diff.run_words ~traced:true ?snap_oracle words in
   let all =
     List.map
       (fun (c, o) -> (c.Diff.col_name, o.Diff.ob_events))
@@ -48,7 +49,7 @@ let streams_of words =
   | [] -> all
 
 let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
-    ?(traced = false) ~seed ~n () =
+    ?(traced = false) ?(snap_oracle = false) ~seed ~n () =
   let gen = Gen.create ~seed in
   let column_traps =
     List.map (fun c -> (c.Diff.col_name, ref 0)) Diff.columns
@@ -58,7 +59,7 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
   while !i < n && not (should_stop ()) do
     let prog = Gen.program gen in
     let words = Prog.to_words prog in
-    let res = Diff.run_words words in
+    let res = Diff.run_words ~snap_oracle words in
     incr ran;
     List.iter
       (fun (c, o) ->
@@ -85,11 +86,11 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
         else begin
           let min_prog =
             Shrink.minimize
-              ~still_fails:(fun p -> Diff.diverges (Prog.to_words p))
+              ~still_fails:(fun p -> Diff.diverges ~snap_oracle (Prog.to_words p))
               prog
           in
           let min_words = Prog.to_words min_prog in
-          let divs = replay min_words in
+          let divs = replay ~snap_oracle min_words in
           let divs =
             (* shrinking preserves *some* failure, not necessarily the
                original one; fall back to the unshrunk reports *)
@@ -121,7 +122,7 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
             f_min_words = min_words;
             f_divergences = divs;
             f_repro_path = repro_path;
-            f_streams = (if traced then streams_of min_words else []);
+            f_streams = (if traced then streams_of ~snap_oracle min_words else []);
           }
         end
       in

@@ -41,6 +41,7 @@ val run :
   ?corpus_dir:string ->
   ?max_found:int ->
   ?traced:bool ->
+  ?snap_oracle:bool ->
   seed:int ->
   n:int ->
   unit ->
@@ -52,9 +53,12 @@ val run :
     shrinking/saving.  [traced] (default false) replays each minimized
     divergence with tracing enabled and stores the event streams in
     [f_streams]; generation and the oracle itself stay untraced, so
-    found/coverage results are identical either way. *)
+    found/coverage results are identical either way.  [snap_oracle]
+    (default false) adds the restore-equivalence column to every
+    program: snapshot-at-k/restore/resume must match the uninterrupted
+    run bit for bit ({!Diff.run_words}). *)
 
-val replay : int array -> string list
+val replay : ?snap_oracle:bool -> int array -> string list
 (** Run one encoded program through the oracle; rendered divergence
     reports, empty on agreement.  Used by corpus regression tests. *)
 

@@ -166,6 +166,72 @@ let run_column ?(traced = false) ~budget config words =
         ob_ctx = Some (Fault.Error.context_of_cpu cpu);
       }
 
+(* The ninth column: snapshot-at-k / restore / resume.  The same program
+   under the same configuration, but executed as two segments with a
+   serialization boundary between them: run [at] instructions, save the
+   whole machine through Snap, restore into a fresh machine and resume
+   there until the normal stopping condition.  Every architectural
+   observation — and the trap count — must be bit-identical to the
+   uninterrupted run; anything the snapshot fails to carry (an undrained
+   deferred page, a pending fold, meter state, shadow tables) surfaces
+   as an ordinary fuzz divergence. *)
+let run_column_snapshot ~budget ~at config words =
+  let m = Machine.create ~ncpus:1 config Host_hyp.Nested in
+  let cpu = m.Machine.cpus.(0) and host = m.Machine.hosts.(0) in
+  let traps_now = ref (fun () -> cpu.Cpu.meter.Cost.traps) in
+  let ctx_now = ref (fun () -> Fault.Error.context_of_cpu cpu) in
+  try
+    Host_hyp.start_guest_hypervisor host;
+    let page_base = host.Host_hyp.vcpu.Vcpu.page_base in
+    let text =
+      if Config.is_paravirt config then
+        Paravirt.patch_text config ~page_base words
+      else words
+    in
+    Interp.load m.Machine.mem ~base:text_base text;
+    Cpu.set_reg cpu Paravirt.page_base_reg page_base;
+    let stop _ = not host.Host_hyp.vcpu.Vcpu.in_vel2 in
+    let steps = ref 0 in
+    let (_ : Interp.outcome) =
+      Interp.run cpu
+        ~on_step:(fun _ -> incr steps)
+        ~stop ~entry:text_base ~max_insns:(min at budget)
+    in
+    (* the serialization boundary *)
+    let m' = Snap.restore (Snap.to_string m) in
+    let cpu' = m'.Machine.cpus.(0) and host' = m'.Machine.hosts.(0) in
+    (traps_now := fun () -> cpu'.Cpu.meter.Cost.traps);
+    (ctx_now := fun () -> Fault.Error.context_of_cpu cpu');
+    let stop' _ = not host'.Host_hyp.vcpu.Vcpu.in_vel2 in
+    let outcome =
+      Interp.run cpu' ~stop:stop' ~entry:cpu'.Cpu.pc
+        ~max_insns:(budget - !steps)
+    in
+    let pc = cpu'.Cpu.pc in
+    let pstate = Fmt.str "%a" Pstate.pp cpu'.Cpu.pstate in
+    let in_vel2 = host'.Host_hyp.vcpu.Vcpu.in_vel2 in
+    if in_vel2 then Gaccess.eret (Gaccess.v cpu' config ~page_base);
+    {
+      empty_obs with
+      ob_outcome = Fmt.str "%a" Interp.pp_outcome outcome;
+      ob_pc = pc;
+      ob_pstate = pstate;
+      ob_in_vel2 = in_vel2;
+      ob_regs = Array.init 31 (Cpu.get_reg cpu');
+      ob_vel2 = file_obs host'.Host_hyp.vcpu.Vcpu.vel2;
+      ob_vel1 = file_obs host'.Host_hyp.vcpu.Vcpu.vel1;
+      ob_mem = mem_obs m'.Machine.mem;
+      ob_traps = cpu'.Cpu.meter.Cost.traps;
+      ob_ctx = Some (!ctx_now ());
+    }
+  with e ->
+    {
+      empty_obs with
+      ob_error = Some (Printexc.to_string e);
+      ob_traps = !traps_now ();
+      ob_ctx = Some (!ctx_now ());
+    }
+
 (* --- comparison --- *)
 
 let pp_named ppf (n, v) = Fmt.pf ppf "%s=0x%Lx" n v
@@ -285,7 +351,41 @@ let ordering_divergences group cols_obs =
   @ check (fun a b -> b <= a) "NEVE must not out-trap trap-and-emulate"
       (find Config.Hw_v8_3, find Config.Hw_neve)
 
-let run_words ?traced words =
+(* Restore-equivalence check for one program: every column's
+   uninterrupted run against its snapshot-at-k/restore/resume twin.
+   Unlike cross-mechanism comparison, here even the trap count must
+   match exactly — the resumed machine is supposed to BE the original,
+   not merely agree with it architecturally. *)
+let snapshot_divergences ~budget res_obs words =
+  List.concat_map
+    (fun (c, straight) ->
+      let o =
+        run_column_snapshot ~budget ~at:(budget / 2) c.col_config words
+      in
+      let trap_div =
+        if
+          straight.ob_error = None && o.ob_error = None
+          && straight.ob_traps <> o.ob_traps
+        then
+          [ ( "trap-count",
+              Printf.sprintf "ref %d traps, column %d traps"
+                straight.ob_traps o.ob_traps ) ]
+        else []
+      in
+      List.map
+        (fun (field, detail) ->
+          {
+            dv_group = "snapshot";
+            dv_ref = c.col_name;
+            dv_col = c.col_name ^ "+snap";
+            dv_field = field;
+            dv_detail = detail;
+            dv_context = o.ob_ctx;
+          })
+        (diff_obs straight o @ trap_div))
+    res_obs
+
+let run_words ?traced ?(snap_oracle = false) words =
   let budget = budget_for words in
   let res_obs =
     List.map
@@ -318,6 +418,12 @@ let run_words ?traced words =
           @ ordering_divergences group cols_obs)
       groups
   in
+  let divergences =
+    if snap_oracle then
+      divergences @ snapshot_divergences ~budget res_obs words
+    else divergences
+  in
   { res_obs; res_divergences = divergences }
 
-let diverges words = (run_words words).res_divergences <> []
+let diverges ?snap_oracle words =
+  (run_words ?snap_oracle words).res_divergences <> []

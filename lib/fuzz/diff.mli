@@ -52,6 +52,15 @@ val run_column : ?traced:bool -> budget:int -> Hyp.Config.t -> int array -> obs
     [ob_events]; tracing is switched off again before returning, and the
     architectural observation is identical either way. *)
 
+val run_column_snapshot :
+  budget:int -> at:int -> Hyp.Config.t -> int array -> obs
+(** Like {!run_column}, but executed as two segments with a
+    serialization boundary between them: run [at] instructions, save the
+    machine through [Snap], restore into a fresh machine, resume there
+    to the normal stopping condition, and observe the restored machine.
+    A correct snapshot subsystem makes this observation — including the
+    trap count — bit-identical to the uninterrupted run. *)
+
 type divergence = {
   dv_group : string;
   dv_ref : string;     (** reference column *)
@@ -71,11 +80,15 @@ type result = {
   res_divergences : divergence list;
 }
 
-val run_words : ?traced:bool -> int array -> result
+val run_words : ?traced:bool -> ?snap_oracle:bool -> int array -> result
 (** The full oracle: run under every column, compare architectural
     observations within each group, then check trap-count ordering
-    (twin equality, NEVE <= trap-and-emulate). *)
+    (twin equality, NEVE <= trap-and-emulate).  [snap_oracle] (default
+    false) additionally runs every column's
+    snapshot-at-k/restore/resume twin ({!run_column_snapshot} at half
+    the budget) and reports any difference from the uninterrupted run —
+    trap counts included — as a divergence in group ["snapshot"]. *)
 
-val diverges : int array -> bool
+val diverges : ?snap_oracle:bool -> int array -> bool
 (** [run_words] produced at least one divergence — the shrinker's
     predicate. *)

@@ -171,7 +171,7 @@ let l0_enter t =
   WS.restore_array o ~ctx:t.l0_ctx ~via:Sysreg.direct Reglists.el1_state_arr;
   WS.deactivate_traps o ~vhe:false;
   if !Trace.on then
-    Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles
+    Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles ~tid:t.cpu.Cpu.meter.Cost.tid
       ~a0:(Int64.of_int (WS.reg_copies () - copies0))
       ~a1:(Int64.of_int t.vcpu.Vcpu.id)
       Trace.Ws_enter
@@ -187,7 +187,7 @@ let l0_exit t =
   WS.activate_traps o ~vhe:false ~hcr:(hcr_for t ~vel2:t.vcpu.Vcpu.in_vel2);
   WS.write_stage2 o ~vttbr:t.shadow_vttbr;
   if !Trace.on then
-    Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles
+    Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles ~tid:t.cpu.Cpu.meter.Cost.tid
       ~a0:(Int64.of_int (WS.reg_copies () - copies0))
       ~a1:(Int64.of_int t.vcpu.Vcpu.id)
       Trace.Ws_exit
@@ -278,7 +278,7 @@ let set_vncr t ~enable =
     in
     Cpu.poke_sysreg t.cpu Sysreg.VNCR_EL2 v;
     if !Trace.on then
-      Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles ~a0:v
+      Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles ~tid:t.cpu.Cpu.meter.Cost.tid ~a0:v
         ~a1:(if enable then 1L else 0L)
         Trace.Vncr_program
   | _ -> ()
@@ -499,7 +499,7 @@ let handle_hvc t operand =
     (* paravirtualized hypervisor instruction (Section 4) *)
     let op = Paravirt.decode_op operand in
     if !Trace.on then
-      Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles
+      Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles ~tid:t.cpu.Cpu.meter.Cost.tid
         ~a0:(Int64.of_int operand) ~detail:(Paravirt.op_name op) Trace.Pv_hvc;
     match op with
     | Paravirt.Op_sysreg { access; rt; is_read } ->

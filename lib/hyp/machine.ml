@@ -98,9 +98,30 @@ let deliver_filtered t ~cpu ~intid =
 
 let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
     scenario =
+  (* Reject impossible shapes before any allocation: a non-positive count
+     would raise from Array.init deep inside, and a count past the vCPU
+     region budget would silently overlap the fixed addresses above
+     0x5000_0000 (virtual VTTBR, shadow roots, guest vectors). *)
+  if ncpus <= 0 then
+    Fault.Error.sim_bug
+      (Fault.Error.Bad_topology
+         (Printf.sprintf "ncpus must be positive, got %d" ncpus));
+  if ncpus > Vcpu.max_vcpus then
+    Fault.Error.sim_bug
+      (Fault.Error.Bad_topology
+         (Printf.sprintf
+            "ncpus %d exceeds the vCPU region budget (max %d: regions of \
+             0x%Lx bytes from 0x%Lx must stay below 0x%Lx)"
+            ncpus Vcpu.max_vcpus Vcpu.vcpu_region_size Vcpu.vcpu_region_base
+            Vcpu.vcpu_region_limit));
   let mem = Arm.Memory.create () in
   let cpus =
-    Array.init ncpus (fun _ -> Cpu.create ~mem ?table ())
+    Array.init ncpus (fun i ->
+        let cpu = Cpu.create ~mem ?table () in
+        (* stamp the meter with its CPU id so every trace event this
+           core emits lands on its own Chrome lane *)
+        cpu.Cpu.meter.Cost.tid <- i;
+        cpu)
   in
   (* machine guests have EL1 exception vectors: an injected or
      architectural UNDEF lands there instead of tearing the process down *)

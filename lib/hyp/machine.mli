@@ -38,7 +38,10 @@ val create :
     operations run, and the stage-2 walker's injection point is armed.
     [check_invariants] (implied by [fault_plan]) runs
     {!Fault.Invariants} around every EL2 exception and records
-    violations on the machine. *)
+    violations on the machine.
+    @raise Fault.Error.Sim_fault with [Bad_topology] when [ncpus] is
+    non-positive or exceeds {!Vcpu.max_vcpus} (the per-vCPU memory-region
+    address budget). *)
 
 val boot : t -> unit
 (** Bring the stack up; nested scenarios launch the nested VM end to end

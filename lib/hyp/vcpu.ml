@@ -14,9 +14,20 @@
 module Sysreg = Arm.Sysreg
 module Sysreg_file = Arm.Sysreg_file
 
-(* Fixed layout of per-vCPU memory regions. *)
+(* Fixed layout of per-vCPU memory regions.  The region array grows from
+   [vcpu_region_base] and must stay below the next fixed address in the
+   simulated layout (the guest hypervisor's virtual VTTBR root at
+   0x5000_0000) — that address budget bounds how many vCPUs one machine
+   can carry. *)
 let vcpu_region_base = 0x4000_0000L
 let vcpu_region_size = 0x1_0000L
+let vcpu_region_limit = 0x5000_0000L
+
+let max_vcpus =
+  Int64.to_int
+    (Int64.div
+       (Int64.sub vcpu_region_limit vcpu_region_base)
+       vcpu_region_size)
 
 type t = {
   id : int;

@@ -14,6 +14,14 @@ module Sysreg_file = Arm.Sysreg_file
 val vcpu_region_base : int64
 val vcpu_region_size : int64
 
+val vcpu_region_limit : int64
+(** First fixed address above the region array (the guest hypervisor's
+    virtual VTTBR root): vCPU regions must stay strictly below it. *)
+
+val max_vcpus : int
+(** Largest CPU count whose regions fit the
+    [vcpu_region_base, vcpu_region_limit) address budget. *)
+
 type t = {
   id : int;
   vel1 : Sysreg_file.t;

@@ -1,0 +1,44 @@
+(** Versioned, byte-deterministic snapshots of the complete machine.
+
+    {!save} serializes everything mutable — physical memory, per-CPU
+    register state and cost meters, the host hypervisors' vCPU contexts
+    (virtual EL1 and EL2 files), shadow stage-2 tables, guest-hypervisor
+    software state, the fault plan's PRNG cursor, invariant watermarks
+    and recorded violations — into a canonical binary tree: fixed field
+    order, big-endian payloads, hash tables through sorted views.  Saving
+    the same machine twice yields byte-identical buffers.
+
+    The NEVE deferred access page is captured raw, never drained: the
+    fold of the guest hypervisor's execution mapping into the virtual EL2
+    file belongs to its trapped eret, and a restored machine must perform
+    that fold itself, exactly as the original would have.
+
+    {!restore} rebuilds the machine through [Machine.create] (so every
+    handler, hook and injection point is rewired) and then overwrites all
+    mutable state from the tree.  Closures are rebuilt, not serialized;
+    device MMIO backends ([Guest_hyp.on_mmio]) are the caller's to
+    re-attach. *)
+
+exception Format_error of string
+(** Malformed or version-incompatible snapshot input. *)
+
+val version : int
+(** Format version written into and required of every snapshot. *)
+
+val save : Hyp.Machine.t -> Buffer.t
+
+val to_string : Hyp.Machine.t -> string
+(** [Buffer.contents] of {!save}. *)
+
+val restore : string -> Hyp.Machine.t
+(** @raise Format_error on malformed input. *)
+
+val of_buffer : Buffer.t -> Hyp.Machine.t
+
+val diff : Hyp.Machine.t -> Hyp.Machine.t -> (string * string) option
+(** Structural comparison through the serialized tree: [None] when the
+    machines serialize identically, otherwise the path of the first
+    diverging field (e.g. ["cpus[0].meter.cycles"] or
+    ["hosts[0].deferred_page.SPSR_EL1"]) and a rendering of both sides. *)
+
+val pp_diff : Format.formatter -> (string * string) option -> unit

@@ -1,0 +1,141 @@
+(* Pre-copy live migration between two simulated hosts.
+
+   The classic algorithm (Clark et al., NSDI'05) as KVM runs it: enable
+   stage-2 dirty logging, stream every backed page while the guest keeps
+   running, then iterate — each round re-protects memory and copies only
+   the pages dirtied since the previous round — until the residual dirty
+   set is small enough, then pause the guest and transfer the remainder
+   plus all CPU/device state (the downtime).  The guest's stores drive
+   the {!Mmu.Dirty} tracker; each first-store-per-page-per-round is a
+   write-protection fault charged through the ordinary trap machinery
+   (and hence visible in traces), so migrating a busy guest is visibly
+   more expensive than migrating an idle one.
+
+   The destination machine is built by {!Image.restore} from a snapshot
+   taken at the stop point, so a migrated nested guest carries its guest
+   hypervisor's virtual EL2 state — including an undrained NEVE deferred
+   page — transparently.  All migration costs are charged to the source
+   BEFORE the snapshot is taken: the destination's meters then equal the
+   source's and [Image.diff src dst] is empty, which the caller should
+   assert.
+
+   The staged page copies double as a tracker-correctness oracle: the
+   union of the last copy of every page must equal the destination's
+   memory word-for-word.  If the dirty tracker ever missed a write, the
+   stale staged page surfaces here as a simulator bug. *)
+
+module Machine = Hyp.Machine
+module Memory = Arm.Memory
+module Cpu = Arm.Cpu
+
+type report = {
+  r_rounds : int;            (* pre-copy rounds run (round 0 = full copy) *)
+  r_dirty_per_round : int list;  (* pages copied in each round, oldest first *)
+  r_pages_total : int;       (* distinct backed pages at the stop point *)
+  r_pages_copied : int;      (* page transfers, including re-copies *)
+  r_write_faults : int;      (* write-protection faults taken *)
+  r_final_dirty : int;       (* residual pages moved during downtime *)
+  r_converged : bool;        (* dirty set fell to the threshold in budget *)
+  r_precopy_cycles : int;    (* elapsed while the guest still ran *)
+  r_downtime_cycles : int;   (* stop-and-copy: residual pages + state *)
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>rounds          %d%s@,pages           %d total, %d copied (%d re-copies)@,\
+     write faults    %d@,dirty per round %s@,precopy         %d cycles@,\
+     downtime        %d cycles (%d residual pages)@]"
+    r.r_rounds
+    (if r.r_converged then "" else " (budget exhausted before convergence)")
+    r.r_pages_total r.r_pages_copied
+    (max 0 (r.r_pages_copied - r.r_pages_total))
+    r.r_write_faults
+    (String.concat " " (List.map string_of_int r.r_dirty_per_round))
+    r.r_precopy_cycles r.r_downtime_cycles r.r_final_dirty
+
+(* [run ~workload src] migrates [src], returning the destination machine
+   and the report.  [workload src ~round] stands in for the guest
+   executing concurrently with round [round]'s copy stream; it runs
+   between rounds and its stores feed the dirty log. *)
+let run ?(threshold = 8) ?(max_rounds = 16) ~workload (src : Machine.t) =
+  let meter = src.Machine.cpus.(0).Cpu.meter in
+  let table = meter.Cost.table in
+  let start_cycles = meter.Cost.cycles in
+  let tracker =
+    Mmu.Dirty.attach
+      ~on_fault:(fun _page ->
+        (* the stage-2 write-protection fault: full trap round trip *)
+        Cost.record_trap ~detail:"dirty-log" meter Cost.Trap_mem_fault;
+        Cost.charge meter (table.Cost.trap_entry + table.Cost.l0_mem_fault + table.Cost.trap_return))
+      src.Machine.mem
+  in
+  (* page base -> words as last streamed; Hashtbl.replace models the
+     destination overwriting the stale copy *)
+  let staged : (int64, (int64 * int64) list) Hashtbl.t = Hashtbl.create 256 in
+  let copy_pages pages =
+    List.iter (fun p -> Hashtbl.replace staged p (Mmu.Dirty.page_words tracker p)) pages;
+    Cost.charge meter (List.length pages * table.Cost.mig_page_copy)
+  in
+  let rec rounds round copied hist =
+    let dirty = Mmu.Dirty.dirty_pages tracker in
+    (* re-protect before streaming: anything stored while this round's
+       copy is in flight lands in the next round's dirty set *)
+    Mmu.Dirty.clear tracker;
+    copy_pages dirty;
+    let copied = copied + List.length dirty in
+    let hist = List.length dirty :: hist in
+    if round + 1 >= max_rounds then (round + 1, copied, hist)
+    else begin
+      workload src ~round;
+      if Mmu.Dirty.dirty_count tracker <= threshold then (round + 1, copied, hist)
+      else rounds (round + 1) copied hist
+    end
+  in
+  let nrounds, copied, hist = rounds 0 0 [] in
+  let final_dirty = Mmu.Dirty.dirty_pages tracker in
+  let nfinal = List.length final_dirty in
+  let converged = nfinal <= threshold in
+  let precopy_cycles = meter.Cost.cycles - start_cycles in
+  (* Stop-and-copy: the guest is paused from here.  Residual pages and
+     the machine-state transfer are charged to the source first, so the
+     snapshot — and therefore the destination — already includes them. *)
+  copy_pages final_dirty;
+  Cost.charge meter table.Cost.mig_state_copy;
+  Mmu.Dirty.detach tracker;
+  let downtime = (nfinal * table.Cost.mig_page_copy) + table.Cost.mig_state_copy in
+  let dst = Image.restore (Image.to_string src) in
+  (* Tracker-correctness oracle: the staged stream must reproduce the
+     destination's memory exactly. *)
+  let staged_words =
+    Hashtbl.fold (fun _ ws acc -> List.rev_append ws acc) staged []
+    |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  in
+  let dst_words = Memory.sorted_words dst.Machine.mem in
+  if staged_words <> dst_words then begin
+    let rec first_bad = function
+      | (a, v) :: _, (a', v') :: _ when a <> a' || v <> v' ->
+        Printf.sprintf "at 0x%Lx: staged %Lx, destination has 0x%Lx at 0x%Lx" a v v' a'
+      | _ :: s, _ :: d -> first_bad (s, d)
+      | [], (a, _) :: _ -> Printf.sprintf "destination word 0x%Lx never staged" a
+      | (a, _) :: _, [] -> Printf.sprintf "staged word 0x%Lx absent from destination" a
+      | [], [] -> "length mismatch"
+    in
+    Fault.Error.sim_bug
+      (Fault.Error.Invariant_broken
+         ("migration: pre-copied pages diverge from destination memory — dirty tracker missed a write; "
+         ^ first_bad (staged_words, dst_words)))
+  end;
+  let report =
+    { r_rounds = nrounds;
+      r_dirty_per_round = List.rev hist;
+      r_pages_total =
+        List.length
+          (List.sort_uniq Int64.compare (List.map (fun (a, _) -> Mmu.Walk.page_base a) dst_words));
+      r_pages_copied = copied + nfinal;
+      r_write_faults = Mmu.Dirty.write_faults tracker;
+      r_final_dirty = nfinal;
+      r_converged = converged;
+      r_precopy_cycles = precopy_cycles;
+      r_downtime_cycles = downtime }
+  in
+  (dst, report)

@@ -1,0 +1,37 @@
+(** Pre-copy live migration between two simulated hosts.
+
+    Stage-2 dirty logging ({!Mmu.Dirty}) drives iterative copy rounds
+    while the guest runs; when the residual dirty set reaches
+    [threshold] (or [max_rounds] is exhausted) the guest stops, the
+    remainder plus machine state is transferred — the simulated downtime
+    — and the destination is materialized with {!Image.restore}.  All
+    migration costs are charged to the source before the final snapshot,
+    so a successful migration satisfies [Image.diff src dst = None]. *)
+
+type report = {
+  r_rounds : int;  (** pre-copy rounds run (round 0 is the full copy) *)
+  r_dirty_per_round : int list;  (** pages copied per round, oldest first *)
+  r_pages_total : int;  (** distinct backed pages at the stop point *)
+  r_pages_copied : int;  (** page transfers, including re-copies *)
+  r_write_faults : int;  (** write-protection faults taken *)
+  r_final_dirty : int;  (** residual pages moved during downtime *)
+  r_converged : bool;  (** dirty set reached the threshold in budget *)
+  r_precopy_cycles : int;  (** elapsed cycles while the guest still ran *)
+  r_downtime_cycles : int;  (** stop-and-copy: residual pages + state *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?threshold:int ->
+  ?max_rounds:int ->
+  workload:(Hyp.Machine.t -> round:int -> unit) ->
+  Hyp.Machine.t ->
+  Hyp.Machine.t * report
+(** [run ~workload src] migrates [src] and returns the destination plus
+    the report.  [workload src ~round] models the guest executing
+    concurrently with round [round]'s copy stream; its stores feed the
+    dirty log.  [threshold] (default 8) is the stop-and-copy trigger;
+    [max_rounds] (default 16) bounds non-converging guests.
+    @raise Fault.Error.Sim_fault if the staged copy stream disagrees
+    with the destination's memory (a dirty-tracker miss). *)

@@ -1,0 +1,6 @@
+(* The snapshot/restore and live-migration subsystem, re-exported under
+   one roof: [Snap.save]/[Snap.restore]/[Snap.diff] from {!Image} and
+   the pre-copy driver as [Snap.Migrate]. *)
+
+include Image
+module Migrate = Migrate

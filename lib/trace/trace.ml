@@ -69,6 +69,7 @@ let kind_name = function
 type event = {
   mutable e_seq : int;
   mutable e_cycles : int;
+  mutable e_tid : int;      (* emitting CPU id (trace lane) *)
   mutable e_kind : kind;
   mutable e_cls : string;   (* exit class, for [Trap] events *)
   mutable e_a0 : int64;
@@ -80,6 +81,7 @@ type event = {
 type view = {
   v_seq : int;
   v_cycles : int;
+  v_tid : int;
   v_kind : kind;
   v_cls : string;
   v_a0 : int64;
@@ -93,17 +95,20 @@ type sink = {
   mutable ring : event array;
   mutable next : int;       (* total events ever emitted *)
   mutable clock : int;      (* last simulated-cycle stamp seen *)
+  mutable tid : int;        (* last emitting CPU seen; lane for emitters
+                               that carry no CPU identity themselves *)
   counters : (string, int ref) Hashtbl.t;
 }
 
 let fresh_event () =
-  { e_seq = 0; e_cycles = 0; e_kind = Trap; e_cls = ""; e_a0 = 0L; e_a1 = 0L;
-    e_detail = "" }
+  { e_seq = 0; e_cycles = 0; e_tid = 0; e_kind = Trap; e_cls = ""; e_a0 = 0L;
+    e_a1 = 0L; e_detail = "" }
 
 let sink = {
   ring = [||];
   next = 0;
   clock = 0;
+  tid = 0;
   counters = Hashtbl.create 16;
 }
 
@@ -116,6 +121,7 @@ let is_on () = !on
 let reset () =
   sink.next <- 0;
   sink.clock <- 0;
+  sink.tid <- 0;
   Hashtbl.reset sink.counters
 
 let enable ?(capacity = default_capacity) () =
@@ -129,7 +135,7 @@ let disable () = on := false
 
 let capacity () = Array.length sink.ring
 
-let emit ?cycles ?(cls = "") ?(a0 = 0L) ?(a1 = 0L) ?(detail = "") kind =
+let emit ?cycles ?tid ?(cls = "") ?(a0 = 0L) ?(a1 = 0L) ?(detail = "") kind =
   if !on then begin
     let cyc =
       match cycles with
@@ -138,9 +144,17 @@ let emit ?cycles ?(cls = "") ?(a0 = 0L) ?(a1 = 0L) ?(detail = "") kind =
         c
       | None -> sink.clock
     in
+    let lane =
+      match tid with
+      | Some t ->
+        sink.tid <- t;
+        t
+      | None -> sink.tid
+    in
     let e = sink.ring.(sink.next mod Array.length sink.ring) in
     e.e_seq <- sink.next;
     e.e_cycles <- cyc;
+    e.e_tid <- lane;
     e.e_kind <- kind;
     e.e_cls <- cls;
     e.e_a0 <- a0;
@@ -160,6 +174,7 @@ let dropped () = max 0 (sink.next - Array.length sink.ring)
 let view_of (e : event) = {
   v_seq = e.e_seq;
   v_cycles = e.e_cycles;
+  v_tid = e.e_tid;
   v_kind = e.e_kind;
   v_cls = e.e_cls;
   v_a0 = e.e_a0;
@@ -200,7 +215,9 @@ let class_total () =
 (* --- rendering --- *)
 
 let pp_view ppf v =
-  Fmt.pf ppf "#%d @%d %s%s%a%a%s" v.v_seq v.v_cycles (kind_name v.v_kind)
+  Fmt.pf ppf "#%d @%d%s %s%s%a%a%s" v.v_seq v.v_cycles
+    (if v.v_tid = 0 then "" else Printf.sprintf " cpu%d" v.v_tid)
+    (kind_name v.v_kind)
     (if v.v_cls = "" then "" else "/" ^ v.v_cls)
     Fmt.(if v.v_a0 = 0L then nop else fun ppf () -> pf ppf " a0=0x%Lx" v.v_a0)
     ()
@@ -246,19 +263,33 @@ let chrome_json streams =
            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
             \"args\":{\"name\":\"%s\"}}"
            pid (json_escape name));
+      (* one lane per emitting CPU: name each tid so multi-core runs
+         render per-core rows instead of interleaving on tid 0 *)
+      let tids =
+        List.sort_uniq compare (List.map (fun v -> v.v_tid) views)
+      in
+      List.iter
+        (fun tid ->
+          add_event
+            (Printf.sprintf
+               "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\
+                \"tid\":%d,\"args\":{\"name\":\"cpu%d\"}}"
+               pid tid tid))
+        tids;
       List.iter
         (fun v ->
           add_event
             (Printf.sprintf
                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\
-                \"ts\":%d,\"pid\":%d,\"tid\":0,\"args\":{\"cycles\":%d,\
+                \"ts\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"cycles\":%d,\
                 \"cls\":\"%s\",\"a0\":\"0x%Lx\",\"a1\":\"0x%Lx\",\
                 \"detail\":\"%s\"}}"
                (json_escape
                   (if v.v_cls = "" then kind_name v.v_kind
                    else kind_name v.v_kind ^ "/" ^ v.v_cls))
                (json_escape (kind_name v.v_kind))
-               v.v_seq pid v.v_cycles (json_escape v.v_cls) v.v_a0 v.v_a1
+               v.v_seq pid v.v_tid v.v_cycles (json_escape v.v_cls) v.v_a0
+               v.v_a1
                (json_escape v.v_detail)))
         views)
     streams;

@@ -42,6 +42,7 @@ val kind_name : kind -> string
 type view = {
   v_seq : int;        (** global sequence number (total order) *)
   v_cycles : int;     (** simulated cycles when emitted *)
+  v_tid : int;        (** emitting CPU id (the Chrome-export lane) *)
   v_kind : kind;
   v_cls : string;     (** exit class, for [Trap] events *)
   v_a0 : int64;
@@ -72,6 +73,7 @@ val capacity : unit -> int
 
 val emit :
   ?cycles:int ->
+  ?tid:int ->
   ?cls:string ->
   ?a0:int64 ->
   ?a1:int64 ->
@@ -80,7 +82,10 @@ val emit :
   unit
 (** Write one event into the ring (no-op when disabled).  [cycles]
     advances the sink's clock; emitters without a meter inherit the last
-    stamp.  A [Trap] event increments the per-class counter for [cls]. *)
+    stamp.  [tid] names the emitting CPU and sticks the same way, so
+    emitters with no CPU identity (TLB, vGIC codec, fault plans) land on
+    the lane of the CPU whose activity triggered them.  A [Trap] event
+    increments the per-class counter for [cls]. *)
 
 val total_emitted : unit -> int
 (** Events emitted since {!enable}/{!reset}, including overwritten ones. *)
@@ -107,9 +112,9 @@ val render : view -> string
 
 val chrome_json : (string * view list) list -> string
 (** Chrome trace-event JSON ({"traceEvents": [...]} object format): one
-    process per named stream, each event an instant stamped with its
-    sequence number, simulated cycles in [args].  Loads in
-    chrome://tracing and Perfetto. *)
+    process per named stream, one thread lane per emitting CPU id, each
+    event an instant stamped with its sequence number, simulated cycles
+    in [args].  Loads in chrome://tracing and Perfetto. *)
 
 val metrics_json :
   ?extra:(string * int) list ->

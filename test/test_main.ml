@@ -18,4 +18,5 @@ let () =
       ("properties", Test_properties.suite);
       ("fuzz", Test_fuzz.suite);
       ("trace", Test_trace.suite);
+      ("snap", Test_snap.suite);
     ]

@@ -1,0 +1,270 @@
+(* Tests for the snapshot/restore and live-migration subsystem.
+
+   The properties that matter, in rough order of strength:
+   - determinism: saving the same machine twice is byte-identical;
+   - round-trip: restore of a save diffs empty against the original,
+     for every ARM configuration (VM plus the four nested mechanisms);
+   - continuation: a restored machine and the original, driven through
+     the same operations, stay byte-identical — including under a fault
+     plan, whose PRNG cursor and fired-event ledger must survive;
+   - the fuzzer's restore-equivalence oracle finds nothing on
+     fixed-seed campaigns (snapshot-at-k/restore/resume is invisible);
+   - migration converges, reports a plausible downtime, and leaves
+     source and destination byte-identical. *)
+
+module Cpu = Arm.Cpu
+module Memory = Arm.Memory
+module Config = Hyp.Config
+module Machine = Hyp.Machine
+module Vcpu = Hyp.Vcpu
+module Scenario = Workloads.Scenario
+module Plan = Fault.Plan
+module Error = Fault.Error
+module Invariants = Fault.Invariants
+
+let check = Alcotest.check
+
+(* The five ARM configurations of the paper's tables. *)
+let arm_columns =
+  ("VM", Scenario.Arm_vm)
+  :: List.map
+       (fun c -> (Config.name c, Scenario.Arm_nested c))
+       Config.all_nested
+
+(* A deterministic mix of guest-side operations touching every subsystem
+   a snapshot must carry: traps, vGIC list registers, device emulation,
+   plain computation. *)
+let exercise m =
+  Machine.hypercall m ~cpu:0;
+  Machine.compute m ~cpu:0 ~insns:64;
+  Machine.mmio_access m ~cpu:0 ~addr:0x0a00_0000L ~is_write:true;
+  Machine.hypercall m ~cpu:0;
+  if Machine.ncpus m > 1 then begin
+    Machine.send_ipi m ~cpu:0 ~target:1 ~intid:5;
+    match Machine.vm_ack m ~cpu:1 with
+    | Some v -> ignore (Machine.vm_eoi m ~cpu:1 ~vintid:v : bool)
+    | None -> ()
+  end
+
+let no_diff what d =
+  check Alcotest.(option (pair string string)) what None d
+
+(* --- determinism and round-trip, all five configurations --- *)
+
+let test_save_deterministic () =
+  List.iter
+    (fun (name, col) ->
+      let m = Scenario.make_arm col in
+      exercise m;
+      check Alcotest.bool
+        (Printf.sprintf "two saves byte-identical (%s)" name)
+        true
+        (String.equal (Snap.to_string m) (Snap.to_string m)))
+    arm_columns
+
+let test_round_trip () =
+  List.iter
+    (fun (name, col) ->
+      let m = Scenario.make_arm col in
+      exercise m;
+      let m' = Snap.restore (Snap.to_string m) in
+      no_diff (Printf.sprintf "restore diffs empty (%s)" name)
+        (Snap.diff m m');
+      check Alcotest.bool
+        (Printf.sprintf "restored snapshot byte-identical (%s)" name)
+        true
+        (String.equal (Snap.to_string m) (Snap.to_string m')))
+    arm_columns
+
+let test_continuation () =
+  List.iter
+    (fun (name, col) ->
+      let m = Scenario.make_arm col in
+      exercise m;
+      let s = Snap.to_string m in
+      (* original continues first, while the restored machine doesn't
+         exist yet; then the copy replays the same operations *)
+      exercise m;
+      let m' = Snap.restore s in
+      exercise m';
+      no_diff
+        (Printf.sprintf "same ops after restore, same machine (%s)" name)
+        (Snap.diff m m'))
+    arm_columns
+
+let test_diff_names_field () =
+  let m = Scenario.make_arm (List.assoc "VM" arm_columns) in
+  let m' = Snap.restore (Snap.to_string m) in
+  Machine.hypercall m' ~cpu:0;
+  match Snap.diff m m' with
+  | None -> Alcotest.fail "machines differ but diff is empty"
+  | Some (path, _) ->
+    check Alcotest.bool
+      (Printf.sprintf "diff names a concrete field (got %s)" path)
+      true (String.length path > 0)
+
+let test_malformed_input () =
+  let raises_format s =
+    match Snap.restore s with
+    | (_ : Machine.t) -> false
+    | exception Snap.Format_error _ -> true
+  in
+  check Alcotest.bool "garbage rejected" true (raises_format "garbage");
+  check Alcotest.bool "empty rejected" true (raises_format "");
+  let m = Scenario.make_arm Scenario.Arm_vm in
+  let s = Snap.to_string m in
+  let truncated = String.sub s 0 (String.length s / 2) in
+  check Alcotest.bool "truncated snapshot rejected" true
+    (raises_format truncated)
+
+(* --- satellite: Machine.create rejects impossible topologies --- *)
+
+let test_ncpus_validation () =
+  let config = Config.v Config.Hw_neve in
+  let bad n =
+    match Machine.create ~ncpus:n config Hyp.Host_hyp.Nested with
+    | (_ : Machine.t) -> false
+    | exception Error.Sim_fault (Error.Bad_topology _, _) -> true
+  in
+  check Alcotest.bool "ncpus = 0 rejected" true (bad 0);
+  check Alcotest.bool "ncpus < 0 rejected" true (bad (-3));
+  check Alcotest.bool "ncpus beyond the region budget rejected" true
+    (bad (Vcpu.max_vcpus + 1));
+  let m = Machine.create ~ncpus:2 config Hyp.Host_hyp.Nested in
+  check Alcotest.int "in-budget ncpus builds" 2 (Machine.ncpus m)
+
+(* --- fault plan and recorded violations survive the round-trip --- *)
+
+let test_fault_plan_round_trip () =
+  let config = Config.v Config.Hw_neve in
+  let mk () =
+    Machine.create
+      ~fault_plan:(Plan.make ~seed:42 ~faults:12 ~horizon:200)
+      ~ncpus:1 config Hyp.Host_hyp.Nested
+  in
+  let m = mk () in
+  Machine.boot m;
+  for _ = 1 to 8 do
+    Machine.hypercall m ~cpu:0;
+    Machine.data_abort m ~cpu:0 ~addr:0x6100_0000L ~is_write:true
+  done;
+  (* make sure there is state worth preserving *)
+  (match m.Machine.fault with
+  | Some p ->
+    check Alcotest.bool "plan fired events before the snapshot" true
+      (Plan.injected p <> [])
+  | None -> Alcotest.fail "machine lost its fault plan");
+  m.Machine.violations <-
+    Invariants.v m.Machine.cpus.(0) "pinned" "synthetic violation"
+    :: m.Machine.violations;
+  m.Machine.violation_count <- m.Machine.violation_count + 1;
+  let s = Snap.to_string m in
+  (* original continues before the copy exists (the stage-2 injection
+     hook is a process-wide single-machine assumption) *)
+  for _ = 1 to 4 do
+    Machine.hypercall m ~cpu:0;
+    Machine.data_abort m ~cpu:0 ~addr:0x6100_0000L ~is_write:true
+  done;
+  let m' = Snap.restore s in
+  (match m'.Machine.fault with
+  | Some p' ->
+    check Alcotest.bool "fired-event ledger restored" true
+      (Plan.injected p' <> [])
+  | None -> Alcotest.fail "restored machine lost its fault plan");
+  check Alcotest.bool "synthetic violation restored" true
+    (List.exists
+       (fun v -> v.Invariants.v_name = "pinned")
+       m'.Machine.violations);
+  for _ = 1 to 4 do
+    Machine.hypercall m' ~cpu:0;
+    Machine.data_abort m' ~cpu:0 ~addr:0x6100_0000L ~is_write:true
+  done;
+  no_diff "same faults fire after restore, machines identical"
+    (Snap.diff m m')
+
+(* --- the fuzzer's ninth column --- *)
+
+let test_fuzz_restore_equivalence () =
+  (* fixed-seed programs through all eight columns, each also run as
+     snapshot-at-k/restore/resume; any difference is a divergence *)
+  List.iter
+    (fun seed ->
+      let stats = Fuzz.Campaign.run ~snap_oracle:true ~seed ~n:12 () in
+      check Alcotest.int
+        (Printf.sprintf "no divergences with the snapshot oracle (seed=%d)"
+           seed)
+        0
+        (Fuzz.Campaign.divergence_count stats))
+    [ 7; 1234 ]
+
+(* --- live migration --- *)
+
+let migrate_workload writes m ~round =
+  (* early rounds: a busy guest — traps plus fresh page dirtying; later
+     rounds: idle, so the dirty set converges *)
+  if round < 2 then begin
+    Machine.hypercall m ~cpu:0;
+    for i = 0 to writes - 1 do
+      Memory.write64 m.Machine.mem
+        (Int64.of_int (0x7800_0000 + (4096 * i) + (8 * round)))
+        (Int64.of_int (round + i + 1))
+    done
+  end
+
+let test_migrate_nested_neve_vhe () =
+  let config = Config.v ~guest_vhe:true Config.Hw_neve in
+  let src = Scenario.make_arm (Scenario.Arm_nested config) in
+  exercise src;
+  let dst, r = Snap.Migrate.run ~workload:(migrate_workload 6) src in
+  check Alcotest.bool "migration converged" true r.Snap.Migrate.r_converged;
+  check Alcotest.bool "ran at least two pre-copy rounds" true
+    (r.Snap.Migrate.r_rounds >= 2);
+  check Alcotest.bool "stop-and-copy downtime is positive" true
+    (r.Snap.Migrate.r_downtime_cycles > 0);
+  check Alcotest.bool "downtime is a small fraction of precopy" true
+    (r.Snap.Migrate.r_downtime_cycles < r.Snap.Migrate.r_precopy_cycles);
+  check Alcotest.bool "dirty logging took write faults" true
+    (r.Snap.Migrate.r_write_faults > 0);
+  no_diff "source and destination byte-identical after migration"
+    (Snap.diff src dst);
+  (* the destination is live: it keeps executing like the original *)
+  Machine.hypercall src ~cpu:0;
+  Machine.hypercall dst ~cpu:0;
+  no_diff "destination executes on identically" (Snap.diff src dst)
+
+let test_migrate_idle_guest_single_round () =
+  let src = Scenario.make_arm Scenario.Arm_vm in
+  exercise src;
+  let _dst, r =
+    Snap.Migrate.run ~workload:(fun _ ~round:_ -> ()) src
+  in
+  check Alcotest.bool "idle guest converges immediately" true
+    (r.Snap.Migrate.r_converged && r.Snap.Migrate.r_rounds = 1);
+  check Alcotest.int "idle guest takes no write faults" 0
+    r.Snap.Migrate.r_write_faults;
+  check Alcotest.int "every page copied exactly once" r.Snap.Migrate.r_pages_total
+    r.Snap.Migrate.r_pages_copied
+
+let suite =
+  [
+    Alcotest.test_case "save is byte-deterministic" `Quick
+      test_save_deterministic;
+    Alcotest.test_case "restore round-trips all five ARM configs" `Quick
+      test_round_trip;
+    Alcotest.test_case "restored machine continues identically" `Quick
+      test_continuation;
+    Alcotest.test_case "diff names the first diverging field" `Quick
+      test_diff_names_field;
+    Alcotest.test_case "malformed snapshots are rejected" `Quick
+      test_malformed_input;
+    Alcotest.test_case "Machine.create rejects impossible ncpus" `Quick
+      test_ncpus_validation;
+    Alcotest.test_case "fault plan and violations survive restore" `Quick
+      test_fault_plan_round_trip;
+    Alcotest.test_case "fuzz snapshot oracle finds nothing (fixed seeds)"
+      `Quick test_fuzz_restore_equivalence;
+    Alcotest.test_case "pre-copy migration of a nested NEVE+VHE guest"
+      `Quick test_migrate_nested_neve_vhe;
+    Alcotest.test_case "idle guest migrates in one round" `Quick
+      test_migrate_idle_guest_single_round;
+  ]
