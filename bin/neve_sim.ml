@@ -9,9 +9,31 @@
      traps     trap log of one nested microbenchmark, classified
      classify  the NEVE register classification (paper Tables 3/4/5)
      validate  trap-cost interchangeability measurement (paper Section 5)
-*)
+     chaos     fault-injection campaign over the scenario matrix
+     fuzz      differential conformance fuzzing
+     trace     exit-attribution tracing with class-sum checking
+     snapshot/restore/migrate  serialization and live migration
+     recover   SError + watchdog + migration-retry recovery campaign
+
+   Exit statuses are shared across subcommands (Workloads.Exit_code):
+   0 success, 1 detected fault, 2 sim-cycle budget timeout.  The same
+   table is documented in the README and each subcommand's EXIT STATUS
+   man section; a test greps the rendered help against the README. *)
 
 open Cmdliner
+
+let fault_exit = Workloads.Exit_code.fault
+let timeout_exit = Workloads.Exit_code.timeout
+
+(* every subcommand's EXIT STATUS section documents the shared codes *)
+let fault_exits =
+  Cmd.Exit.info fault_exit ~doc:Workloads.Exit_code.fault_doc
+  :: Cmd.Exit.defaults
+
+let budget_exits =
+  Cmd.Exit.info fault_exit ~doc:Workloads.Exit_code.fault_doc
+  :: Cmd.Exit.info timeout_exit ~doc:Workloads.Exit_code.timeout_doc
+  :: Cmd.Exit.defaults
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -286,18 +308,30 @@ let chaos_cmd =
     let doc = "Trap budget per configuration." in
     Arg.(value & opt int 10_000 & info [ "traps"; "t" ] ~doc)
   in
-  let run seed faults traps verbose =
+  let max_cycles_arg =
+    let doc =
+      "Deterministic sim-cycle budget per configuration; 0 disables.  \
+       Unlike a wall-clock budget this is part of the run's identity: \
+       same seed and budget, same truncation, byte-identical report.  A \
+       budgeted-out run exits with the timeout status."
+    in
+    Arg.(value & opt int 0 & info [ "max-cycles" ] ~doc)
+  in
+  let run seed faults traps max_cycles verbose =
     setup_logs verbose;
-    let report = Workloads.Chaos.run ~seed ~faults ~traps () in
+    let report = Workloads.Chaos.run ~seed ~faults ~traps ~max_cycles () in
     Fmt.pr "%a@." Workloads.Chaos.pp_report report;
-    if Workloads.Chaos.crashes report <> [] then exit 1
+    if Workloads.Chaos.crashes report <> [] then exit fault_exit;
+    if Workloads.Chaos.timed_out report then exit timeout_exit
   in
   Cmd.v
-    (Cmd.info "chaos"
+    (Cmd.info "chaos" ~exits:budget_exits
        ~doc:
          "Run every scenario under deterministic fault injection and \
           invariant checking; exit nonzero on any anonymous crash")
-    Term.(const run $ seed_arg $ faults_arg $ traps_arg $ verbose_arg)
+    Term.(
+      const run $ seed_arg $ faults_arg $ traps_arg $ max_cycles_arg
+      $ verbose_arg)
 
 (* --- exit-attribution tracing --- *)
 
@@ -423,7 +457,7 @@ let trace_cmd =
     if not !ok then exit 1
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "trace" ~exits:fault_exits
        ~doc:
          "Trace the microbenchmark suite under every ARM configuration, \
           print the per-exit-class trap breakdown, and check it sums to \
@@ -474,7 +508,17 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "snap-oracle" ] ~doc)
   in
-  let run seed n max_seconds json corpus_dir traced snap_oracle verbose =
+  let max_cycles_arg =
+    let doc =
+      "Deterministic sim-cycle budget summed across every column run; 0 \
+       disables.  Unlike $(b,--max-seconds) the truncation point is part \
+       of the campaign's identity: same seed and budget, byte-identical \
+       report.  A budgeted-out run exits with the timeout status."
+    in
+    Arg.(value & opt int 0 & info [ "max-cycles" ] ~doc)
+  in
+  let run seed n max_seconds max_cycles json corpus_dir traced snap_oracle
+      verbose =
     setup_logs verbose;
     let should_stop =
       if max_seconds <= 0.0 then fun () -> false
@@ -485,15 +529,16 @@ let fuzz_cmd =
     in
     if not (Sys.file_exists corpus_dir) then Unix.mkdir corpus_dir 0o755;
     let stats =
-      Fuzz.Campaign.run ~should_stop ~corpus_dir ~traced ~snap_oracle ~seed
-        ~n ()
+      Fuzz.Campaign.run ~should_stop ~corpus_dir ~traced ~snap_oracle
+        ~max_cycles ~seed ~n ()
     in
     if json then print_endline (Fuzz.Campaign.json_stats stats)
     else Fmt.pr "%a@." Fuzz.Campaign.pp_stats stats;
-    if Fuzz.Campaign.divergence_count stats > 0 then exit 1
+    if Fuzz.Campaign.divergence_count stats > 0 then exit fault_exit;
+    if stats.Fuzz.Campaign.s_timed_out then exit timeout_exit
   in
   Cmd.v
-    (Cmd.info "fuzz"
+    (Cmd.info "fuzz" ~exits:budget_exits
        ~doc:
          "Differential conformance fuzzing: random guest-hypervisor \
           programs run under every nested ARM column (trap-and-emulate, \
@@ -501,8 +546,8 @@ let fuzz_cmd =
           architectural divergence or trap-ordering violation, writing a \
           minimized repro into the corpus directory")
     Term.(
-      const run $ seed_arg $ n_arg $ max_seconds_arg $ json_arg $ corpus_arg
-      $ trace_arg $ snap_oracle_arg $ verbose_arg)
+      const run $ seed_arg $ n_arg $ max_seconds_arg $ max_cycles_arg
+      $ json_arg $ corpus_arg $ trace_arg $ snap_oracle_arg $ verbose_arg)
 
 (* --- snapshot / restore / live migration --- *)
 
@@ -563,7 +608,7 @@ let snapshot_cmd =
     print_machine_summary m
   in
   Cmd.v
-    (Cmd.info "snapshot"
+    (Cmd.info "snapshot" ~exits:fault_exits
        ~doc:
          "Build a machine, run a deterministic guest workload, and write \
           a versioned byte-deterministic snapshot of its complete state \
@@ -607,7 +652,7 @@ let restore_cmd =
       end
   in
   Cmd.v
-    (Cmd.info "restore"
+    (Cmd.info "restore" ~exits:fault_exits
        ~doc:
          "Restore a machine from a snapshot image, verify the restored \
           machine re-saves byte-identically, and resume guest execution \
@@ -637,7 +682,28 @@ let migrate_cmd =
     let doc = "Distinct pages the busy guest dirties per round." in
     Arg.(value & opt int 6 & info [ "writes" ] ~doc)
   in
-  let run mech vhe single_vm threshold max_rounds busy writes verbose =
+  let fail_rate_arg =
+    let doc =
+      "Probability (percent) that each page batch or the final state \
+       copy of the transfer stream fails, forcing an abort, a verified \
+       byte-identical source rollback, exponential backoff and a retry.  \
+       0 disables failure injection."
+    in
+    Arg.(value & opt int 0 & info [ "fail-rate" ] ~doc)
+  in
+  let fail_seed_arg =
+    let doc =
+      "Seed of the failure-injection PRNG; the whole abort/retry history \
+       is byte-deterministic per seed."
+    in
+    Arg.(value & opt int 7 & info [ "fail-seed" ] ~doc)
+  in
+  let retries_arg =
+    let doc = "Retry budget after aborted attempts." in
+    Arg.(value & opt int 4 & info [ "max-retries" ] ~doc)
+  in
+  let run mech vhe single_vm threshold max_rounds busy writes fail_rate
+      fail_seed max_retries verbose =
     setup_logs verbose;
     let src = Workloads.Scenario.make_arm (make_scenario mech vhe single_vm) in
     drive src 4;
@@ -651,34 +717,125 @@ let migrate_cmd =
         done
       end
     in
-    let dst, r = Snap.Migrate.run ~threshold ~max_rounds ~workload src in
-    Fmt.pr "Live migration (%s, %s):@.@."
+    Fmt.pr "Live migration (%s, %s%s):@.@."
       (Hyp.Config.name src.Hyp.Machine.config)
       (match src.Hyp.Machine.scenario with
       | Hyp.Host_hyp.Single_vm -> "single-vm"
-      | Hyp.Host_hyp.Nested -> "nested");
-    Fmt.pr "%a@.@." Snap.Migrate.pp_report r;
-    (match Snap.diff src dst with
-    | None -> Fmt.pr "source and destination machines are byte-identical@."
-    | Some (path, detail) ->
-      Fmt.epr "MIGRATION BUG: %s differs: %s@." path detail;
-      exit 1);
-    if not r.Snap.Migrate.r_converged then begin
-      Fmt.epr "pre-copy did not converge within %d rounds@." max_rounds;
-      exit 1
+      | Hyp.Host_hyp.Nested -> "nested")
+      (if fail_rate > 0 then
+         Printf.sprintf ", %d%% stream failure rate" fail_rate
+       else "");
+    if fail_rate > 0 then begin
+      let src, dst, rr =
+        Snap.Migrate.resilient ~threshold ~max_rounds ~max_retries
+          ~fail_rate ~fail_seed ~workload src
+      in
+      Fmt.pr "%a@.@." Snap.Migrate.pp_resilient_report rr;
+      if not rr.Snap.Migrate.rr_rollbacks_clean then begin
+        Fmt.epr "MIGRATION BUG: an abort rollback left the source dirty@.";
+        exit fault_exit
+      end;
+      match dst with
+      | None ->
+        Fmt.epr "migration failed: retry budget (%d) exhausted@." max_retries;
+        exit fault_exit
+      | Some dst ->
+        (match Snap.diff src dst with
+        | None ->
+          Fmt.pr "source and destination machines are byte-identical@."
+        | Some (path, detail) ->
+          Fmt.epr "MIGRATION BUG: %s differs: %s@." path detail;
+          exit fault_exit);
+        (match rr.Snap.Migrate.rr_report with
+        | Some r when not r.Snap.Migrate.r_converged ->
+          Fmt.epr "pre-copy did not converge within %d rounds@." max_rounds;
+          exit fault_exit
+        | _ -> ())
+    end
+    else begin
+      let dst, r = Snap.Migrate.run ~threshold ~max_rounds ~workload src in
+      Fmt.pr "%a@.@." Snap.Migrate.pp_report r;
+      (match Snap.diff src dst with
+      | None -> Fmt.pr "source and destination machines are byte-identical@."
+      | Some (path, detail) ->
+        Fmt.epr "MIGRATION BUG: %s differs: %s@." path detail;
+        exit fault_exit);
+      if not r.Snap.Migrate.r_converged then begin
+        Fmt.epr "pre-copy did not converge within %d rounds@." max_rounds;
+        exit fault_exit
+      end
     end
   in
   Cmd.v
-    (Cmd.info "migrate"
+    (Cmd.info "migrate" ~exits:fault_exits
        ~doc:
          "Pre-copy live migration driven by stage-2 dirty-page tracking: \
           iterative copy rounds against a configurable busy guest, \
           stop-and-copy with simulated downtime, and a byte-identity \
           check between source and destination (nonzero exit on \
-          non-convergence or any state difference)")
+          non-convergence or any state difference); $(b,--fail-rate) \
+          injects transfer-stream failures recovered by verified \
+          rollback and exponential-backoff retry")
     Term.(
       const run $ mech_arg $ vhe_arg $ single_vm_arg $ threshold_arg
-      $ rounds_arg $ busy_arg $ writes_arg $ verbose_arg)
+      $ rounds_arg $ busy_arg $ writes_arg $ fail_rate_arg $ fail_seed_arg
+      $ retries_arg $ verbose_arg)
+
+let recover_cmd =
+  let seed_arg =
+    let doc = "Campaign seed (same seed and policy, byte-identical report)." in
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~doc)
+  in
+  let policy_conv =
+    let parse s =
+      match Supervise.policy_of_name s with
+      | Some p -> Ok p
+      | None ->
+        Error (`Msg ("unknown policy: " ^ s ^ " (restart|kill-l2|escalate)"))
+    in
+    Arg.conv (parse, fun ppf p -> Fmt.string ppf (Supervise.policy_name p))
+  in
+  let policy_arg =
+    let doc =
+      "Watchdog recovery policy for hang scenarios: restart (rebuild \
+       from the baseline snapshot), kill-l2 (tear down the nested VM, \
+       keep the guest hypervisor; falls back to restart on the plain \
+       VM), or escalate (record only — scenarios then stay unrecovered \
+       and the campaign exits nonzero)."
+    in
+    Arg.(
+      value
+      & opt policy_conv Supervise.Restart_from_snapshot
+      & info [ "policy"; "p" ] ~doc)
+  in
+  let run seed policy verbose =
+    setup_logs verbose;
+    let r = Workloads.Recover.run ~seed ~policy () in
+    Fmt.pr "%a@." Workloads.Recover.pp_report r;
+    (* rerun the whole campaign and require byte-identity — recovery
+       behavior is under the same determinism contract as everything
+       else *)
+    let d1 = Workloads.Recover.digest r in
+    let d2 = Workloads.Recover.digest (Workloads.Recover.run ~seed ~policy ()) in
+    if String.equal d1 d2 then Fmt.pr "digest: %s (rerun identical)@." d1
+    else Fmt.epr "DETERMINISM BUG: rerun digest %s differs from %s@." d2 d1;
+    if
+      (not (Workloads.Recover.recovered_all r))
+      || (not (Workloads.Recover.trace_ok r))
+      || not (String.equal d1 d2)
+    then exit fault_exit
+  in
+  Cmd.v
+    (Cmd.info "recover" ~exits:fault_exits
+       ~doc:
+         "Recovery campaign: inject physical SErrors (contained and \
+          re-injected virtually via HCR_EL2.VSE/VSESR_EL2), vCPU hangs \
+          (detected by the deterministic watchdog and recovered under \
+          the configured policy) and mid-migration stream failures \
+          (rolled back and retried) across the five ARM configurations; \
+          exit nonzero unless every scenario recovers, trace class sums \
+          match the meters, and a full rerun is byte-identical")
+    Term.(const run $ seed_arg $ policy_arg $ verbose_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
@@ -694,4 +851,5 @@ let () =
           [ table1_cmd; table6_cmd; table7_cmd; fig2_cmd; traps_cmd;
             classify_cmd; validate_cmd; ablation_cmd; recursive_cmd;
             sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd; fuzz_cmd;
-            trace_cmd; snapshot_cmd; restore_cmd; migrate_cmd ]))
+            trace_cmd; snapshot_cmd; restore_cmd; migrate_cmd;
+            recover_cmd ]))

@@ -356,6 +356,46 @@ let deliver_irq t =
   end
   else false
 
+(* --- FEAT_RAS virtual SError ---
+
+   The pending state is purely architectural: HCR_EL2.VSE is the pending
+   bit, VSESR_EL2 the syndrome it will deliver.  Both live in the
+   register file, so a snapshot taken between pend and delivery carries
+   the error with it bit-for-bit. *)
+
+let pend_vserror t ~syndrome =
+  Sysreg_file.hw_write t.sysregs Sysreg.VSESR_EL2 syndrome;
+  Sysreg_file.hw_write t.sysregs Sysreg.HCR_EL2
+    (Hcr.set (Sysreg_file.read t.sysregs Sysreg.HCR_EL2) Hcr.vse);
+  if !Trace.on then
+    Trace.emit ~cycles:t.meter.Cost.cycles ~tid:t.meter.Cost.tid ~a0:syndrome
+      ~detail:"vse-pend" Trace.Serror_pend
+
+let vserror_pending t = (hcr_view t).Hcr.h_vse
+
+(* A pending virtual SError is taken as soon as the CPU runs below EL2:
+   clear VSE, latch the syndrome into VDISR_EL2 (valid bit 31, as ESB
+   would), and take the EC 0x2f exception at EL1. *)
+let deliver_vserror t =
+  let c = table t in
+  let hcr = hcr_view t in
+  if t.pstate.Pstate.el <> Pstate.EL2 && hcr.Hcr.h_vse then begin
+    let vsesr = Sysreg_file.read t.sysregs Sysreg.VSESR_EL2 in
+    let iss = Int64.to_int (Int64.logand vsesr 0x1ff_ffffL) in
+    Sysreg_file.hw_write t.sysregs Sysreg.HCR_EL2
+      (Hcr.clear_bit (Sysreg_file.read t.sysregs Sysreg.HCR_EL2) Hcr.vse);
+    Sysreg_file.hw_write t.sysregs Sysreg.VDISR_EL2
+      (Int64.logor 0x8000_0000L vsesr);
+    Cost.charge t.meter c.Cost.serror_delivery;
+    if !Trace.on then
+      Trace.emit ~cycles:t.meter.Cost.cycles ~tid:t.meter.Cost.tid ~a0:vsesr
+        ~detail:"vserror->EL1" Trace.Serror_deliver;
+    exception_entry t
+      { target = Pstate.EL1; ec = Exn.EC_serror; iss; fault_addr = None };
+    true
+  end
+  else false
+
 (* Convenience accessors used by hypervisor code: execute a real MRS/MSR on
    the simulated CPU (so it is costed and routed) and move data in/out. *)
 

@@ -101,6 +101,18 @@ val deliver_irq : t -> bool
 (** A physical interrupt arrives: routed to EL2 when executing below EL2
     with HCR_EL2.IMO set.  Returns whether it was delivered. *)
 
+val pend_vserror : t -> syndrome:int64 -> unit
+(** FEAT_RAS: pend a virtual SError — set HCR_EL2.VSE and program
+    VSESR_EL2.  Purely architectural state, so a snapshot taken before
+    delivery carries the pending error. *)
+
+val vserror_pending : t -> bool
+
+val deliver_vserror : t -> bool
+(** Take a pending virtual SError at EL1 (EC 0x2f, ISS from VSESR_EL2,
+    syndrome latched into VDISR_EL2).  Only fires below EL2 with
+    HCR_EL2.VSE set; returns whether it was delivered. *)
+
 val mrs : t -> Sysreg.access -> int64
 (** Execute a real MRS through {!exec} (costed and routed) and return the
     value read. *)

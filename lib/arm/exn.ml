@@ -14,6 +14,7 @@ type ec =
   | EC_eret            (* FEAT_NV: trapped ERET from EL1 *)
   | EC_iabt_lower
   | EC_dabt_lower      (* stage-2 data abort: MMIO emulation, shadow faults *)
+  | EC_serror          (* FEAT_RAS: SError interrupt (physical or virtual) *)
   | EC_irq             (* not an ESR class: asynchronous interrupt *)
 
 let ec_code = function
@@ -26,6 +27,7 @@ let ec_code = function
   | EC_eret -> 0x1a
   | EC_iabt_lower -> 0x20
   | EC_dabt_lower -> 0x24
+  | EC_serror -> 0x2f
   | EC_irq -> 0x3f (* software-defined: interrupts have no ESR EC *)
 
 let ec_of_code = function
@@ -38,6 +40,7 @@ let ec_of_code = function
   | 0x1a -> Some EC_eret
   | 0x20 -> Some EC_iabt_lower
   | 0x24 -> Some EC_dabt_lower
+  | 0x2f -> Some EC_serror
   | 0x3f -> Some EC_irq
   | _ -> None
 
@@ -51,6 +54,7 @@ let ec_name = function
   | EC_eret -> "ERET"
   | EC_iabt_lower -> "IABT"
   | EC_dabt_lower -> "DABT"
+  | EC_serror -> "SERROR"
   | EC_irq -> "IRQ"
 
 (* ESR layout: EC in [31:26], IL in [25], ISS in [24:0]. *)

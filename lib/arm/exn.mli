@@ -14,6 +14,7 @@ type ec =
   | EC_eret        (** FEAT_NV: trapped ERET from EL1 *)
   | EC_iabt_lower
   | EC_dabt_lower  (** stage-2 data abort: MMIO emulation, shadow faults *)
+  | EC_serror      (** FEAT_RAS: SError interrupt (physical or virtual) *)
   | EC_irq         (** asynchronous interrupt (software-defined code) *)
 
 val ec_code : ec -> int

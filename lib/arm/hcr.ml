@@ -11,6 +11,7 @@ let vm = bit 0      (* stage-2 translation enable *)
 let fmo = bit 3     (* route FIQ to EL2 *)
 let imo = bit 4     (* route IRQ to EL2 *)
 let amo = bit 5
+let vse = bit 8     (* FEAT_RAS: virtual SError pending *)
 let twi = bit 13    (* trap WFI *)
 let twe = bit 14    (* trap WFE *)
 let tsc = bit 19    (* trap SMC *)
@@ -31,6 +32,8 @@ type view = {
   h_vm : bool;
   h_imo : bool;
   h_fmo : bool;
+  h_amo : bool;
+  h_vse : bool;
   h_twi : bool;
   h_tsc : bool;
   h_tvm : bool;
@@ -46,6 +49,8 @@ let decode v = {
   h_vm = is_set v vm;
   h_imo = is_set v imo;
   h_fmo = is_set v fmo;
+  h_amo = is_set v amo;
+  h_vse = is_set v vse;
   h_twi = is_set v twi;
   h_tsc = is_set v tsc;
   h_tvm = is_set v tvm;
@@ -60,13 +65,15 @@ let decode v = {
 let encode h =
   let add acc (b, on) = if on then set acc b else acc in
   List.fold_left add 0L
-    [ (vm, h.h_vm); (imo, h.h_imo); (fmo, h.h_fmo); (twi, h.h_twi);
+    [ (vm, h.h_vm); (imo, h.h_imo); (fmo, h.h_fmo); (amo, h.h_amo);
+      (vse, h.h_vse); (twi, h.h_twi);
       (tsc, h.h_tsc); (tvm, h.h_tvm); (tge, h.h_tge); (trvm, h.h_trvm);
       (e2h, h.h_e2h); (nv, h.h_nv); (nv1, h.h_nv1); (nv2, h.h_nv2) ]
 
 let pp ppf h =
   let flags =
-    [ ("VM", h.h_vm); ("IMO", h.h_imo); ("FMO", h.h_fmo); ("TWI", h.h_twi);
+    [ ("VM", h.h_vm); ("IMO", h.h_imo); ("FMO", h.h_fmo); ("AMO", h.h_amo);
+      ("VSE", h.h_vse); ("TWI", h.h_twi);
       ("TSC", h.h_tsc); ("TVM", h.h_tvm); ("TGE", h.h_tge);
       ("TRVM", h.h_trvm); ("E2H", h.h_e2h); ("NV", h.h_nv);
       ("NV1", h.h_nv1); ("NV2", h.h_nv2) ]

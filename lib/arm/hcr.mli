@@ -13,7 +13,10 @@ val fmo : int64   (** route FIQ to EL2 (bit 3) *)
 
 val imo : int64   (** route IRQ to EL2 (bit 4) *)
 
-val amo : int64
+val amo : int64   (** route SError to EL2 (bit 5) *)
+
+val vse : int64   (** FEAT_RAS: virtual SError pending (bit 8) *)
+
 val twi : int64   (** trap WFI (bit 13) *)
 
 val twe : int64
@@ -44,6 +47,8 @@ type view = {
   h_vm : bool;
   h_imo : bool;
   h_fmo : bool;
+  h_amo : bool;
+  h_vse : bool;
   h_twi : bool;
   h_tsc : bool;
   h_tvm : bool;

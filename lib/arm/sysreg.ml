@@ -118,6 +118,10 @@ type t =
   | ICH_AP0R_EL2 of int  (* n = 0..3 *)
   | ICH_AP1R_EL2 of int  (* n = 0..3 *)
   | ICH_LR_EL2 of int    (* n = 0..15 *)
+  (* --- FEAT_RAS error virtualization (appended last: dense indices and
+     snapshot context slots are positional) --- *)
+  | VSESR_EL2            (* virtual SError syndrome, delivered via HCR.VSE *)
+  | VDISR_EL2            (* deferred-error status record *)
 
 (* How an access instruction names the register.  VHE adds _EL12 forms
    (access the EL1 register from EL2 when E2H redirection is active) and
@@ -237,6 +241,8 @@ let name = function
   | ICH_AP0R_EL2 n -> Printf.sprintf "ICH_AP0R%d_EL2" n
   | ICH_AP1R_EL2 n -> Printf.sprintf "ICH_AP1R%d_EL2" n
   | ICH_LR_EL2 n -> Printf.sprintf "ICH_LR%d_EL2" n
+  | VSESR_EL2 -> "VSESR_EL2"
+  | VDISR_EL2 -> "VDISR_EL2"
 
 let access_name { reg; alias } =
   match alias with
@@ -358,6 +364,8 @@ let enc = function
   | ICH_AP0R_EL2 n -> (3, 4, 12, 8, n)
   | ICH_AP1R_EL2 n -> (3, 4, 12, 9, n)
   | ICH_LR_EL2 n -> if n < 8 then (3, 4, 12, 12, n) else (3, 4, 12, 13, n - 8)
+  | VSESR_EL2 -> (3, 4, 5, 2, 3)
+  | VDISR_EL2 -> (3, 4, 12, 1, 1)
 
 (* Encoding of the VHE alias forms: _EL12/_EL02 registers use op1=5. *)
 let access_enc { reg; alias } =
@@ -393,7 +401,8 @@ let min_el = function
   | SPSR_EL2 | SP_EL2 | CPTR_EL2 | MDCR_EL2 | CNTHCTL_EL2 | CNTVOFF_EL2
   | CNTHP_CTL_EL2 | CNTHP_CVAL_EL2 | CNTHV_CTL_EL2 | CNTHV_CVAL_EL2
   | ICH_HCR_EL2 | ICH_VTR_EL2 | ICH_VMCR_EL2 | ICH_MISR_EL2 | ICH_EISR_EL2
-  | ICH_ELRSR_EL2 | ICH_AP0R_EL2 _ | ICH_AP1R_EL2 _ | ICH_LR_EL2 _ ->
+  | ICH_ELRSR_EL2 | ICH_AP0R_EL2 _ | ICH_AP1R_EL2 _ | ICH_LR_EL2 _
+  | VSESR_EL2 | VDISR_EL2 ->
     Pstate.EL2
 
 (* Registers that only exist once VHE (ARMv8.1) is implemented. *)
@@ -487,7 +496,11 @@ let neve_class = function
   | PMCR_EL0 | PMCNTENSET_EL0 | PMCNTENCLR_EL0 | PMOVSCLR_EL0 | PMCCNTR_EL0
   | PMCCFILTR_EL0 | PMEVCNTR_EL0 _ | PMEVTYPER_EL0 _
   | PMINTENSET_EL1 | PMINTENCLR_EL1
-  | DBGBVR_EL1 _ | DBGBCR_EL1 _ | DBGWVR_EL1 _ | DBGWCR_EL1 _ ->
+  | DBGBVR_EL1 _ | DBGBCR_EL1 _ | DBGWVR_EL1 _ | DBGWCR_EL1 _
+  (* RAS syndrome registers: kept outside the deferred page (the modeled
+     hardware has FEAT_RAS but not the NV2 RAS-page extension), so both
+     ARMv8.3 and NEVE guest hypervisors trap on them identically. *)
+  | VSESR_EL2 | VDISR_EL2 ->
     NV_none
 
 (* --- The register universe --- *)
@@ -523,6 +536,7 @@ let all : t list =
   @ range_regs (fun n -> ICH_AP0R_EL2 n) (apr_count - 1) []
   @ range_regs (fun n -> ICH_AP1R_EL2 n) (apr_count - 1) []
   @ range_regs (fun n -> ICH_LR_EL2 n) (lr_count - 1) []
+  @ [ VSESR_EL2; VDISR_EL2 ]
 
 (* Reverse encoding lookup (used when decoding trapped-access syndromes and
    when decoding 32-bit MSR/MRS words). *)
@@ -540,7 +554,7 @@ let of_enc : (int * int * int * int * int) -> t option =
    registers occupy contiguous runs.  [of_index] and the bijectivity of
    the mapping over [all] are established at module init. *)
 
-let count = 152
+let count = 154
 
 let index = function
   | SP_EL0 -> 0
@@ -644,6 +658,8 @@ let index = function
   | ICH_AP0R_EL2 n -> 128 + n  (* 128..131 *)
   | ICH_AP1R_EL2 n -> 132 + n  (* 132..135 *)
   | ICH_LR_EL2 n -> 136 + n    (* 136..151 *)
+  | VSESR_EL2 -> 152
+  | VDISR_EL2 -> 153
 
 let of_index_tbl : t array =
   let placeholder = SP_EL0 in

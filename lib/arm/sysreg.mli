@@ -120,6 +120,10 @@ type t =
 
   | ICH_LR_EL2 of int    (** n = 0..15 *)
 
+  | VSESR_EL2  (** FEAT_RAS: virtual SError syndrome (HCR_EL2.VSE payload) *)
+
+  | VDISR_EL2  (** FEAT_RAS: deferred-error status record *)
+
 (** How an access instruction names the register: directly, or through a
     VHE-added [_EL12]/[_EL02] alias (op1=5 encodings that reach EL1/EL0
     registers from EL2 when E2H redirection is active). *)

@@ -53,6 +53,10 @@ type table = {
   mig_page_copy : int;       (* live migration: copying one 4 KB page *)
   mig_state_copy : int;      (* live migration: CPU/device state transfer
                                 during the stop-and-copy phase *)
+  serror_delivery : int;     (* taking a (virtual) SError exception *)
+  watchdog_poll : int;       (* one supervision sweep over a vCPU *)
+  recover_restore : int;     (* rebuilding a machine from a snapshot *)
+  mig_retry_backoff : int;   (* base backoff unit before a migration retry *)
 }
 
 (* Defaults.  The architectural constants come straight from the paper's
@@ -97,6 +101,10 @@ let default : table = {
   arm_virtual_eoi = 71;
   mig_page_copy = 1200;
   mig_state_copy = 24000;
+  serror_delivery = 260;
+  watchdog_poll = 40;
+  recover_restore = 150000;
+  mig_retry_backoff = 2000;
 }
 
 (* Trap classification used for reporting (Table 7 and the trap-analysis
@@ -116,6 +124,8 @@ type trap_kind =
   | Trap_smc
   | Trap_mem_fault            (* stage-2 translation fault (shadow miss) *)
   | Trap_x86_vmexit           (* any x86 VM exit *)
+  | Trap_serror               (* physical SError contained by L0 (appended:
+                                 snapshot codes are positional) *)
 
 let trap_kind_name = function
   | Trap_hvc -> "hvc"
@@ -132,11 +142,13 @@ let trap_kind_name = function
   | Trap_smc -> "smc"
   | Trap_mem_fault -> "mem-fault"
   | Trap_x86_vmexit -> "x86-vmexit"
+  | Trap_serror -> "serror"
 
 let all_trap_kinds = [
   Trap_hvc; Trap_sysreg_el2; Trap_sysreg_el1; Trap_sysreg_el12;
   Trap_sysreg_timer; Trap_sysreg_gic; Trap_sysreg_vm; Trap_eret; Trap_mmio;
   Trap_wfx; Trap_irq; Trap_smc; Trap_mem_fault; Trap_x86_vmexit;
+  Trap_serror;
 ]
 
 (* A meter accumulates cycles, instruction counts and trap counts for one

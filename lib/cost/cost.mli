@@ -49,6 +49,10 @@ type table = {
   mig_state_copy : int;
       (** live migration: CPU/device state transfer during the
           stop-and-copy phase *)
+  serror_delivery : int;   (** taking a (virtual) SError exception *)
+  watchdog_poll : int;     (** one supervision sweep over a vCPU *)
+  recover_restore : int;   (** rebuilding a machine from a snapshot *)
+  mig_retry_backoff : int; (** base backoff unit before a migration retry *)
 }
 
 val default : table
@@ -70,6 +74,7 @@ type trap_kind =
   | Trap_smc
   | Trap_mem_fault    (** stage-2 translation fault (shadow miss) *)
   | Trap_x86_vmexit
+  | Trap_serror       (** physical SError contained by L0 *)
 
 val trap_kind_name : trap_kind -> string
 val all_trap_kinds : trap_kind list

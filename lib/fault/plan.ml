@@ -42,8 +42,13 @@ type kind =
   | Drop_irq        (* the next raised interrupt is lost *)
   | Duplicate_irq   (* the next raised interrupt is delivered twice *)
   | S2_fault        (* a spurious stage-2 translation fault *)
+  | Serror          (* a physical SError arrives at L0 (RAS containment) *)
+  | Hang_vcpu       (* the vCPU stops retiring guest work (hung guest) *)
 
-let all_kinds = [ Spurious_trap; Corrupt_sysreg; Drop_irq; Duplicate_irq; S2_fault ]
+(* Appended at the end: snapshot images encode kinds positionally. *)
+let all_kinds =
+  [ Spurious_trap; Corrupt_sysreg; Drop_irq; Duplicate_irq; S2_fault;
+    Serror; Hang_vcpu ]
 
 let kind_name = function
   | Spurious_trap -> "spurious-trap"
@@ -51,6 +56,8 @@ let kind_name = function
   | Drop_irq -> "drop-irq"
   | Duplicate_irq -> "duplicate-irq"
   | S2_fault -> "s2-fault"
+  | Serror -> "serror"
+  | Hang_vcpu -> "hang-vcpu"
 
 type event = {
   ev_trap : int;          (* fires when total traps reach this count *)

@@ -26,6 +26,8 @@ type kind =
   | Drop_irq  (** the next raised interrupt is lost *)
   | Duplicate_irq  (** the next raised interrupt is delivered twice *)
   | S2_fault  (** a spurious stage-2 translation fault *)
+  | Serror  (** a physical SError arrives at L0 (RAS containment) *)
+  | Hang_vcpu  (** the vCPU stops retiring guest work (hung guest) *)
 
 val all_kinds : kind list
 val kind_name : kind -> string

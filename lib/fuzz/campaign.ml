@@ -22,6 +22,8 @@ type stats = {
   s_insn_form_total : int;
   s_aborts : int;
   s_column_traps : (string * int) list;
+  s_cycles : int;
+  s_timed_out : bool;
   s_found : found list;
 }
 
@@ -49,20 +51,26 @@ let streams_of ?snap_oracle words =
   | [] -> all
 
 let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
-    ?(traced = false) ?(snap_oracle = false) ~seed ~n () =
+    ?(traced = false) ?(snap_oracle = false) ?(max_cycles = 0) ~seed ~n () =
   let gen = Gen.create ~seed in
   let column_traps =
     List.map (fun c -> (c.Diff.col_name, ref 0)) Diff.columns
   in
   let aborts = ref 0 and found = ref [] and ran = ref 0 in
+  let cycles = ref 0 in
+  (* a deterministic sim-cycle budget across all columns: 0 disables it.
+     Unlike [should_stop] (a wall-clock escape hatch) this is part of the
+     campaign's identity — same seed, same budget, same truncation. *)
+  let within_cycles () = max_cycles = 0 || !cycles < max_cycles in
   let i = ref 0 in
-  while !i < n && not (should_stop ()) do
+  while !i < n && not (should_stop ()) && within_cycles () do
     let prog = Gen.program gen in
     let words = Prog.to_words prog in
     let res = Diff.run_words ~snap_oracle words in
     incr ran;
     List.iter
       (fun (c, o) ->
+        cycles := !cycles + o.Diff.ob_cycles;
         match List.assoc_opt c.Diff.col_name column_traps with
         | Some r -> r := !r + o.Diff.ob_traps
         | None -> ())
@@ -140,6 +148,8 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
     s_insn_form_total = Gen.insn_form_total;
     s_aborts = !aborts;
     s_column_traps = List.map (fun (n, r) -> (n, !r)) column_traps;
+    s_cycles = !cycles;
+    s_timed_out = not (within_cycles ());
     s_found = List.rev !found;
   }
 
@@ -177,8 +187,9 @@ let pp_streams ppf = function
       streams
 
 let pp_stats ppf st =
-  Fmt.pf ppf "@[<v>fuzz: seed=%d programs=%d/%d@," st.s_seed st.s_programs
-    st.s_requested;
+  Fmt.pf ppf "@[<v>fuzz: seed=%d programs=%d/%d%s@," st.s_seed st.s_programs
+    st.s_requested
+    (if st.s_timed_out then " TIMED-OUT" else "");
   Fmt.pf ppf "trap-rule coverage: %d/%d (%.1f%%)@," st.s_rule_covered
     st.s_rule_total
     (100.0 *. float_of_int st.s_rule_covered /. float_of_int st.s_rule_total);
@@ -230,12 +241,12 @@ let json_stats st =
        "{\"seed\":%d,\"programs\":%d,\"requested\":%d,\"divergences\":%d,\
         \"aborts\":%d,\"trap_rules_covered\":%d,\"trap_rules_total\":%d,\
         \"trap_rule_coverage\":%.4f,\"insn_forms_used\":%d,\
-        \"insn_forms_total\":%d"
+        \"insn_forms_total\":%d,\"cycles\":%d,\"timed_out\":%b"
        st.s_seed st.s_programs st.s_requested (divergence_count st)
        st.s_aborts st.s_rule_covered st.s_rule_total
        (float_of_int st.s_rule_covered /. float_of_int st.s_rule_total)
        (List.length st.s_insn_forms)
-       st.s_insn_form_total);
+       st.s_insn_form_total st.s_cycles st.s_timed_out);
   Buffer.add_string b ",\"columns\":[";
   List.iteri
     (fun i (name, traps) ->

@@ -31,6 +31,8 @@ type stats = {
   s_insn_form_total : int;
   s_aborts : int;  (** programs every column aborted on, identically *)
   s_column_traps : (string * int) list;
+  s_cycles : int;  (** modeled cycles accumulated across all columns *)
+  s_timed_out : bool;  (** the sim-cycle budget stopped the campaign *)
   s_found : found list;
 }
 
@@ -42,6 +44,7 @@ val run :
   ?max_found:int ->
   ?traced:bool ->
   ?snap_oracle:bool ->
+  ?max_cycles:int ->
   seed:int ->
   n:int ->
   unit ->
@@ -50,7 +53,11 @@ val run :
     shrunk with {!Shrink.minimize} and, when [corpus_dir] is given,
     written there as [div-seed<seed>-p<index>.repro]; after [max_found]
     divergences (default 3) the campaign keeps counting but stops
-    shrinking/saving.  [traced] (default false) replays each minimized
+    shrinking/saving.  [max_cycles] (default 0 = unlimited) bounds the
+    campaign to a deterministic budget of modeled cycles summed across
+    every column run; a campaign stopped by it is marked [s_timed_out]
+    — unlike [should_stop], the truncation point is part of the
+    deterministic report.  [traced] (default false) replays each minimized
     divergence with tracing enabled and stores the event streams in
     [f_streams]; generation and the oracle itself stay untraced, so
     found/coverage results are identical either way.  [snap_oracle]

@@ -64,6 +64,7 @@ type obs = {
   ob_vel1 : (string * int64) list;
   ob_mem : (int * int64) list;
   ob_traps : int;
+  ob_cycles : int;
   ob_ctx : Fault.Error.context option;
   ob_events : string list;
 }
@@ -80,6 +81,7 @@ let empty_obs =
     ob_vel1 = [];
     ob_mem = [];
     ob_traps = 0;
+    ob_cycles = 0;
     ob_ctx = None;
     ob_events = [];
   }
@@ -155,6 +157,7 @@ let run_column ?(traced = false) ~budget config words =
         ob_vel1 = file_obs host.Host_hyp.vcpu.Vcpu.vel1;
         ob_mem = mem_obs m.Machine.mem;
         ob_traps = cpu.Cpu.meter.Cost.traps;
+        ob_cycles = cpu.Cpu.meter.Cost.cycles;
         ob_ctx = Some (Fault.Error.context_of_cpu cpu);
       }
   with e ->
@@ -163,6 +166,7 @@ let run_column ?(traced = false) ~budget config words =
         empty_obs with
         ob_error = Some (Printexc.to_string e);
         ob_traps = cpu.Cpu.meter.Cost.traps;
+        ob_cycles = cpu.Cpu.meter.Cost.cycles;
         ob_ctx = Some (Fault.Error.context_of_cpu cpu);
       }
 
@@ -179,6 +183,7 @@ let run_column_snapshot ~budget ~at config words =
   let m = Machine.create ~ncpus:1 config Host_hyp.Nested in
   let cpu = m.Machine.cpus.(0) and host = m.Machine.hosts.(0) in
   let traps_now = ref (fun () -> cpu.Cpu.meter.Cost.traps) in
+  let cycles_now = ref (fun () -> cpu.Cpu.meter.Cost.cycles) in
   let ctx_now = ref (fun () -> Fault.Error.context_of_cpu cpu) in
   try
     Host_hyp.start_guest_hypervisor host;
@@ -201,6 +206,7 @@ let run_column_snapshot ~budget ~at config words =
     let m' = Snap.restore (Snap.to_string m) in
     let cpu' = m'.Machine.cpus.(0) and host' = m'.Machine.hosts.(0) in
     (traps_now := fun () -> cpu'.Cpu.meter.Cost.traps);
+    (cycles_now := fun () -> cpu'.Cpu.meter.Cost.cycles);
     (ctx_now := fun () -> Fault.Error.context_of_cpu cpu');
     let stop' _ = not host'.Host_hyp.vcpu.Vcpu.in_vel2 in
     let outcome =
@@ -222,6 +228,7 @@ let run_column_snapshot ~budget ~at config words =
       ob_vel1 = file_obs host'.Host_hyp.vcpu.Vcpu.vel1;
       ob_mem = mem_obs m'.Machine.mem;
       ob_traps = cpu'.Cpu.meter.Cost.traps;
+      ob_cycles = !cycles_now ();
       ob_ctx = Some (!ctx_now ());
     }
   with e ->
@@ -229,6 +236,7 @@ let run_column_snapshot ~budget ~at config words =
       empty_obs with
       ob_error = Some (Printexc.to_string e);
       ob_traps = !traps_now ();
+      ob_cycles = !cycles_now ();
       ob_ctx = Some (!ctx_now ());
     }
 

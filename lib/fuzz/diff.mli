@@ -36,6 +36,9 @@ type obs = {
   ob_vel1 : (string * int64) list;  (** non-reset virtual EL1 registers *)
   ob_mem : (int * int64) list;      (** non-zero scratch words *)
   ob_traps : int;
+  ob_cycles : int;
+      (** modeled cycles the column's meter accumulated; feeds the
+          campaign's deterministic sim-cycle budget, never compared *)
   ob_ctx : Fault.Error.context option;
   ob_events : string list;
       (** rendered trace events for the whole column run; captured only

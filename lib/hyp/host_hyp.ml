@@ -40,6 +40,14 @@ type t = {
   mutable in_l1 : bool;
   mutable exits : int;
   mutable undef_injected : int;  (* UNDEFs delivered into the guest *)
+  (* FEAT_RAS containment: syndrome of a physical SError the host absorbed
+     and must re-inject into the guest as a virtual SError.  The field
+     (not the transient HCR_EL2.VSE bit, which world switches rewrite) is
+     the source of truth between containment and delivery — the same
+     vcpu-flag pattern KVM's kvm_inject_vabt uses. *)
+  mutable pending_vserror : int64 option;
+  mutable serror_contained : int;  (* physical SErrors absorbed by L0 *)
+  mutable serror_injected : int;   (* virtual SErrors delivered to the guest *)
   mutable send_ipi : (target:int -> intid:int -> unit) option;
   mutable pending_irq : int option;  (* payload for the next EC_irq *)
   (* shadow stage-2 translation (Section 4, memory virtualization):
@@ -612,6 +620,75 @@ let handle_wfi t =
     l0_exit t;
     Cpu.do_eret t.cpu
 
+(* --- FEAT_RAS: virtual SError injection and supervised recovery hooks --- *)
+
+(* Deliver a pending virtual SError at an operation boundary.  The
+   architectural HCR_EL2.VSE bit may have been rewritten by an intervening
+   world switch, so delivery re-arms it from [pending_vserror] first; a
+   purely architectural pend (a test poking the bit directly, or a
+   restored snapshot) is honoured too.  Returns whether the SError was
+   taken — it stays pending while the vCPU sits at EL2. *)
+let deliver_pending_vserror t =
+  let syndrome =
+    match t.pending_vserror with
+    | Some _ as s -> s
+    | None ->
+      if Cpu.vserror_pending t.cpu then
+        Some (Cpu.peek_sysreg t.cpu Sysreg.VSESR_EL2)
+      else None
+  in
+  match syndrome with
+  | None -> false
+  | Some s ->
+    if not (Cpu.vserror_pending t.cpu) then Cpu.pend_vserror t.cpu ~syndrome:s;
+    let delivered = Cpu.deliver_vserror t.cpu in
+    if delivered then begin
+      t.pending_vserror <- None;
+      t.serror_injected <- t.serror_injected + 1;
+      Log.debug (fun m ->
+          m "vcpu%d: delivered virtual SError to %s" t.vcpu.Vcpu.id
+            (if t.vcpu.Vcpu.in_vel2 then "vEL2" else "vEL1"))
+    end;
+    delivered
+
+(* Pend a virtual SError from outside the trap path (supervision and
+   recovery campaigns): records the syndrome and arms the architectural
+   bits so a snapshot taken before delivery carries the pending error. *)
+let pend_vserror t ~syndrome =
+  t.pending_vserror <- Some syndrome;
+  Cpu.pend_vserror t.cpu ~syndrome
+
+(* Tear down the nested VM but keep the guest hypervisor runnable: the
+   supervision layer's graceful-degradation policy (Kill_l2_keep_l1).
+   The vCPU is forcibly parked back in virtual EL2 at [resume_pc] (the
+   guest hypervisor's vector), as if the nested VM had exited for the
+   last time; nested-VM state is discarded.  Register pokes, not guest
+   instructions — the caller accounts the policy's recovery cost. *)
+let kill_l2 t ~resume_pc =
+  let vcpu = t.vcpu in
+  vcpu.Vcpu.nested_launched <- false;
+  vcpu.Vcpu.in_vel2 <- true;
+  vcpu.Vcpu.used_lrs <- 0;
+  t.pending_irq <- None;
+  t.pending_vserror <- None;
+  t.l2_is_hyp <- false;
+  t.l2_vncr <- None;
+  t.in_l1 <- false;
+  (* drop GPR snapshots from any interrupted trap context *)
+  t.cpu.Cpu.saved_regs <- [];
+  (* make the virtual-EL2 execution mapping live in the hardware twins *)
+  List.iter
+    (fun (el2_reg, twin) ->
+      Cpu.poke_sysreg t.cpu twin (Vcpu.read_vel2 t.vcpu el2_reg))
+    exec_mapping;
+  if neve_on t then begin
+    neve_populate t;
+    set_vncr t ~enable:true
+  end;
+  Cpu.poke_sysreg t.cpu Sysreg.HCR_EL2 (hcr_for t ~vel2:true);
+  t.cpu.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1;
+  t.cpu.Cpu.pc <- resume_pc
+
 let handler t _cpu (e : Exn.entry) =
   t.exits <- t.exits + 1;
   Log.debug (fun m ->
@@ -671,6 +748,24 @@ let handler t _cpu (e : Exn.entry) =
   | Exn.EC_irq -> handle_irq t
   | Exn.EC_dabt_lower -> handle_dabt t e
   | Exn.EC_wfx -> handle_wfi t
+  | Exn.EC_serror ->
+    (* A physical SError reached L0 (HCR_EL2.AMO routing).  The host
+       contains it: absorb the error, record the syndrome and re-arm the
+       interrupted guest with a virtual SError so the error surfaces
+       inside the VM instead of taking the machine down — KVM's
+       kvm_inject_vabt containment path.  Delivery happens at the next
+       operation boundary via [deliver_pending_vserror]. *)
+    t.serror_contained <- t.serror_contained + 1;
+    let syndrome = Int64.of_int (e.Exn.iss land 0x1ff_ffff) in
+    t.pending_vserror <- Some syndrome;
+    Log.debug (fun m ->
+        m "vcpu%d: contained physical SError, syndrome=0x%Lx" t.vcpu.Vcpu.id
+          syndrome);
+    l0_exit t;
+    (* after l0_exit: activate_traps has installed the guest HCR, so the
+       VSE bit set here survives into guest execution *)
+    Cpu.pend_vserror t.cpu ~syndrome;
+    Cpu.do_eret t.cpu
   | Exn.EC_smc64 | Exn.EC_svc64 | Exn.EC_unknown | Exn.EC_iabt_lower ->
     l0_exit t;
     Cpu.do_eret t.cpu
@@ -694,6 +789,9 @@ let create ?(id = 0) cpu config scenario =
       in_l1 = false;
       exits = 0;
       undef_injected = 0;
+      pending_vserror = None;
+      serror_contained = 0;
+      serror_injected = 0;
       send_ipi = None;
       pending_irq = None;
       shadow = None;

@@ -37,6 +37,14 @@ type t = {
   mutable undef_injected : int;
       (** UNDEFs delivered into the guest for malformed trapped
           accesses *)
+  mutable pending_vserror : int64 option;
+      (** FEAT_RAS containment: syndrome of a physical SError absorbed by
+          the host, awaiting re-injection as a virtual SError.  The field
+          is the source of truth between containment and delivery — world
+          switches rewrite the transient HCR_EL2.VSE bit. *)
+  mutable serror_contained : int;  (** physical SErrors absorbed by L0 *)
+  mutable serror_injected : int;
+      (** virtual SErrors delivered into the guest *)
   mutable send_ipi : (target:int -> intid:int -> unit) option;
   mutable pending_irq : int option;
   mutable shadow : (Mmu.Shadow.t * Mmu.Stage2.t * Mmu.Stage2.t) option;
@@ -97,6 +105,25 @@ val emulate_sysreg :
 (** Emulate one trapped access against the virtual state; true when the
     emulation switched context (nested-VM SGI forwarding), telling the
     caller not to unwind. *)
+
+val deliver_pending_vserror : t -> bool
+(** Deliver a pending virtual SError at an operation boundary, re-arming
+    the architectural VSE bit from [pending_vserror] if a world switch
+    rewrote it.  Returns whether the SError was taken; it stays pending
+    while the vCPU sits at EL2. *)
+
+val pend_vserror : t -> syndrome:int64 -> unit
+(** Pend a virtual SError from outside the trap path (supervision and
+    recovery campaigns): records the syndrome and arms HCR_EL2.VSE +
+    VSESR_EL2, so a snapshot taken before delivery carries the pending
+    error. *)
+
+val kill_l2 : t -> resume_pc:int64 -> unit
+(** Tear down the nested VM but keep the guest hypervisor runnable
+    (the supervision layer's graceful-degradation policy): park the vCPU
+    back in virtual EL2 at [resume_pc], discarding nested-VM run state.
+    Register pokes, not guest instructions — the caller accounts the
+    policy's recovery cost. *)
 
 val handler : t -> Cpu.t -> Exn.entry -> unit
 (** The EL2 exception handler installed on the CPU. *)

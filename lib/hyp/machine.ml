@@ -27,6 +27,11 @@ type t = {
   (* a pending Drop_irq/Duplicate_irq verdict per CPU, consumed at the
      next interrupt delivery *)
   irq_fault : Fault.Plan.kind option array;
+  (* a hung vCPU retires no guest work until a recovery policy clears it.
+     Serialized with the machine (snapshot continuation must replay
+     identically); recovery policies clear the hang explicitly after a
+     restore — the restart is what un-wedges the vCPU. *)
+  hung : bool array;
 }
 
 let ncpus t = Array.length t.cpus
@@ -159,6 +164,7 @@ let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
       violations = [];
       violation_count = 0;
       irq_fault = Array.make ncpus None;
+      hung = Array.make ncpus false;
     }
   in
   if checking then
@@ -265,43 +271,75 @@ let apply_fault t ~cpu kind =
       { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_dabt_lower;
         iss = (if Fault.Plan.flip plan then 0x40 else 0);
         fault_addr = Some addr }
+  | Fault.Plan.Serror ->
+    (* a physical SError arrives while the guest runs: HCR_EL2.AMO routes
+       it to EL2, where the host contains it (EC_serror handler) and
+       re-arms the guest with a virtual SError *)
+    if c.Cpu.pstate.Arm.Pstate.el <> Arm.Pstate.EL2 then begin
+      let plan = Option.get t.fault in
+      (* a plausible RAS syndrome: DFSC-style low bits plus plan-drawn
+         implementation-defined payload, never zero *)
+      let iss = 0x11 lor (Fault.Plan.pick plan 0x100 lsl 8) in
+      Cost.record_trap ~detail:"injected-serror" c.Cpu.meter Cost.Trap_serror;
+      Cpu.exception_entry c
+        { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_serror; iss;
+          fault_addr = None }
+    end
+  | Fault.Plan.Hang_vcpu -> t.hung.(cpu) <- true
 
 let service_faults t ~cpu =
+  (* a virtual SError pended by containment (or by a supervision
+     campaign) is asynchronous: it is taken at the next operation
+     boundary, before any new plan events fire *)
+  ignore (Host_hyp.deliver_pending_vserror t.hosts.(cpu));
   match t.fault with
   | None -> ()
   | Some plan ->
     List.iter (apply_fault t ~cpu)
       (Fault.Plan.due plan ~traps:(total_traps t))
 
-(* --- guest-side operations (what the benchmarked VM/nested VM does) --- *)
+(* --- guest-side operations (what the benchmarked VM/nested VM does) ---
+
+   A hung vCPU retires nothing: every guest-side operation is a no-op
+   until a recovery policy clears the hang — exactly the symptom the
+   supervision watchdog's no-retire window detects. *)
 
 let hypercall t ~cpu =
-  service_faults t ~cpu;
-  Cpu.exec t.cpus.(cpu) (Insn.Hvc 0)
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    Cpu.exec t.cpus.(cpu) (Insn.Hvc 0)
+  end
 
 (* An MMIO access to an emulated device: the address is not mapped at
    stage 2, so the access takes a data abort to EL2 (Section 4, memory
    virtualization). *)
 let mmio_access t ~cpu ~addr ~is_write =
-  service_faults t ~cpu;
-  let c = t.cpus.(cpu) in
-  Cost.record_trap ~detail:"mmio" c.Cpu.meter Cost.Trap_mmio;
-  Cost.charge c.Cpu.meter (Cpu.table c).Cost.insn_base;
-  Cpu.exception_entry c
-    { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_dabt_lower;
-      iss = (if is_write then 0x40 else 0); fault_addr = Some addr }
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let c = t.cpus.(cpu) in
+    Cost.record_trap ~detail:"mmio" c.Cpu.meter Cost.Trap_mmio;
+    Cost.charge c.Cpu.meter (Cpu.table c).Cost.insn_base;
+    Cpu.exception_entry c
+      { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_dabt_lower;
+        iss = (if is_write then 0x40 else 0); fault_addr = Some addr }
+  end
 
 (* A data abort at stage 2 that is *not* an emulated-device access: either
    a shadow-table miss the host refills, or a fault reflected to the guest
    hypervisor. *)
 let data_abort t ~cpu ~addr ~is_write =
-  service_faults t ~cpu;
-  let c = t.cpus.(cpu) in
-  Cost.record_trap ~detail:"s2-fault" c.Cpu.meter Cost.Trap_mem_fault;
-  Cost.charge c.Cpu.meter (Cpu.table c).Cost.insn_base;
-  Cpu.exception_entry c
-    { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_dabt_lower;
-      iss = (if is_write then 0x40 else 0); fault_addr = Some addr }
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let c = t.cpus.(cpu) in
+    Cost.record_trap ~detail:"s2-fault" c.Cpu.meter Cost.Trap_mem_fault;
+    Cost.charge c.Cpu.meter (Cpu.table c).Cost.insn_base;
+    Cpu.exception_entry c
+      { Exn.target = Arm.Pstate.EL2; ec = Exn.EC_dabt_lower;
+        iss = (if is_write then 0x40 else 0); fault_addr = Some addr }
+  end
 
 (* Configure shadow stage-2 translation for a CPU's nested VM: the guest
    hypervisor's stage-2 (L2 IPA -> L1 PA) and the host's stage-2
@@ -316,11 +354,16 @@ let install_shadow t ~cpu ~guest_s2 ~host_s2 =
 (* Send an IPI: a write to ICC_SGI1R_EL1, which traps to the hypervisor on
    every configuration (IPIs are always emulated). *)
 let send_ipi t ~cpu ~target ~intid =
-  service_faults t ~cpu;
-  let payload =
-    Int64.logor (Int64.of_int target) (Int64.shift_left (Int64.of_int intid) 24)
-  in
-  Cpu.exec t.cpus.(cpu) (Insn.Msr (Sysreg.direct Sysreg.ICC_SGI1R_EL1, Insn.Imm payload))
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let payload =
+      Int64.logor (Int64.of_int target)
+        (Int64.shift_left (Int64.of_int intid) 24)
+    in
+    Cpu.exec t.cpus.(cpu)
+      (Insn.Msr (Sysreg.direct Sysreg.ICC_SGI1R_EL1, Insn.Imm payload))
+  end
 
 (* Acknowledge the highest-priority pending virtual interrupt: served by
    the GIC virtual CPU interface against the list registers — no trap. *)
@@ -350,15 +393,21 @@ let vm_eoi t ~cpu ~vintid =
 
 (* Deliver an external (device) interrupt to a CPU, as the NIC would. *)
 let device_irq t ~cpu ~intid =
-  service_faults t ~cpu;
-  deliver_filtered t ~cpu ~intid
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    deliver_filtered t ~cpu ~intid
+  end
 
 (* Guest does some plain computation: n generic instructions. *)
 let compute t ~cpu ~insns =
-  service_faults t ~cpu;
-  let c = t.cpus.(cpu) in
-  Cost.charge c.Cpu.meter (insns * (Cpu.table c).Cost.insn_base);
-  c.Cpu.meter.Cost.insns <- c.Cpu.meter.Cost.insns + insns
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let c = t.cpus.(cpu) in
+    Cost.charge c.Cpu.meter (insns * (Cpu.table c).Cost.insn_base);
+    c.Cpu.meter.Cost.insns <- c.Cpu.meter.Cost.insns + insns
+  end
 
 (* --- measurement helpers --- *)
 
@@ -391,6 +440,38 @@ let violation_count t = t.violation_count
 
 let undef_injections t =
   Array.fold_left (fun acc h -> acc + h.Host_hyp.undef_injected) 0 t.hosts
+
+(* --- supervision hooks: hangs, SErrors and recovery --- *)
+
+let is_hung t ~cpu = t.hung.(cpu)
+let hang t ~cpu = t.hung.(cpu) <- true
+let clear_hung t ~cpu = t.hung.(cpu) <- false
+
+let pend_serror t ~cpu ~syndrome =
+  Host_hyp.pend_vserror t.hosts.(cpu) ~syndrome
+
+let serror_pending t ~cpu =
+  t.hosts.(cpu).Host_hyp.pending_vserror <> None
+  || Cpu.vserror_pending t.cpus.(cpu)
+
+let deliver_pending_serror t ~cpu =
+  Host_hyp.deliver_pending_vserror t.hosts.(cpu)
+
+let serror_containments t =
+  Array.fold_left (fun acc h -> acc + h.Host_hyp.serror_contained) 0 t.hosts
+
+let serror_injections t =
+  Array.fold_left (fun acc h -> acc + h.Host_hyp.serror_injected) 0 t.hosts
+
+let kill_l2 t ~cpu =
+  match t.scenario with
+  | Host_hyp.Single_vm ->
+    Fault.Error.sim_bug
+      (Fault.Error.Invariant_broken
+         "kill_l2: no nested VM to kill in a single-VM scenario")
+  | Host_hyp.Nested ->
+    Host_hyp.kill_l2 t.hosts.(cpu) ~resume_pc:Guest_hyp.vector_base;
+    t.hung.(cpu) <- false
 
 (* Sweep the whole machine between operations: per-CPU register-file
    consistency, no leaked GPR snapshots outside a trap, and the NEVE

@@ -21,6 +21,11 @@ type t = {
   mutable violation_count : int;
   irq_fault : Fault.Plan.kind option array;
       (** pending drop/duplicate verdict per CPU *)
+  hung : bool array;
+      (** a hung vCPU retires no guest work until recovery clears it;
+          serialized with the machine so snapshot continuation replays
+          identically — recovery policies call {!clear_hung} after a
+          restore, the restart being what un-wedges the vCPU *)
 }
 
 val ncpus : t -> int
@@ -48,8 +53,10 @@ val boot : t -> unit
     through the real trap machinery. *)
 
 val service_faults : t -> cpu:int -> unit
-(** Pop and apply every fault-plan event whose trap count has arrived.
-    Called automatically at the top of each guest-side operation. *)
+(** Pop and apply every fault-plan event whose trap count has arrived,
+    after first delivering any pending virtual SError (asynchronous
+    errors are taken at operation boundaries).  Called automatically at
+    the top of each guest-side operation. *)
 
 (** {1 Guest-side operations} *)
 
@@ -108,6 +115,36 @@ val violation_count : t -> int
 
 val undef_injections : t -> int
 (** UNDEFs the host injected into guests for malformed accesses. *)
+
+(** {1 Supervision hooks: hangs, SErrors and recovery} *)
+
+val is_hung : t -> cpu:int -> bool
+val hang : t -> cpu:int -> unit
+(** Hang a vCPU directly (recovery campaigns inject through
+    {!Fault.Plan.Hang_vcpu} or this). *)
+
+val clear_hung : t -> cpu:int -> unit
+
+val pend_serror : t -> cpu:int -> syndrome:int64 -> unit
+(** Pend a virtual SError on a vCPU from outside the trap path; it is
+    delivered at the next operation boundary. *)
+
+val serror_pending : t -> cpu:int -> bool
+
+val deliver_pending_serror : t -> cpu:int -> bool
+(** Force delivery now instead of waiting for the next operation
+    boundary; returns whether the SError was taken. *)
+
+val serror_containments : t -> int
+(** Physical SErrors absorbed by the host, summed over CPUs. *)
+
+val serror_injections : t -> int
+(** Virtual SErrors delivered into guests, summed over CPUs. *)
+
+val kill_l2 : t -> cpu:int -> unit
+(** Graceful degradation: tear down a CPU's nested VM but keep its guest
+    hypervisor runnable, clearing any hang.
+    @raise Fault.Error.Sim_fault in single-VM scenarios (no L2). *)
 
 val check_invariants : t -> Fault.Invariants.violation list
 (** Steady-state sweep between operations: per-CPU register-file

@@ -260,7 +260,8 @@ let table_fields (t : Cost.table) =
     t.x86_vmexit; t.x86_vmentry; t.x86_vmread; t.x86_vmwrite; t.x86_dispatch;
     t.x86_merge_vmcs; t.x86_reflect; t.x86_unshadowed; t.x86_posted_irq;
     t.x86_guest_hyp_logic; t.x86_apicv_eoi; t.arm_virtual_eoi;
-    t.mig_page_copy; t.mig_state_copy ]
+    t.mig_page_copy; t.mig_state_copy; t.serror_delivery; t.watchdog_poll;
+    t.recover_restore; t.mig_retry_backoff ]
 
 let table_of_fields = function
   | [ trap_entry; trap_return; exc_entry_el1; sysreg_read; sysreg_write;
@@ -271,7 +272,8 @@ let table_of_fields = function
       x86_vmexit; x86_vmentry; x86_vmread; x86_vmwrite; x86_dispatch;
       x86_merge_vmcs; x86_reflect; x86_unshadowed; x86_posted_irq;
       x86_guest_hyp_logic; x86_apicv_eoi; arm_virtual_eoi;
-      mig_page_copy; mig_state_copy ] ->
+      mig_page_copy; mig_state_copy; serror_delivery; watchdog_poll;
+      recover_restore; mig_retry_backoff ] ->
     { Cost.trap_entry; trap_return; exc_entry_el1; sysreg_read; sysreg_write;
       mem_load; mem_store; insn_base; barrier; tlbi; gic_mmio_access;
       irq_delivery; l0_exit_dispatch; l0_sysreg_emulate; l0_hvc_handle;
@@ -280,8 +282,9 @@ let table_of_fields = function
       x86_vmexit; x86_vmentry; x86_vmread; x86_vmwrite; x86_dispatch;
       x86_merge_vmcs; x86_reflect; x86_unshadowed; x86_posted_irq;
       x86_guest_hyp_logic; x86_apicv_eoi; arm_virtual_eoi;
-      mig_page_copy; mig_state_copy }
-  | l -> fail "cost table has %d fields, this build expects 37" (List.length l)
+      mig_page_copy; mig_state_copy; serror_delivery; watchdog_poll;
+      recover_restore; mig_retry_backoff }
+  | l -> fail "cost table has %d fields, this build expects 41" (List.length l)
 
 (* ------------------------------------------------------------------ *)
 (* Component serializers                                               *)
@@ -446,6 +449,9 @@ let host_node (h : Host_hyp.t) =
       ("in_l1", B h.in_l1);
       ("exits", int h.exits);
       ("undef_injected", int h.undef_injected);
+      ("pending_vserror", opt (fun v -> I v) h.pending_vserror);
+      ("serror_contained", int h.serror_contained);
+      ("serror_injected", int h.serror_injected);
       ("pending_irq", opt int h.pending_irq);
       ("l2_is_hyp", B h.l2_is_hyp);
       ("l2_vncr", opt (fun v -> I v) h.l2_vncr);
@@ -469,6 +475,9 @@ let load_host n (h : Host_hyp.t) mem =
   h.in_l1 <- fb "in_l1" n;
   h.exits <- fint "exits" n;
   h.undef_injected <- fint "undef_injected" n;
+  h.pending_vserror <- get_opt get_i (field "pending_vserror" n);
+  h.serror_contained <- fint "serror_contained" n;
+  h.serror_injected <- fint "serror_injected" n;
   h.pending_irq <- get_opt get_int (field "pending_irq" n);
   h.l2_is_hyp <- fb "l2_is_hyp" n;
   h.l2_vncr <- get_opt get_i (field "l2_vncr" n);
@@ -608,7 +617,8 @@ let machine_node (m : Machine.t) =
       ("violations", L (List.map violation_node m.Machine.violations));
       ("violation_count", int m.Machine.violation_count);
       ( "irq_fault",
-        L (Array.to_list (Array.map (opt (fun k -> int (fkind_code k))) m.Machine.irq_fault)) ) ]
+        L (Array.to_list (Array.map (opt (fun k -> int (fkind_code k))) m.Machine.irq_fault)) );
+      ("hung", L (Array.to_list (Array.map (fun h -> B h) m.Machine.hung))) ]
 
 let save m =
   let b = Buffer.create 65536 in
@@ -681,6 +691,9 @@ let restore s =
   List.iteri
     (fun i v -> m.Machine.irq_fault.(i) <- get_opt (fun k -> fkind_of_code (get_int k)) v)
     (expect "irq_fault" (fl "irq_fault" n));
+  List.iteri
+    (fun i v -> m.Machine.hung.(i) <- get_b v)
+    (expect "hung" (fl "hung" n));
   m
 
 let of_buffer b = restore (Buffer.contents b)
@@ -725,7 +738,49 @@ let rec diff_node path a b =
       go (xs, ys)
   | _ -> Some (path, "node kinds differ")
 
-let diff m1 m2 = diff_node "" (machine_node m1) (machine_node m2)
+(* Machines of different shapes (cpu count, mechanism, memory layout)
+   are not state-divergent, they are incomparable: report that as a
+   typed topology mismatch naming the differing field, instead of a
+   misleading "cpus: 2 vs 4 elements" state diff. *)
+type diff_result =
+  | Identical
+  | Topology_mismatch of { path : string; detail : string }
+  | Diverged of { path : string; detail : string }
+
+let diff_typed m1 m2 =
+  let n1 = machine_node m1 and n2 = machine_node m2 in
+  let topo =
+    List.find_map
+      (fun (name, sub) ->
+        let pick n =
+          let v = field name n in
+          match sub with None -> v | Some s -> field s v
+        in
+        let path = match sub with None -> name | Some s -> name ^ "." ^ s in
+        diff_node path (pick n1) (pick n2))
+      [ ("ncpus", None); ("config", None); ("scenario", None);
+        ("mem", Some "mmio") ]
+  in
+  match topo with
+  | Some (path, detail) -> Topology_mismatch { path; detail }
+  | None -> (
+    match diff_node "" n1 n2 with
+    | None -> Identical
+    | Some (path, detail) -> Diverged { path; detail })
+
+let diff m1 m2 =
+  match diff_typed m1 m2 with
+  | Identical -> None
+  | Topology_mismatch { path; detail } ->
+    Some (path, "topology mismatch: " ^ detail)
+  | Diverged { path; detail } -> Some (path, detail)
+
+let pp_diff_result ppf = function
+  | Identical -> Format.fprintf ppf "machines identical"
+  | Topology_mismatch { path; detail } ->
+    Format.fprintf ppf "topology mismatch at %s: %s" path detail
+  | Diverged { path; detail } ->
+    Format.fprintf ppf "first divergence at %s: %s" path detail
 
 let pp_diff ppf = function
   | None -> Format.fprintf ppf "machines identical"

@@ -53,11 +53,18 @@ let pp_report ppf r =
     (String.concat " " (List.map string_of_int r.r_dirty_per_round))
     r.r_precopy_cycles r.r_downtime_cycles r.r_final_dirty
 
-(* [run ~workload src] migrates [src], returning the destination machine
-   and the report.  [workload src ~round] stands in for the guest
-   executing concurrently with round [round]'s copy stream; it runs
-   between rounds and its stores feed the dirty log. *)
-let run ?(threshold = 8) ?(max_rounds = 16) ~workload (src : Machine.t) =
+(* A transfer-stream failure injected by {!resilient}; never escapes it. *)
+exception Stream_failure of string
+
+(* [run_attempt ~on_page_batch ~on_state_copy ~workload src] is one
+   migration attempt: the hooks are failure-injection points ([run]
+   passes no-ops) called before each page-batch transfer and before the
+   final state copy; they may raise {!Stream_failure} to model the
+   transfer stream dying mid-flight.  On any exception the dirty tracker
+   is detached so the aborted source can be rolled back cleanly. *)
+let run_attempt ?(threshold = 8) ?(max_rounds = 16)
+    ~(on_page_batch : int -> unit) ~(on_state_copy : unit -> unit) ~workload
+    (src : Machine.t) =
   let meter = src.Machine.cpus.(0).Cpu.meter in
   let table = meter.Cost.table in
   let start_cycles = meter.Cost.cycles in
@@ -69,10 +76,12 @@ let run ?(threshold = 8) ?(max_rounds = 16) ~workload (src : Machine.t) =
         Cost.charge meter (table.Cost.trap_entry + table.Cost.l0_mem_fault + table.Cost.trap_return))
       src.Machine.mem
   in
+  try
   (* page base -> words as last streamed; Hashtbl.replace models the
      destination overwriting the stale copy *)
   let staged : (int64, (int64 * int64) list) Hashtbl.t = Hashtbl.create 256 in
   let copy_pages pages =
+    on_page_batch (List.length pages);
     List.iter (fun p -> Hashtbl.replace staged p (Mmu.Dirty.page_words tracker p)) pages;
     Cost.charge meter (List.length pages * table.Cost.mig_page_copy)
   in
@@ -100,6 +109,7 @@ let run ?(threshold = 8) ?(max_rounds = 16) ~workload (src : Machine.t) =
      the machine-state transfer are charged to the source first, so the
      snapshot — and therefore the destination — already includes them. *)
   copy_pages final_dirty;
+  on_state_copy ();
   Cost.charge meter table.Cost.mig_state_copy;
   Mmu.Dirty.detach tracker;
   let downtime = (nfinal * table.Cost.mig_page_copy) + table.Cost.mig_state_copy in
@@ -139,3 +149,119 @@ let run ?(threshold = 8) ?(max_rounds = 16) ~workload (src : Machine.t) =
       r_downtime_cycles = downtime }
   in
   (dst, report)
+  with e ->
+    Mmu.Dirty.detach tracker;
+    raise e
+
+(* [run ~workload src] migrates [src], returning the destination machine
+   and the report.  [workload src ~round] stands in for the guest
+   executing concurrently with round [round]'s copy stream; it runs
+   between rounds and its stores feed the dirty log. *)
+let run ?threshold ?max_rounds ~workload src =
+  run_attempt ?threshold ?max_rounds ~on_page_batch:ignore
+    ~on_state_copy:ignore ~workload src
+
+(* --- self-healing migration: abort, roll back, back off, retry --- *)
+
+type resilient_report = {
+  rr_attempts : int;
+  rr_aborts : (int * string) list;
+  rr_backoffs : int list;
+  rr_rollbacks_clean : bool;
+  rr_rewound_traps : int;
+  rr_report : report option;
+}
+
+let pp_resilient_report ppf r =
+  Format.fprintf ppf
+    "@[<v>attempts        %d (%d aborted%s)@,backoffs        %s cycles@,\
+     rollbacks       %s@,%a@]"
+    r.rr_attempts
+    (List.length r.rr_aborts)
+    (match r.rr_aborts with
+     | [] -> ""
+     | l ->
+       ": "
+       ^ String.concat ", "
+           (List.map (fun (i, stage) -> Printf.sprintf "#%d %s" i stage) l))
+    (match r.rr_backoffs with
+     | [] -> "none"
+     | l -> String.concat " " (List.map string_of_int l))
+    (if r.rr_rollbacks_clean then
+       Printf.sprintf "clean (source byte-identical, %d traps rewound)"
+         r.rr_rewound_traps
+     else "DIRTY — rollback diverged from the pre-attempt snapshot")
+    (fun ppf -> function
+      | Some rep -> pp_report ppf rep
+      | None -> Format.fprintf ppf "no successful attempt (retries exhausted)")
+    r.rr_report
+
+(* [resilient ~fail_rate ~fail_seed ~workload src] migrates with a
+   fault-injectable transfer stream: each page batch and the final state
+   copy may fail with probability [fail_rate]% (drawn from a
+   self-contained splitmix64 PRNG seeded with [fail_seed], so the whole
+   failure/abort/retry history is byte-deterministic per seed).  An
+   aborted attempt discards the staged destination, rolls the source
+   back to its pre-attempt snapshot — verified byte-identical, the
+   property test's [Snap.diff]-empty guarantee — waits out an
+   exponential backoff (orchestrator wall time, tracked in the report,
+   never charged to the rolled-back source) and retries, at most
+   [max_retries] times.  Returns the (possibly restored) source, the
+   destination when an attempt succeeded, and the retry history. *)
+let resilient ?threshold ?max_rounds ?(max_retries = 4) ?(fail_rate = 0)
+    ?(fail_seed = 7) ~workload (src : Machine.t) =
+  let table = src.Machine.cpus.(0).Cpu.meter.Cost.table in
+  let rng = Fault.Plan.Rng.make fail_seed in
+  let failpoint stage =
+    if fail_rate > 0 && Fault.Plan.Rng.int rng 100 < fail_rate then begin
+      if !Trace.on then Trace.emit ~detail:stage Trace.Mig_abort;
+      raise (Stream_failure stage)
+    end
+  in
+  let rec go attempt src aborts backoffs clean rewound =
+    let pre = Image.to_string src in
+    match
+      run_attempt ?threshold ?max_rounds
+        ~on_page_batch:(fun _n -> failpoint "page-stream")
+        ~on_state_copy:(fun () -> failpoint "state-copy")
+        ~workload src
+    with
+    | dst, report ->
+      ( src,
+        Some dst,
+        { rr_attempts = attempt;
+          rr_aborts = List.rev aborts;
+          rr_backoffs = List.rev backoffs;
+          rr_rollbacks_clean = clean;
+          rr_rewound_traps = rewound;
+          rr_report = Some report } )
+    | exception Stream_failure stage ->
+      (* abort: the staged destination dies with the attempt; the source
+         resumes from its pre-attempt snapshot.  The traps the failed
+         attempt recorded stay in the trace but vanish from the restored
+         meters — [rr_rewound_traps] keeps the books balanced for
+         trace-vs-meter identity checks. *)
+      let t_abort = Hyp.Machine.total_traps src in
+      let src = Image.restore pre in
+      let rewound = rewound + (t_abort - Hyp.Machine.total_traps src) in
+      let clean = clean && String.equal (Image.to_string src) pre in
+      let aborts = (attempt, stage) :: aborts in
+      if attempt > max_retries then
+        ( src,
+          None,
+          { rr_attempts = attempt;
+            rr_aborts = List.rev aborts;
+            rr_backoffs = List.rev backoffs;
+            rr_rollbacks_clean = clean;
+            rr_rewound_traps = rewound;
+            rr_report = None } )
+      else begin
+        (* bounded exponential backoff before retrying, in simulated
+           cycles of orchestrator time *)
+        let backoff = table.Cost.mig_retry_backoff * (1 lsl (attempt - 1)) in
+        if !Trace.on then
+          Trace.emit ~a0:(Int64.of_int backoff) ~detail:stage Trace.Mig_retry;
+        go (attempt + 1) src aborts (backoff :: backoffs) clean rewound
+      end
+  in
+  go 1 src [] [] true 0

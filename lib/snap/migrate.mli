@@ -35,3 +35,47 @@ val run :
     [max_rounds] (default 16) bounds non-converging guests.
     @raise Fault.Error.Sim_fault if the staged copy stream disagrees
     with the destination's memory (a dirty-tracker miss). *)
+
+(** {1 Self-healing migration} *)
+
+type resilient_report = {
+  rr_attempts : int;  (** attempts run, including the successful one *)
+  rr_aborts : (int * string) list;
+      (** (attempt, failed stage) per abort, oldest first; stages are
+          ["page-stream"] and ["state-copy"] *)
+  rr_backoffs : int list;
+      (** exponential backoff waited before each retry, in cycles of
+          orchestrator time (never charged to the rolled-back source) *)
+  rr_rollbacks_clean : bool;
+      (** every abort rolled the source back byte-identically to its
+          pre-attempt snapshot *)
+  rr_rewound_traps : int;
+      (** traps recorded by aborted attempts and undone by their
+          rollbacks; add to the final meters when balancing them against
+          trace class sums *)
+  rr_report : report option;
+      (** the successful attempt's report; [None] if retries ran out *)
+}
+
+val pp_resilient_report : Format.formatter -> resilient_report -> unit
+
+val resilient :
+  ?threshold:int ->
+  ?max_rounds:int ->
+  ?max_retries:int ->
+  ?fail_rate:int ->
+  ?fail_seed:int ->
+  workload:(Hyp.Machine.t -> round:int -> unit) ->
+  Hyp.Machine.t ->
+  Hyp.Machine.t * Hyp.Machine.t option * resilient_report
+(** Migration over a fault-injectable transfer stream: each page batch
+    and the final state copy fails with probability [fail_rate]%
+    (default 0), drawn from a self-contained PRNG seeded with
+    [fail_seed] — the whole failure/abort/retry history is
+    byte-deterministic per seed.  An aborted attempt discards the
+    staged destination, rolls the source back to its pre-attempt
+    snapshot (verified byte-identical), backs off exponentially from
+    {!Cost.table.mig_retry_backoff} and retries up to [max_retries]
+    (default 4) times.  Returns the (possibly restored) source — the
+    caller must continue with it, not the machine passed in — the
+    destination when an attempt succeeded, and the retry history. *)

@@ -39,6 +39,13 @@ type kind =
   | Pv_patch        (* binary patcher rewrote a text section *)
   | Run_begin       (* interpreter run started *)
   | Run_end         (* interpreter run finished *)
+  | Serror_pend     (* virtual SError pended (HCR_EL2.VSE set) *)
+  | Serror_deliver  (* SError exception taken by a guest EL *)
+  | Watchdog_fire   (* supervision watchdog detected a sick vCPU *)
+  | Recover_begin   (* recovery policy started executing *)
+  | Recover_end     (* recovery policy finished *)
+  | Mig_abort       (* migration attempt aborted on a stream failure *)
+  | Mig_retry       (* migration retried after backoff *)
 
 let kind_name = function
   | Trap -> "trap"
@@ -63,6 +70,13 @@ let kind_name = function
   | Pv_patch -> "pv-patch"
   | Run_begin -> "run-begin"
   | Run_end -> "run-end"
+  | Serror_pend -> "serror-pend"
+  | Serror_deliver -> "serror-deliver"
+  | Watchdog_fire -> "watchdog-fire"
+  | Recover_begin -> "recover-begin"
+  | Recover_end -> "recover-end"
+  | Mig_abort -> "mig-abort"
+  | Mig_retry -> "mig-retry"
 
 (* In-place ring slot: every field mutable so emission writes, never
    allocates. *)

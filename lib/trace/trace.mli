@@ -35,6 +35,13 @@ type kind =
   | Pv_patch        (** binary patcher rewrote a text section *)
   | Run_begin       (** interpreter run started *)
   | Run_end         (** interpreter run finished *)
+  | Serror_pend     (** virtual SError pended (HCR_EL2.VSE set) *)
+  | Serror_deliver  (** SError exception taken by a guest EL *)
+  | Watchdog_fire   (** supervision watchdog detected a sick vCPU *)
+  | Recover_begin   (** recovery policy started executing *)
+  | Recover_end     (** recovery policy finished *)
+  | Mig_abort       (** migration attempt aborted on a stream failure *)
+  | Mig_retry       (** migration retried after backoff *)
 
 val kind_name : kind -> string
 

@@ -24,6 +24,7 @@ type config_report = {
   cr_violations : int;      (* invariant violations, live + final sweep *)
   cr_violation_sample : string list;
   cr_crashes : string list; (* anonymous exceptions — must stay empty *)
+  cr_timed_out : bool;      (* the sim-cycle budget expired first *)
 }
 
 type report = {
@@ -34,6 +35,7 @@ type report = {
 }
 
 let crashes r = List.concat_map (fun c -> c.cr_crashes) r.r_configs
+let timed_out r = List.exists (fun c -> c.cr_timed_out) r.r_configs
 
 let violation_sample_cap = 5
 
@@ -92,7 +94,7 @@ let fnv1a_32 s =
     s;
   !h
 
-let run_config ~seed ~faults ~trap_budget (name, config, scenario) =
+let run_config ~seed ~faults ~trap_budget ~max_cycles (name, config, scenario) =
   (* a per-configuration seed, stable across runs and runtimes *)
   let cseed = seed lxor fnv1a_32 name in
   let plan = Fault.Plan.make ~seed:cseed ~faults ~horizon:trap_budget in
@@ -104,13 +106,22 @@ let run_config ~seed ~faults ~trap_budget (name, config, scenario) =
       scenario
   in
   Machine.boot m;
-  while Machine.total_traps m < trap_budget && !ops < trap_budget * 2 do
+  (* a deterministic sim-cycle budget: 0 disables the check *)
+  let within_cycles () =
+    max_cycles = 0 || Machine.total_cycles m < max_cycles
+  in
+  while
+    Machine.total_traps m < trap_budget
+    && !ops < trap_budget * 2
+    && within_cycles ()
+  do
     incr ops;
     try one_op rng m ~ncpus with
     | Fault.Error.Sim_fault _ -> incr sim_faults
     | Stack_overflow as e -> raise e
     | e -> crashes := Printexc.to_string e :: !crashes
   done;
+  let timed_out = not (within_cycles ()) in
   let final_sweep = Machine.check_invariants m in
   (* disarm the global stage-2 hook so the next machine starts clean *)
   Mmu.Walk.inject := (fun ~ia:_ ~is_write:_ -> None);
@@ -132,15 +143,18 @@ let run_config ~seed ~faults ~trap_budget (name, config, scenario) =
       Machine.violation_count m + List.length final_sweep;
     cr_violation_sample = sample;
     cr_crashes = List.rev !crashes;
+    cr_timed_out = timed_out;
   }
 
-let run ?(seed = 42) ?(faults = 24) ?(traps = 10_000) () =
+let run ?(seed = 42) ?(faults = 24) ?(traps = 10_000) ?(max_cycles = 0) () =
   {
     r_seed = seed;
     r_faults = faults;
     r_trap_budget = traps;
     r_configs =
-      List.map (run_config ~seed ~faults ~trap_budget:traps) scenarios;
+      List.map
+        (run_config ~seed ~faults ~trap_budget:traps ~max_cycles)
+        scenarios;
   }
 
 let pp_config_report ppf c =
@@ -154,6 +168,7 @@ let pp_config_report ppf c =
       c.cr_injected
   in
   if fired <> [] then Fmt.pf ppf " injected=[%s]" (String.concat " " fired);
+  if c.cr_timed_out then Fmt.pf ppf " TIMED-OUT";
   if c.cr_sim_faults > 0 then Fmt.pf ppf " SIM-FAULTS=%d" c.cr_sim_faults;
   List.iter (fun v -> Fmt.pf ppf "@,  violation: %s" v) c.cr_violation_sample;
   List.iter (fun e -> Fmt.pf ppf "@,  CRASH: %s" e) c.cr_crashes

@@ -18,6 +18,7 @@ type config_report = {
   cr_violations : int;
   cr_violation_sample : string list;
   cr_crashes : string list;  (** anonymous exceptions — must stay empty *)
+  cr_timed_out : bool;  (** the sim-cycle budget expired before the trap budget *)
 }
 
 type report = {
@@ -29,13 +30,20 @@ type report = {
 
 val crashes : report -> string list
 
+val timed_out : report -> bool
+(** Any configuration hit the sim-cycle budget. *)
+
 val scenarios : (string * Hyp.Config.t * Hyp.Host_hyp.scenario) list
 (** The matrix: plain VM, the four nested hardware configurations, the
     paravirtualized twins, and a GICv2 machine. *)
 
-val run : ?seed:int -> ?faults:int -> ?traps:int -> unit -> report
+val run :
+  ?seed:int -> ?faults:int -> ?traps:int -> ?max_cycles:int -> unit -> report
 (** Run every scenario under a fault plan of [faults] events scheduled
-    within a budget of [traps] traps per configuration. *)
+    within a budget of [traps] traps per configuration.  [max_cycles]
+    (default 0 = unlimited) additionally bounds each configuration to a
+    deterministic sim-cycle budget; a configuration stopped by it is
+    marked [cr_timed_out]. *)
 
 val pp_config_report : Format.formatter -> config_report -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,22 @@
+(* One exit-status vocabulary for every neve_sim subcommand.
+
+   Subcommands signal three things and nothing else: success, a detected
+   fault (divergence, invariant violation, crash, non-convergence,
+   unrecovered scenario, determinism break) and a deliberate sim-cycle
+   budget timeout.  The README's "Exit codes" table and each
+   subcommand's EXIT STATUS man section are generated from these
+   definitions, and a test greps the rendered help against the table —
+   the three views cannot drift apart silently. *)
+
+let ok = 0
+let fault = 1
+let timeout = 2
+
+let fault_doc =
+  "on a detected fault: an architectural divergence, invariant \
+   violation, anonymous crash, migration non-convergence or state \
+   difference, unrecovered scenario, or determinism break."
+
+let timeout_doc = "on a sim-cycle budget timeout ($(b,--max-cycles))."
+
+let table = [ (ok, "success"); (fault, fault_doc); (timeout, timeout_doc) ]

@@ -19,4 +19,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("trace", Test_trace.suite);
       ("snap", Test_snap.suite);
+      ("supervision", Test_supervise.suite);
     ]
