@@ -252,9 +252,9 @@ let benchmarks () =
    One row per simulated configuration: simulated-cycle throughput, trap
    rates (total and per exit class), and the wall-clock rate at which
    this build of the simulator retires simulated instructions.  Written
-   to BENCH_PR4.json by default — [--out FILE] overrides — so runs of
-   successive trees can be diffed mechanically (BENCH_PR2.json holds the
-   previous tree's numbers). *)
+   to BENCH.json by default — CI passes [--out BENCH_PRn.json] to pin a
+   snapshot per tree — so runs of successive trees can be diffed
+   mechanically against the committed BENCH_PRn.json baselines. *)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -369,10 +369,10 @@ let out_path () =
     else if Sys.argv.(i) = "--out" then Some Sys.argv.(i + 1)
     else find (i + 1)
   in
-  Option.value ~default:"BENCH_PR4.json" (find 1)
+  Option.value ~default:"BENCH.json" (find 1)
 
 let run_json () =
-  let iters = 200 in
+  let iters = 1000 in
   let arm_cols =
     Workloads.Micro.arm_columns_table1 @ Workloads.Micro.arm_columns_neve
   in

@@ -517,9 +517,22 @@ let fuzz_cmd =
     in
     Arg.(value & opt int 0 & info [ "max-cycles" ] ~doc)
   in
+  let superblocks_arg =
+    let doc =
+      "Force the interpreter's superblock translation cache on or off \
+       for the whole campaign (default: the $(b,NEVE_SUPERBLOCKS) \
+       environment variable, on when unset).  The two engines are \
+       observationally equivalent by construction; CI runs the same \
+       seeds both ways and fails on any divergence."
+    in
+    Arg.(value & opt (some bool) None & info [ "superblocks" ] ~doc)
+  in
   let run seed n max_seconds max_cycles json corpus_dir traced snap_oracle
-      verbose =
+      superblocks verbose =
     setup_logs verbose;
+    (match superblocks with
+     | Some b -> Arm.Xlate.enabled := b
+     | None -> ());
     let should_stop =
       if max_seconds <= 0.0 then fun () -> false
       else begin
@@ -547,7 +560,8 @@ let fuzz_cmd =
           minimized repro into the corpus directory")
     Term.(
       const run $ seed_arg $ n_arg $ max_seconds_arg $ max_cycles_arg
-      $ json_arg $ corpus_arg $ trace_arg $ snap_oracle_arg $ verbose_arg)
+      $ json_arg $ corpus_arg $ trace_arg $ snap_oracle_arg
+      $ superblocks_arg $ verbose_arg)
 
 (* --- snapshot / restore / live migration --- *)
 

@@ -37,6 +37,10 @@ type t = {
      switches, so the view is reused while the raw value is unchanged. *)
   mutable hcr_raw : int64;
   mutable hcr_cached : Hcr.view;
+  (* Per-CPU superblock translation + decode cache (see Xlate).  Owned
+     here so every machine gets its own — the former module-global decode
+     cache in Interp was shared across machines. *)
+  xlate : Xlate.t;
 }
 
 and handler = t -> Exn.entry -> unit
@@ -59,6 +63,7 @@ let create ?(features = Features.v Features.V8_0) ?table ?mem ?meter () =
     nv2_mask = Trap_rules.nv2_full;
     hcr_raw = 0L;
     hcr_cached = Hcr.decode 0L;
+    xlate = Xlate.create ();
   }
 
 let get_reg t n =
@@ -264,6 +269,18 @@ let exec_local t (insn : Insn.t) =
   | _ -> advance_pc t
 
 let rec exec t (insn : Insn.t) =
+  match insn with
+  | Insn.Ldr _ | Insn.Str _ | Insn.Mov _ | Insn.Add _ | Insn.Sub _
+  | Insn.And _ | Insn.Orr _ | Insn.Eor _ | Insn.Lsl _ | Insn.Lsr _
+  | Insn.Isb | Insn.Dsb | Insn.Tlbi_vmalls12e1 | Insn.Tlbi_alle2 | Insn.Nop
+  | Insn.B _ | Insn.Cbz _ | Insn.Cbnz _ | Insn.Svc _ ->
+    (* The router returns Execute for these unconditionally (no HCR, EL or
+       feature sensitivity — see the final arm of [Trap_rules.route]), so
+       skip the route and the HCR/VNCR reads it needs. *)
+    exec_local t insn
+  | _ -> exec_routed t insn
+
+and exec_routed t (insn : Insn.t) =
   (* Route once per instruction; the only re-route is the immediate-MSR
      normalization below, which must re-route because the synthesized Reg
      form carries a different Rt in the trap syndrome. *)
@@ -323,7 +340,12 @@ and exec_action t (insn : Insn.t) action =
       | _ -> assert false
     end
   | Trap_rules.Trap_to_el2 { ec; iss; kind } ->
-    Cost.record_trap ~detail:(Insn.to_string insn) t.meter kind;
+    (* The detail string is only observable through the trap log and the
+       tracer; don't pay for rendering the instruction otherwise. *)
+    let detail =
+      if t.meter.Cost.logging || !Trace.on then Insn.to_string insn else ""
+    in
+    Cost.record_trap ~detail t.meter kind;
     advance_pc t;
     (* ELR on a trapped instruction points at the *next* instruction once
        the handler has emulated it; we advance first so the handler's eret
@@ -340,6 +362,7 @@ and exec_action t (insn : Insn.t) action =
     end
     else raise (Undefined_instruction (insn, t.pstate.Pstate.el))
 
+let exec_with_action = exec_action
 let exec_seq t insns = List.iter (exec t) insns
 
 (* A physical interrupt arrives while the CPU runs below EL2 with IMO set:

@@ -5,10 +5,19 @@
     so all the trap machinery applies.  This makes the binary-patching
     flavour of the paper's paravirtualization (Section 4) a real
     execution path: patch a guest-hypervisor image word-for-word in
-    memory ({!Hyp.Paravirt.patch_text}) and run it from memory. *)
+    memory ({!Hyp.Paravirt.patch_text}) and run it from memory.
+
+    The hot loop runs through the per-CPU superblock translation cache
+    ({!Xlate}): straight-line code is decoded and route-classified once
+    per (block-entry PC, CPU) and replayed with cheap side-exit
+    validation, falling back to the stepwise engine when [on_step] or
+    live tracing demands per-instruction granularity.  Both engines are
+    observation-equivalent by construction. *)
 
 type outcome =
-  | Halted of int64  (** fetched an unencodable word at this address *)
+  | Halted of int64
+      (** fetched an unencodable word at this address, or the PC itself
+          was misaligned (A64 instructions are 4-byte aligned) *)
   | Breakpoint       (** reached the halt marker *)
   | Limit            (** instruction budget exhausted *)
   | Stopped          (** the [stop] predicate fired *)
@@ -22,30 +31,28 @@ val fetch32 : Memory.t -> int64 -> int
 val store32 : Memory.t -> int64 -> int -> unit
 
 val load : Memory.t -> base:int64 -> int array -> unit
-(** Store an encoded program and append the halt marker. *)
+(** Store an encoded program, append the halt marker, and grow the
+    memory's tracked code envelope ({!Memory.track_code}) so later
+    stores into the program invalidate superblocks decoded from it. *)
 
 val load_program : Memory.t -> base:int64 -> Insn.t list -> unit
 (** Assemble (encode) and load. *)
 
-val decode_cached : int -> Encode.decoded
-(** {!Encode.decode} through a direct-mapped global cache keyed by the
-    instruction word (sound because decode is pure). *)
-
-val decode_cache_size : int
-(** Number of direct-mapped slots — words congruent modulo this collide
-    on a slot (exported so tests can construct adversarial collisions). *)
-
 val run :
   ?on_step:(Cpu.t -> unit) ->
   ?stop:(Cpu.t -> bool) ->
+  ?superblocks:bool ->
   Cpu.t ->
   entry:int64 ->
   max_insns:int ->
   outcome
 (** [on_step] fires before each executed instruction — the hook used by
-    the fault injector to perturb straight-line guest code.  [stop] is
-    checked before each fetch; when it returns [true] the run ends with
-    {!Stopped} — the differential fuzzer's way of ending a program at a
-    semantic boundary (leaving virtual EL2) rather than an address. *)
+    the fault injector to perturb straight-line guest code (it forces
+    the stepwise engine).  [stop] is checked before each instruction;
+    when it returns [true] the run ends with {!Stopped} — the
+    differential fuzzer's way of ending a program at a semantic boundary
+    (leaving virtual EL2) rather than an address.  [superblocks]
+    overrides the global {!Xlate.enabled} default for this run. *)
 
 val disassemble : Memory.t -> base:int64 -> count:int -> (int64 * string) list
+(** Decodes through the pure decoder, never a CPU's execution cache. *)

@@ -1,10 +1,35 @@
 (* Sparse physical memory: 64-bit words addressed by byte address.
 
    Addresses must be 8-byte aligned; the simulator only performs aligned
-   64-bit accesses (the deferred access page is defined in 8-byte slots). *)
+   64-bit accesses (the deferred access page is defined in 8-byte slots).
+
+   Representation: 4 KB pages of flat [Bytes.t] keyed by page index
+   (byte address lsr 12) in an int-keyed hash table, with a small
+   direct-mapped front cache of recently touched pages.  Loads and
+   stores that hit the front cache never enter the hash table, so the
+   interpreter's fetch/load/store path costs a bytes read plus a couple
+   of integer compares instead of an int64-keyed hash lookup per access.
+   Bytes pages hold their words unboxed and are opaque to the GC: a
+   store is a plain 8-byte write with no int64 box allocation and no
+   write barrier, and the collector never scans page contents.
+
+   The memory also tracks a code envelope [code_lo, code_hi): stores that
+   land inside it bump [code_gen], which the interpreter's superblock
+   translation cache uses to invalidate decoded blocks when guest code is
+   patched at runtime (the paper's Section 4 binary-patching path). *)
+
+let page_bytes = 4096
+let page_words = page_bytes / 8
+let cache_slots = 64
+
+(* Distinguished empty page: physical equality marks an absent page in
+   the front cache without an option allocation. *)
+let no_page : Bytes.t = Bytes.create 0
 
 type t = {
-  words : (int64, int64) Hashtbl.t;
+  pages : (int, Bytes.t) Hashtbl.t; (* page index -> 4096 bytes *)
+  cache_idx : int array; (* direct-mapped front cache: page indices *)
+  cache_pg : Bytes.t array; (* matching pages ([no_page] = empty) *)
   mutable mmio : (int64 * int64 * string) list;
       (* [start, start+len) regions with no backing store; accesses to them
          are what stage-2 leaves unmapped so they fault for emulation *)
@@ -12,21 +37,74 @@ type t = {
       (* write observer (dirty-page tracking): called with the byte
          address after every stored word.  One option check on the store
          path when unused. *)
+  mutable code_lo : int64; (* tracked code envelope, inclusive *)
+  mutable code_hi : int64; (* exclusive; empty when lo >= hi *)
+  mutable code_gen : int; (* bumped on any store into the envelope *)
 }
 
-let create () = { words = Hashtbl.create 1024; mmio = []; on_write = None }
+let create () =
+  {
+    pages = Hashtbl.create 64;
+    cache_idx = Array.make cache_slots min_int;
+    cache_pg = Array.make cache_slots no_page;
+    mmio = [];
+    on_write = None;
+    code_lo = Int64.max_int;
+    code_hi = Int64.min_int;
+    code_gen = 0;
+  }
 
-let check_aligned addr =
-  if Int64.rem addr 8L <> 0L then
-    invalid_arg (Printf.sprintf "Memory: unaligned access at 0x%Lx" addr)
+(* Unsafe unboxed word accessors: every caller derives the offset from a
+   masked page-relative index, so bounds hold by construction. *)
+external get_word : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set_word : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(* Cold path split out so [check_aligned] stays small enough to inline
+   into every load/store. *)
+let[@inline never] misaligned addr =
+  invalid_arg (Printf.sprintf "Memory: unaligned access at 0x%Lx" addr)
+
+let[@inline] check_aligned addr =
+  if Int64.logand addr 7L <> 0L then misaligned addr
+
+let[@inline] page_index addr = Int64.to_int (Int64.shift_right_logical addr 12)
+let[@inline] byte_index addr = Int64.to_int addr land (page_bytes - 1)
+
+(* Page lookup through the front cache; [no_page] on a miss.  Misses are
+   not cached (a later store creating the page would have to invalidate). *)
+let[@inline] find_page t pi =
+  let slot = pi land (cache_slots - 1) in
+  if Array.unsafe_get t.cache_idx slot = pi then Array.unsafe_get t.cache_pg slot
+  else
+    match Hashtbl.find_opt t.pages pi with
+    | Some p ->
+        Array.unsafe_set t.cache_idx slot pi;
+        Array.unsafe_set t.cache_pg slot p;
+        p
+    | None -> no_page
+
+let get_or_create_page t pi =
+  let p = find_page t pi in
+  if p != no_page then p
+  else begin
+    let p = Bytes.make page_bytes '\000' in
+    Hashtbl.replace t.pages pi p;
+    let slot = pi land (cache_slots - 1) in
+    Array.unsafe_set t.cache_idx slot pi;
+    Array.unsafe_set t.cache_pg slot p;
+    p
+  end
 
 let read64 t addr =
   check_aligned addr;
-  Option.value ~default:0L (Hashtbl.find_opt t.words addr)
+  let p = find_page t (page_index addr) in
+  if p == no_page then 0L else get_word p (byte_index addr)
 
 let write64 t addr v =
   check_aligned addr;
-  Hashtbl.replace t.words addr v;
+  let p = get_or_create_page t (page_index addr) in
+  set_word p (byte_index addr) v;
+  if addr >= t.code_lo && addr < t.code_hi then t.code_gen <- t.code_gen + 1;
   match t.on_write with None -> () | Some f -> f addr
 
 let add_mmio_region t ~start ~len ~name =
@@ -37,22 +115,53 @@ let mmio_region_of t addr =
     (fun (lo, hi, name) -> if addr >= lo && addr < hi then Some name else None)
     t.mmio
 
-let clear t = Hashtbl.reset t.words
+let clear t =
+  Hashtbl.reset t.pages;
+  Array.fill t.cache_idx 0 cache_slots min_int;
+  Array.fill t.cache_pg 0 cache_slots no_page;
+  (* contents changed wholesale (snapshot restore): decoded code is stale *)
+  t.code_gen <- t.code_gen + 1
+
+(* Grow the tracked code envelope to cover [lo, hi) and count the load
+   itself as a code change (any blocks decoded from the old contents of
+   that range are stale). *)
+let track_code t ~lo ~hi =
+  if lo < t.code_lo then t.code_lo <- lo;
+  if hi > t.code_hi then t.code_hi <- hi;
+  t.code_gen <- t.code_gen + 1
+
+let code_gen t = t.code_gen
+
+(* Every backed nonzero word, in no particular order. *)
+let iter_nonzero t f =
+  Hashtbl.iter
+    (fun pi p ->
+      let base = Int64.shift_left (Int64.of_int pi) 12 in
+      for i = 0 to page_words - 1 do
+        let v = get_word p (i * 8) in
+        if v <> 0L then f (Int64.add base (Int64.of_int (i * 8))) v
+      done)
+    t.pages
 
 (* Every backed, nonzero word in ascending address order.  A canonical
    view: an absent word and a stored zero read identically, so zeros are
    dropped — two memories with the same contents produce the same list
-   regardless of hash-bucket history. *)
+   regardless of allocation history. *)
 let sorted_words t =
-  Hashtbl.fold
-    (fun addr v acc -> if v = 0L then acc else (addr, v) :: acc)
-    t.words []
-  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  let acc = ref [] in
+  iter_nonzero t (fun addr v -> acc := (addr, v) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Int64.compare a b) !acc
 
-(* Zero an aligned range (used to initialize deferred access pages). *)
+(* Zero an aligned range (used to initialize deferred access pages).
+   Like the word store, invalidates decoded code if the range overlaps
+   the envelope; unlike it, does not fire the write observer. *)
 let zero_range t ~start ~len =
   check_aligned start;
   let words = Int64.to_int len / 8 in
   for i = 0 to words - 1 do
-    Hashtbl.remove t.words (Int64.add start (Int64.of_int (i * 8)))
-  done
+    let addr = Int64.add start (Int64.of_int (i * 8)) in
+    let p = find_page t (page_index addr) in
+    if p != no_page then set_word p (byte_index addr) 0L
+  done;
+  let stop = Int64.add start len in
+  if start < t.code_hi && stop > t.code_lo then t.code_gen <- t.code_gen + 1

@@ -1,16 +1,18 @@
 (* Hardware system-register storage.
 
-   A flat int64 array keyed by the dense {!Sysreg.index}, plus a dirty
-   bitmap recording which registers have been written since reset.  Reads,
-   writes and register-set copies are O(1) array operations — the hashed
-   lookup this replaces was the dominant cost of every MSR/MRS on the
-   simulator's hot path.
+   A flat [Bytes.t] of unboxed 8-byte slots keyed by the dense
+   {!Sysreg.index}, plus a dirty bitmap recording which registers have
+   been written since reset.  Reads, writes and register-set copies are
+   O(1) accesses — the hashed lookup this replaces was the dominant cost
+   of every MSR/MRS on the simulator's hot path, and the bytes
+   representation keeps stores free of int64 boxing and write barriers
+   (an [int64 array] slot assignment pays both).
 
    Reset values are architectural where it matters (MPIDR/MIDR
    identification, CurrentEL is synthesized from PSTATE by the CPU,
    ICH_VTR advertises the number of list registers). *)
 
-type t = { values : int64 array; dirty : Bytes.t }
+type t = { values : Bytes.t; dirty : Bytes.t }
 
 let ich_vtr_reset =
   (* ListRegs field [4:0] = number of LRs - 1. *)
@@ -25,19 +27,37 @@ let reset_value (r : Sysreg.t) =
   | _ -> 0L
 
 (* Reset image shared by [create]/[reset]; never mutated. *)
-let reset_values : int64 array =
-  Array.init Sysreg.count (fun i -> reset_value (Sysreg.of_index i))
+let reset_values : Bytes.t =
+  let b = Bytes.make (Sysreg.count * 8) '\000' in
+  for i = 0 to Sysreg.count - 1 do
+    Bytes.set_int64_ne b (i * 8) (reset_value (Sysreg.of_index i))
+  done;
+  b
 
 let create () =
-  { values = Array.copy reset_values; dirty = Bytes.make Sysreg.count '\000' }
+  { values = Bytes.copy reset_values; dirty = Bytes.make Sysreg.count '\000' }
 
-let read t r = t.values.(Sysreg.index r)
+(* Raw dense-index accessors (serialization, compiled copy loops).
+   Unsafe unboxed accesses: every index comes from the dense
+   {!Sysreg.index}, bounded by {!Sysreg.count} by construction. *)
+external get_word : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set_word : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let[@inline] get_index t i = get_word t.values (i * 8)
+let[@inline] set_index t i v = set_word t.values (i * 8) v
+
+let[@inline] read t r = get_index t (Sysreg.index r)
+
+(* Writability by dense index, so the software-write check reuses the
+   index computed for the store instead of a second variant dispatch. *)
+let writable : Bytes.t =
+  Bytes.init Sysreg.count (fun i ->
+      if Sysreg.read_only (Sysreg.of_index i) then '\000' else '\001')
 
 let write t r v =
-  if Sysreg.read_only r then ()
-  else begin
-    let i = Sysreg.index r in
-    t.values.(i) <- v;
+  let i = Sysreg.index r in
+  if Bytes.unsafe_get writable i = '\001' then begin
+    set_index t i v;
     Bytes.unsafe_set t.dirty i '\001'
   end
 
@@ -45,11 +65,11 @@ let write t r v =
    ESR_EL2 on exception entry, the GIC updating ICH_MISR). *)
 let hw_write t r v =
   let i = Sysreg.index r in
-  t.values.(i) <- v;
+  set_index t i v;
   Bytes.unsafe_set t.dirty i '\001'
 
 let reset t =
-  Array.blit reset_values 0 t.values 0 Sysreg.count;
+  Bytes.blit reset_values 0 t.values 0 (Sysreg.count * 8);
   Bytes.fill t.dirty 0 Sysreg.count '\000'
 
 (* Copy a register set between two files (used by world switches performed
@@ -62,7 +82,7 @@ let copy ~src ~dst regs =
 let copy_indices ~src ~dst (indices : int array) =
   for k = 0 to Array.length indices - 1 do
     let i = Array.unsafe_get indices k in
-    dst.values.(i) <- src.values.(i);
+    set_index dst i (get_index src i);
     Bytes.unsafe_set dst.dirty i '\001'
   done
 
@@ -70,6 +90,6 @@ let dump t =
   Sysreg.all
   |> List.filter_map (fun r ->
       let i = Sysreg.index r in
-      if Bytes.get t.dirty i = '\001' && t.values.(i) <> 0L then
-        Some (r, t.values.(i))
+      if Bytes.get t.dirty i = '\001' && get_index t i <> 0L then
+        Some (r, get_index t i)
       else None)

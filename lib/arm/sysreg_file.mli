@@ -1,9 +1,10 @@
-(** Hardware system-register storage: a flat int64 array keyed by the
-    dense {!Sysreg.index} plus a dirty bitmap, with architectural reset
-    values where they matter (MPIDR/MIDR identification, ICH_VTR's
-    list-register count).  All operations are O(1) array accesses. *)
+(** Hardware system-register storage: a flat [Bytes.t] of unboxed 8-byte
+    slots keyed by the dense {!Sysreg.index} plus a dirty bitmap, with
+    architectural reset values where they matter (MPIDR/MIDR
+    identification, ICH_VTR's list-register count).  All operations are
+    O(1) accesses with no boxing or write barrier on the store path. *)
 
-type t = { values : int64 array; dirty : Bytes.t }
+type t = { values : Bytes.t; dirty : Bytes.t }
 
 val ich_vtr_reset : int64
 (** ICH_VTR advertising {!Sysreg.lr_count} list registers. *)
@@ -14,6 +15,12 @@ val create : unit -> t
 
 val read : t -> Sysreg.t -> int64
 (** Unwritten registers read their reset value. *)
+
+val get_index : t -> int -> int64
+(** Raw read by dense {!Sysreg.index} (serialization, compiled loops). *)
+
+val set_index : t -> int -> int64 -> unit
+(** Raw write by dense index; does not touch the dirty bitmap. *)
 
 val write : t -> Sysreg.t -> int64 -> unit
 (** Software write: ignored for {!Sysreg.read_only} registers. *)

@@ -38,22 +38,40 @@ let has_slot r = Sysreg.vncr_offset r <> None
 let read t r = Memory.read64 t.mem (slot_addr t r)
 let write t r v = Memory.write64 t.mem (slot_addr t r) v
 
+(* The layout as a flat (register, page offset) array: populate/drain run
+   on every virtual-EL2 entry and trapped eret, so they iterate this
+   instead of re-deriving each slot offset from the layout list. *)
+let layout_len = List.length Sysreg.vncr_layout
+
+let layout_slots : (Sysreg.t * int64) array =
+  Array.of_list
+    (List.map
+       (fun r ->
+         match Sysreg.vncr_offset r with
+         | Some off -> (r, Int64.of_int off)
+         | None -> assert false)
+       Sysreg.vncr_layout)
+
 (* Populate the page from a register-valued function (typically the
    virtual-EL2 state the host hypervisor maintains for the vCPU). *)
 let populate t ~read_virtual =
-  List.iter (fun r -> write t r (read_virtual r)) Sysreg.vncr_layout;
+  for i = 0 to layout_len - 1 do
+    let r, off = Array.unsafe_get layout_slots i in
+    Memory.write64 t.mem (Int64.add t.base off) (read_virtual r)
+  done;
   if !Trace.on then
-    Trace.emit ~a0:(Int64.of_int (List.length Sysreg.vncr_layout)) ~a1:t.base
-      Trace.Page_populate
+    Trace.emit ~a0:(Int64.of_int layout_len) ~a1:t.base Trace.Page_populate
 
 (* Drain the page back into a register sink (typically the virtual-EL2
    state), e.g. when the guest hypervisor is descheduled or erets into the
    nested VM and the host needs the authoritative values. *)
 let drain t ~write_virtual =
-  List.iter (fun r -> write_virtual r (read t r)) Sysreg.vncr_layout;
+  for i = 0 to layout_len - 1 do
+    let r, off = Array.unsafe_get layout_slots i in
+    write_virtual r (Memory.read64 t.mem (Int64.add t.base off))
+  done;
   if !Trace.on then
-    Trace.emit ~a0:(Int64.of_int (List.length Sysreg.vncr_layout)) ~a1:t.base
-      Trace.Page_drain
+    Trace.emit ~a0:(Int64.of_int layout_len) ~a1:t.base Trace.Page_drain
 
 (* Registers the host must push into hardware EL1 state when entering the
    nested VM: the Table 3 "VM Execution Control" subset that lives in the

@@ -33,6 +33,10 @@ val has_slot : Arm.Sysreg.t -> bool
 val read : t -> Arm.Sysreg.t -> int64
 val write : t -> Arm.Sysreg.t -> int64 -> unit
 
+val layout_len : int
+(** Number of slots in {!Arm.Sysreg.vncr_layout}, precomputed for the
+    per-transition copy-cost charges. *)
+
 val populate : t -> read_virtual:(Arm.Sysreg.t -> int64) -> unit
 (** Fill every slot from a register-valued function (typically the
     vCPU's virtual state), before entering the guest hypervisor. *)

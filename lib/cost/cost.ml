@@ -151,6 +151,27 @@ let all_trap_kinds = [
   Trap_serror;
 ]
 
+(* Dense index for the per-kind counters: [record_trap] is on the hot
+   trap path, where a hashed lookup per trap is real money. *)
+let kind_index = function
+  | Trap_hvc -> 0
+  | Trap_sysreg_el2 -> 1
+  | Trap_sysreg_el1 -> 2
+  | Trap_sysreg_el12 -> 3
+  | Trap_sysreg_timer -> 4
+  | Trap_sysreg_gic -> 5
+  | Trap_sysreg_vm -> 6
+  | Trap_eret -> 7
+  | Trap_mmio -> 8
+  | Trap_wfx -> 9
+  | Trap_irq -> 10
+  | Trap_smc -> 11
+  | Trap_mem_fault -> 12
+  | Trap_x86_vmexit -> 13
+  | Trap_serror -> 14
+
+let kind_count = 15
+
 (* A meter accumulates cycles, instruction counts and trap counts for one
    measured region.  Meters are cheap to create; benchmarks snapshot and
    subtract them. *)
@@ -160,7 +181,7 @@ type meter = {
   mutable insns : int;
   mutable traps : int;
   mutable mem_accesses : int;
-  by_kind : (trap_kind, int) Hashtbl.t;
+  by_kind : int array;  (* per-kind trap counts, indexed by [kind_index] *)
   mutable log : (trap_kind * string) list;  (* newest first *)
   mutable logging : bool;
   mutable tid : int;  (* owning CPU id; the trace lane for events this
@@ -173,7 +194,7 @@ let make_meter ?(table = default) () = {
   insns = 0;
   traps = 0;
   mem_accesses = 0;
-  by_kind = Hashtbl.create 16;
+  by_kind = Array.make kind_count 0;
   log = [];
   logging = false;
   tid = 0;
@@ -201,8 +222,8 @@ let count_insns m n =
    equal the meters' trap totals by construction. *)
 let record_trap ?(detail = "") m kind =
   m.traps <- m.traps + 1;
-  let prev = Option.value ~default:0 (Hashtbl.find_opt m.by_kind kind) in
-  Hashtbl.replace m.by_kind kind (prev + 1);
+  let i = kind_index kind in
+  Array.unsafe_set m.by_kind i (Array.unsafe_get m.by_kind i + 1);
   if m.logging then m.log <- (kind, detail) :: m.log;
   if !Trace.on then
     Trace.emit ~cycles:m.cycles ~tid:m.tid ~cls:(trap_kind_name kind) ~detail
@@ -214,8 +235,7 @@ let set_logging m b =
 
 let trap_log m = List.rev m.log
 
-let traps_of_kind m kind =
-  Option.value ~default:0 (Hashtbl.find_opt m.by_kind kind)
+let traps_of_kind m kind = m.by_kind.(kind_index kind)
 
 (* Immutable snapshot, for delta measurements around a benchmark region. *)
 type snapshot = {
@@ -256,7 +276,7 @@ let reset m =
   m.insns <- 0;
   m.traps <- 0;
   m.mem_accesses <- 0;
-  Hashtbl.reset m.by_kind;
+  Array.fill m.by_kind 0 kind_count 0;
   m.log <- []
 
 let pp_delta ppf d =

@@ -79,6 +79,11 @@ type trap_kind =
 val trap_kind_name : trap_kind -> string
 val all_trap_kinds : trap_kind list
 
+val kind_index : trap_kind -> int
+(** Dense index of a kind into a meter's [by_kind] counter array. *)
+
+val kind_count : int
+
 (** A meter accumulates cycles, instruction counts and trap counts for one
     measured region. *)
 type meter = {
@@ -87,7 +92,9 @@ type meter = {
   mutable insns : int;
   mutable traps : int;
   mutable mem_accesses : int;
-  by_kind : (trap_kind, int) Hashtbl.t;
+  by_kind : int array;
+      (** per-kind trap counts indexed by {!kind_index} (dense: hashed
+          lookups were real cost on the trap path) *)
   mutable log : (trap_kind * string) list;  (** newest first *)
   mutable logging : bool;
   mutable tid : int;

@@ -11,6 +11,47 @@ module Cpu = Arm.Cpu
 module Insn = Arm.Insn
 module Sysreg = Arm.Sysreg
 
+(* --- compiled context-sequence plans ---
+
+   The guest hypervisor's world-switch loops push ~50 register accesses
+   through the funnel per exit.  Under a fixed routing state every copy
+   resolves to one of three things: a register-file move ([G_sys], the
+   route said Execute or redirected to a twin), a deferred-page memory
+   move ([G_mem], NV2 deferral with a precomputed page address), or a
+   full [Cpu.exec] replay of the preallocated instruction ([G_exec] —
+   traps, disguised reads, UNDEFs, and anything with hardware side
+   effects).  Plans are memoized per (context, register set, direction,
+   alias form) and validated against the complete routing key; G_exec
+   boundaries flush aggregated accounting so a trap handler observes the
+   exact meter, PC and data-register state the interpreted loop would
+   show it. *)
+
+type gop =
+  | G_sys of Sysreg.t
+  | G_mem of int64
+  | G_exec of Insn.t
+
+type gcopy = { g_op : gop; g_slot : int64 }
+
+(* Everything instruction routing reads.  A plan compiled under one key
+   replays soundly while the key holds; the fields mirror the argument
+   list of [Trap_rules.route]. *)
+type gkey = {
+  gk_hcr : int64;
+  gk_vncr : int64;
+  gk_feats : Arm.Features.t;          (* physical identity *)
+  gk_mask : Arm.Trap_rules.nv2_mask;  (* physical identity *)
+  gk_el : Arm.Pstate.el;
+}
+
+type seq_entry = {
+  se_ctx : int64;
+  se_save : bool;
+  se_el12 : bool;
+  se_regs : Sysreg.t array;  (* physical identity *)
+  mutable se_plans : (gkey * gcopy array) list;
+}
+
 type t = {
   cpu : Cpu.t;
   config : Config.t;
@@ -18,9 +59,11 @@ type t = {
   (* One-shot fault-injection corruption: applied to the next value read
      through [rd]/[ld], then cleared. *)
   mutable tamper : (int64 -> int64) option;
+  mutable seqs : seq_entry list;  (* compiled world-switch sequences *)
 }
 
-let v cpu config ~page_base = { cpu; config; page_base; tamper = None }
+let v cpu config ~page_base =
+  { cpu; config; page_base; tamper = None; seqs = [] }
 
 let exec t insn =
   try
@@ -132,3 +175,268 @@ let ops t : World_switch.ops =
     ld = ld t;
     st = st t;
   }
+
+(* --- compiled context sequences (implementation) --- *)
+
+module Trap_rules = Arm.Trap_rules
+module Memory = Arm.Memory
+module WS = World_switch
+
+(* The alias form the loops use: the [_EL12] access for capable registers
+   when a VHE hypervisor touches a VM's EL1 state, direct otherwise —
+   [World_switch.vm_el1_access] by another name ([el12:false] is plain
+   direct, covering el0/host/debug/pmu loops). *)
+let via_access ~el12 r =
+  if el12 && Reglists.is_el12_capable r then Sysreg.el12 r else Sysreg.direct r
+
+(* Registers whose hardware read is not a plain register-file load
+   (CurrentEL synthesis, CNTVCT from the cycle count): a compiled loop
+   charging cycles in aggregate would read them at the wrong mid-loop
+   instant, so their copies replay through [Cpu.exec] instead. *)
+let hw_special (r : Sysreg.t) =
+  match r with Sysreg.CurrentEL | Sysreg.CNTVCT_EL0 -> true | _ -> false
+
+let key_now (cpu : Cpu.t) =
+  {
+    gk_hcr = Cpu.peek_sysreg cpu Sysreg.HCR_EL2;
+    gk_vncr = Cpu.peek_sysreg cpu Sysreg.VNCR_EL2;
+    gk_feats = cpu.Cpu.features;
+    gk_mask = cpu.Cpu.nv2_mask;
+    gk_el = cpu.Cpu.pstate.Arm.Pstate.el;
+  }
+
+let key_eq a b =
+  a.gk_hcr = b.gk_hcr && a.gk_vncr = b.gk_vncr && a.gk_feats == b.gk_feats
+  && a.gk_mask == b.gk_mask && a.gk_el = b.gk_el
+
+(* The compiled path only replays what the plain hardware funnel would
+   do: no paravirt rewriting, no pending fault corruption, no per-access
+   trace events (deferred copies emit Vncr_redirect when tracing). *)
+let fast_ok t =
+  (not (Config.is_paravirt t.config)) && t.tamper == None && not !Trace.on
+
+let route_for (cpu : Cpu.t) insn =
+  Trap_rules.route ~mask:cpu.Cpu.nv2_mask cpu.Cpu.features
+    ~hcr:(Cpu.hcr_view cpu) ~vncr:(Cpu.vncr_value cpu)
+    ~el:cpu.Cpu.pstate.Arm.Pstate.el insn
+
+let compile_seq t ~el12 ~ctx ~save regs =
+  let cpu = t.cpu in
+  Array.map
+    (fun r ->
+      let access = via_access ~el12 r in
+      let op =
+        if save then begin
+          let insn = Insn.Mrs (data_reg, access) in
+          match route_for cpu insn with
+          | Trap_rules.Execute when not (hw_special access.Sysreg.reg) ->
+            G_sys access.Sysreg.reg
+          | Trap_rules.Execute_redirected a when not (hw_special a.Sysreg.reg)
+            ->
+            G_sys a.Sysreg.reg
+          | Trap_rules.Defer_to_memory { addr; reg = _ } -> G_mem addr
+          | _ -> G_exec insn
+        end
+        else begin
+          let insn = Insn.Msr (access, Insn.Reg data_reg) in
+          match route_for cpu insn with
+          | Trap_rules.Execute -> G_sys access.Sysreg.reg
+          | Trap_rules.Execute_redirected a -> G_sys a.Sysreg.reg
+          | Trap_rules.Defer_to_memory { addr; reg = _ } -> G_mem addr
+          | _ -> G_exec insn
+        end
+      in
+      { g_op = op; g_slot = WS.slot ctx r })
+    regs
+
+let plan_for t ~el12 ~ctx ~save regs key =
+  let rec find_entry = function
+    | e :: _
+      when e.se_regs == regs && e.se_ctx = ctx && e.se_save = save
+           && e.se_el12 = el12 ->
+      Some e
+    | _ :: tl -> find_entry tl
+    | [] -> None
+  in
+  let entry =
+    match find_entry t.seqs with
+    | Some e -> e
+    | None ->
+      let e =
+        { se_ctx = ctx; se_save = save; se_el12 = el12; se_regs = regs;
+          se_plans = [] }
+      in
+      t.seqs <- e :: t.seqs;
+      e
+  in
+  let rec find_plan = function
+    | (k, p) :: _ when key_eq k key -> Some p
+    | _ :: tl -> find_plan tl
+    | [] -> None
+  in
+  match find_plan entry.se_plans with
+  | Some p -> p
+  | None ->
+    let p = compile_seq t ~el12 ~ctx ~save regs in
+    entry.se_plans <- (key, p) :: entry.se_plans;
+    p
+
+(* Interpreted fallback, element-for-element what
+   [World_switch.save_array]/[restore_array] do over [ops] (the copied
+   counter is bumped by the caller). *)
+let generic_save t ~el12 ~ctx regs ~from =
+  for i = from to Array.length regs - 1 do
+    let r = Array.unsafe_get regs i in
+    st t (WS.slot ctx r) (rd t (via_access ~el12 r))
+  done
+
+let generic_rest t ~el12 ~ctx regs ~from =
+  for i = from to Array.length regs - 1 do
+    let r = Array.unsafe_get regs i in
+    wr t (via_access ~el12 r) (ld t (WS.slot ctx r))
+  done
+
+let run_save_plan t (plan : gcopy array) key ~el12 ~ctx regs =
+  let cpu = t.cpu in
+  let m = cpu.Cpu.meter in
+  let c = Cpu.table cpu in
+  let mem = cpu.Cpu.mem in
+  let n = Array.length plan in
+  let insns = ref 0 and cyc = ref 0 and acc = ref 0 and pcb = ref 0 in
+  let last = ref (Cpu.get_reg cpu data_reg) in
+  let flush () =
+    m.Cost.insns <- m.Cost.insns + !insns;
+    m.Cost.cycles <- m.Cost.cycles + !cyc;
+    m.Cost.mem_accesses <- m.Cost.mem_accesses + !acc;
+    cpu.Cpu.pc <- Int64.add cpu.Cpu.pc (Int64.of_int !pcb);
+    Cpu.set_reg cpu data_reg !last;
+    insns := 0;
+    cyc := 0;
+    acc := 0;
+    pcb := 0
+  in
+  let i = ref 0 in
+  let ok = ref true in
+  while !ok && !i < n do
+    let gc = Array.unsafe_get plan !i in
+    (match gc.g_op with
+     | G_sys r ->
+       (* "mrs x10, r; str x10, [slot]" *)
+       let v = Cpu.read_sysreg_hw cpu r in
+       Memory.write64 mem gc.g_slot v;
+       last := v;
+       insns := !insns + 2;
+       cyc := !cyc + c.Cost.sysreg_read + c.Cost.mem_store;
+       acc := !acc + 1;
+       pcb := !pcb + 8
+     | G_mem a ->
+       (* deferred mrs (a 64-bit load from the VNCR page) + the store *)
+       let v = Memory.read64 mem a in
+       Memory.write64 mem gc.g_slot v;
+       last := v;
+       insns := !insns + 2;
+       cyc := !cyc + c.Cost.mem_load + c.Cost.mem_store;
+       acc := !acc + 2;
+       pcb := !pcb + 8
+     | G_exec insn ->
+       (* the read leg needs full routing (trap, disguise, UNDEF...);
+          hand it the exact machine state the interpreted loop has *)
+       flush ();
+       Cpu.exec cpu insn;
+       let v = tampered t (Cpu.get_reg cpu data_reg) in
+       (* the store leg is an unconditional plain str *)
+       Cpu.set_reg cpu data_reg v;
+       Memory.write64 mem gc.g_slot v;
+       last := v;
+       insns := !insns + 1;
+       cyc := !cyc + c.Cost.mem_store;
+       acc := !acc + 1;
+       pcb := !pcb + 4;
+       (* the handler behind a trap may have moved the routing state *)
+       if not (fast_ok t && key_eq key (key_now cpu)) then begin
+         flush ();
+         generic_save t ~el12 ~ctx regs ~from:(!i + 1);
+         ok := false
+       end);
+    incr i
+  done;
+  if !ok then flush ()
+
+let run_rest_plan t (plan : gcopy array) key ~el12 ~ctx regs =
+  let cpu = t.cpu in
+  let m = cpu.Cpu.meter in
+  let c = Cpu.table cpu in
+  let mem = cpu.Cpu.mem in
+  let n = Array.length plan in
+  let insns = ref 0 and cyc = ref 0 and acc = ref 0 and pcb = ref 0 in
+  let last = ref (Cpu.get_reg cpu data_reg) in
+  let flush () =
+    m.Cost.insns <- m.Cost.insns + !insns;
+    m.Cost.cycles <- m.Cost.cycles + !cyc;
+    m.Cost.mem_accesses <- m.Cost.mem_accesses + !acc;
+    cpu.Cpu.pc <- Int64.add cpu.Cpu.pc (Int64.of_int !pcb);
+    Cpu.set_reg cpu data_reg !last;
+    insns := 0;
+    cyc := 0;
+    acc := 0;
+    pcb := 0
+  in
+  let i = ref 0 in
+  let ok = ref true in
+  while !ok && !i < n do
+    let gc = Array.unsafe_get plan !i in
+    (match gc.g_op with
+     | G_sys r ->
+       (* "ldr x10, [slot]; msr r, x10" *)
+       let v = Memory.read64 mem gc.g_slot in
+       Cpu.write_sysreg_hw cpu r v;
+       last := v;
+       insns := !insns + 2;
+       cyc := !cyc + c.Cost.mem_load + c.Cost.sysreg_write;
+       acc := !acc + 1;
+       pcb := !pcb + 8
+     | G_mem a ->
+       (* the load + a deferred msr (a 64-bit store to the VNCR page) *)
+       let v = Memory.read64 mem gc.g_slot in
+       Memory.write64 mem a v;
+       last := v;
+       insns := !insns + 2;
+       cyc := !cyc + c.Cost.mem_load + c.Cost.mem_store;
+       acc := !acc + 2;
+       pcb := !pcb + 8
+     | G_exec insn ->
+       (* the load leg is an unconditional plain ldr; charge it, then
+          flush and replay the write leg with full routing *)
+       let v = Memory.read64 mem gc.g_slot in
+       last := v;
+       insns := !insns + 1;
+       cyc := !cyc + c.Cost.mem_load;
+       acc := !acc + 1;
+       pcb := !pcb + 4;
+       flush ();
+       Cpu.exec cpu insn;
+       if not (fast_ok t && key_eq key (key_now cpu)) then begin
+         generic_rest t ~el12 ~ctx regs ~from:(!i + 1);
+         ok := false
+       end);
+    incr i
+  done;
+  if !ok then flush ()
+
+let save_ctx t ~el12 ~ctx regs =
+  WS.add_copies (Array.length regs);
+  if fast_ok t then begin
+    let key = key_now t.cpu in
+    let plan = plan_for t ~el12 ~ctx ~save:true regs key in
+    run_save_plan t plan key ~el12 ~ctx regs
+  end
+  else generic_save t ~el12 ~ctx regs ~from:0
+
+let restore_ctx t ~el12 ~ctx regs =
+  WS.add_copies (Array.length regs);
+  if fast_ok t then begin
+    let key = key_now t.cpu in
+    let plan = plan_for t ~el12 ~ctx ~save:false regs key in
+    run_rest_plan t plan key ~el12 ~ctx regs
+  end
+  else generic_rest t ~el12 ~ctx regs ~from:0

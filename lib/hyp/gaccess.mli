@@ -11,6 +11,36 @@ module Cpu = Arm.Cpu
 module Insn = Arm.Insn
 module Sysreg = Arm.Sysreg
 
+(** One pre-resolved register copy of a compiled world-switch sequence:
+    a register-file move ([G_sys]), a deferred-page memory move with a
+    precomputed address ([G_mem]), or a full {!Cpu.exec} replay of the
+    preallocated instruction ([G_exec] — traps, disguised reads, UNDEFs
+    and hardware-side-effect registers). *)
+type gop =
+  | G_sys of Sysreg.t
+  | G_mem of int64
+  | G_exec of Insn.t
+
+type gcopy = { g_op : gop; g_slot : int64 }
+
+(** Everything instruction routing reads; a compiled plan replays
+    soundly while its key holds. *)
+type gkey = {
+  gk_hcr : int64;
+  gk_vncr : int64;
+  gk_feats : Arm.Features.t;
+  gk_mask : Arm.Trap_rules.nv2_mask;
+  gk_el : Arm.Pstate.el;
+}
+
+type seq_entry = {
+  se_ctx : int64;
+  se_save : bool;
+  se_el12 : bool;
+  se_regs : Sysreg.t array;
+  mutable se_plans : (gkey * gcopy array) list;
+}
+
 type t = {
   cpu : Cpu.t;
   config : Config.t;
@@ -18,6 +48,9 @@ type t = {
   mutable tamper : (int64 -> int64) option;
       (** one-shot fault-injection corruption of the next {!rd}/{!ld}
           result *)
+  mutable seqs : seq_entry list;
+      (** compiled world-switch sequences, memoized per (context,
+          register set, direction, alias form) *)
 }
 
 val v : Cpu.t -> Config.t -> page_base:int64 -> t
@@ -46,3 +79,14 @@ val gicv2_gic : t -> World_switch.gic_ops
 (** vGIC accessors backed by the memory-mapped interface. *)
 
 val ops : t -> World_switch.ops
+
+val save_ctx : t -> el12:bool -> ctx:int64 -> Sysreg.t array -> unit
+(** Save the given registers to their context slots — observably
+    identical to {!World_switch.save_array} over {!ops} (with
+    [vm_el1_access] when [el12] is set), but replayed through a compiled
+    plan when the routing state allows: paravirt configs, pending
+    fault-injection corruption and active tracing fall back to the
+    interpreted loop, and copies whose route can trap replay their exact
+    instruction through {!Cpu.exec}. *)
+
+val restore_ctx : t -> el12:bool -> ctx:int64 -> Sysreg.t array -> unit

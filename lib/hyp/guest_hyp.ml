@@ -113,15 +113,21 @@ let read_exit_info t =
 (* Phase B: world switch away from the nested VM (__guest_exit). *)
 let switch_to_host t =
   let o = ops t in
-  WS.save_vm_el1 o ~vhe:t.vhe ~ctx:t.vm_ctx;
-  WS.save_el0 o ~ctx:t.vm_ctx;
-  if t.debug_active then WS.save_debug o ~ctx:t.vm_ctx;
-  if t.pmu_active then WS.save_pmu o ~ctx:t.vm_ctx;
+  (* the array loops run through the funnel's compiled sequences
+     (element-for-element the WS.save_*/restore_* loops over [o]) *)
+  Gaccess.save_ctx t.ga ~el12:t.vhe ~ctx:t.vm_ctx Reglists.el1_state_arr;
+  Gaccess.save_ctx t.ga ~el12:false ~ctx:t.vm_ctx Reglists.el0_state_arr;
+  if t.debug_active then
+    Gaccess.save_ctx t.ga ~el12:false ~ctx:t.vm_ctx Reglists.debug_state_arr;
+  if t.pmu_active then
+    Gaccess.save_ctx t.ga ~el12:false ~ctx:t.vm_ctx Reglists.pmu_state_arr;
   WS.save_vgic ?gic:(gic t) o ~ctx:t.vm_ctx ~used_lrs:t.used_lrs;
   WS.save_vm_timer o ~vhe:t.vhe ~ctx:t.vm_ctx;
   if not t.vhe then begin
-    WS.restore_host_el1 o ~ctx:t.host_ctx;
-    WS.restore_el0 o ~ctx:t.host_ctx
+    Gaccess.restore_ctx t.ga ~el12:false ~ctx:t.host_ctx
+      Reglists.el1_state_arr;
+    Gaccess.restore_ctx t.ga ~el12:false ~ctx:t.host_ctx
+      Reglists.el0_state_arr
   end;
   WS.deactivate_traps o ~vhe:t.vhe
 
@@ -195,8 +201,8 @@ let handle_in_kernel t (reason : Vcpu.nested_exit) =
 let switch_to_guest t =
   let o = ops t in
   if not t.vhe then begin
-    WS.save_host_el1 o ~ctx:t.host_ctx;
-    WS.save_el0 o ~ctx:t.host_ctx
+    Gaccess.save_ctx t.ga ~el12:false ~ctx:t.host_ctx Reglists.el1_state_arr;
+    Gaccess.save_ctx t.ga ~el12:false ~ctx:t.host_ctx Reglists.el0_state_arr
   end;
   (* drain pending virtual interrupts into free list registers; overflow
      stays queued until a later entry frees slots (the hardware would
@@ -223,10 +229,13 @@ let switch_to_guest t =
     end;
     incr slot
   done;
-  WS.restore_vm_el1 o ~vhe:t.vhe ~ctx:t.vm_ctx;
-  WS.restore_el0 o ~ctx:t.vm_ctx;
-  if t.debug_active then WS.restore_debug o ~ctx:t.vm_ctx;
-  if t.pmu_active then WS.restore_pmu o ~ctx:t.vm_ctx;
+  Gaccess.restore_ctx t.ga ~el12:t.vhe ~ctx:t.vm_ctx Reglists.el1_state_arr;
+  Gaccess.restore_ctx t.ga ~el12:false ~ctx:t.vm_ctx Reglists.el0_state_arr;
+  if t.debug_active then
+    Gaccess.restore_ctx t.ga ~el12:false ~ctx:t.vm_ctx
+      Reglists.debug_state_arr;
+  if t.pmu_active then
+    Gaccess.restore_ctx t.ga ~el12:false ~ctx:t.vm_ctx Reglists.pmu_state_arr;
   WS.restore_vgic ?gic:(gic t) o ~ctx:t.vm_ctx ~used_lrs:t.used_lrs;
   WS.restore_vm_timer o ~vhe:t.vhe ~ctx:t.vm_ctx;
   WS.write_timer_controls o ~vhe:t.vhe ~cntvoff:t.cntvoff;

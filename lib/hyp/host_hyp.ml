@@ -27,6 +27,41 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type scenario = Single_vm | Nested
 
+(* --- compiled l0 world-switch plans ---
+
+   The full non-VHE exit path copies ~50 registers through [Cpu.exec] on
+   EVERY trap: each copy routes an MRS/MSR, allocates an [Insn.t] and a
+   boxed slot address, and charges costs one instruction at a time.  At
+   EL2 with a [Direct] alias the router can only answer [Execute] or
+   [Execute_redirected] (a pure function of HCR_EL2.E2H and the feature
+   set), so the loops compile to flat arrays of pre-resolved
+   (source register, context slot) pairs, validated against the raw HCR
+   value and feature record they were compiled under.  Execution
+   replicates the interpreted loops' observable effects exactly: the same
+   register-file and memory writes in the same order, the same meter
+   charges, the same copy counter, the same final scratch-register value
+   and PC advance. *)
+
+type l0_copy = { lc_src : Sysreg.t; lc_slot : int64 }
+
+type l0_rest = { lr_slot : int64; lr_dst : Sysreg.t; lr_norm : bool }
+(* [lr_norm]: the interpreted path writes through [Cpu.msr] (an
+   immediate MSR), which normalizes to "mov x9, #v; msr" whenever the
+   route is not plain [Execute] — one extra instruction and insn_base
+   cycle charge per copy. *)
+
+type l0_rseq = { lr_ops : l0_rest array; lr_norms : int }
+
+type l0_plan = {
+  lp_hcr : int64;             (* raw HCR_EL2 the routes were resolved under *)
+  lp_feats : Arm.Features.t;  (* physical identity: swapped on ablation *)
+  lp_save_el1 : l0_copy array;   (* guest EL1 state -> guest_stash *)
+  lp_save_el0 : l0_copy array;   (* guest EL0 state -> guest_stash *)
+  lp_rest_host : l0_rseq;        (* l0_ctx -> host EL1 state *)
+  lp_rest_el1 : l0_rseq;         (* guest_stash -> guest EL1 state *)
+  lp_rest_el0 : l0_rseq;         (* guest_stash -> guest EL0 state *)
+}
+
 type t = {
   cpu : Cpu.t;
   config : Config.t;
@@ -61,6 +96,10 @@ type t = {
      runs: L1's virtual VNCR with its BADDR translated through the
      stage-2 tables (the Section 6.2 workflow) *)
   mutable l2_vncr : int64 option;
+  (* compiled l0 world-switch plans, one per (HCR, features) seen; the
+     list stays tiny (the guest-entry HCR values plus the all-clear host
+     value) *)
+  mutable l0_plans : l0_plan list;
 }
 
 let table t = Cpu.table t.cpu
@@ -168,16 +207,154 @@ let vel2_write ?(to_hw = true) t r v =
 
 let stash_slot t r = Int64.add t.guest_stash (Int64.of_int (Reglists.ctx_slot r))
 
+(* Resolve one save copy (mrs via Direct, then a store to the context
+   slot) under the current routing state.  [Exit] means the route is
+   something the compiled loop cannot replay (impossible at EL2/Direct,
+   but a fallback beats a wrong simulation). *)
+let compile_route t insn =
+  Arm.Trap_rules.route ~mask:t.cpu.Cpu.nv2_mask t.cpu.Cpu.features
+    ~hcr:(Cpu.hcr_view t.cpu) ~vncr:(Cpu.vncr_value t.cpu)
+    ~el:Arm.Pstate.EL2 insn
+
+(* Registers whose hardware read is not a plain register-file load; a
+   compiled loop charging costs in aggregate would read them at the
+   wrong mid-loop cycle count.  None appears in the world-switch lists,
+   but the compiler refuses rather than assumes. *)
+let hw_special (r : Sysreg.t) =
+  match r with Sysreg.CurrentEL | Sysreg.CNTVCT_EL0 -> true | _ -> false
+
+let compile_copy t ~ctx r =
+  let src =
+    match compile_route t (Insn.Mrs (Cpu.scratch_reg, Sysreg.direct r)) with
+    | Arm.Trap_rules.Execute -> r
+    | Arm.Trap_rules.Execute_redirected a -> a.Sysreg.reg
+    | _ -> raise Exit
+  in
+  if hw_special src then raise Exit;
+  { lc_src = src; lc_slot = WS.slot ctx r }
+
+let compile_rest t ~ctx r =
+  match compile_route t (Insn.Msr (Sysreg.direct r, Insn.Imm 0L)) with
+  | Arm.Trap_rules.Execute ->
+    { lr_slot = WS.slot ctx r; lr_dst = r; lr_norm = false }
+  | Arm.Trap_rules.Execute_redirected a ->
+    { lr_slot = WS.slot ctx r; lr_dst = a.Sysreg.reg; lr_norm = true }
+  | _ -> raise Exit
+
+let compile_rseq t ~ctx regs =
+  let ops = Array.map (compile_rest t ~ctx) regs in
+  let norms =
+    Array.fold_left (fun n o -> if o.lr_norm then n + 1 else n) 0 ops
+  in
+  { lr_ops = ops; lr_norms = norms }
+
+let compile_plan t ~hcr_raw =
+  {
+    lp_hcr = hcr_raw;
+    lp_feats = t.cpu.Cpu.features;
+    lp_save_el1 =
+      Array.map (compile_copy t ~ctx:t.guest_stash) Reglists.el1_state_arr;
+    lp_save_el0 =
+      Array.map (compile_copy t ~ctx:t.guest_stash) Reglists.el0_state_arr;
+    lp_rest_host = compile_rseq t ~ctx:t.l0_ctx Reglists.el1_state_arr;
+    lp_rest_el1 = compile_rseq t ~ctx:t.guest_stash Reglists.el1_state_arr;
+    lp_rest_el0 = compile_rseq t ~ctx:t.guest_stash Reglists.el0_state_arr;
+  }
+
+(* The plan valid for the CPU's routing state right now, compiling on
+   first sight of a (HCR, features) pair.  [None] falls back to the
+   interpreted loops. *)
+let plan_for t =
+  if t.cpu.Cpu.pstate.Arm.Pstate.el <> Arm.Pstate.EL2 then None
+  else begin
+    let raw = Cpu.peek_sysreg t.cpu Sysreg.HCR_EL2 in
+    let feats = t.cpu.Cpu.features in
+    let rec find = function
+      | p :: _ when p.lp_hcr = raw && p.lp_feats == feats -> Some p
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    match find t.l0_plans with
+    | Some _ as p -> p
+    | None ->
+      (match compile_plan t ~hcr_raw:raw with
+       | p ->
+         t.l0_plans <- p :: t.l0_plans;
+         Some p
+       | exception Exit -> None)
+  end
+
+(* Replay a compiled save loop.  Per copy the interpreted path executes
+   "mrs x9, <src>; str x9, [slot]": two instructions, a sysreg_read and
+   a mem_store cycle charge, one memory access, PC advanced twice, x9
+   left holding the copied value.  Nothing mid-loop can observe the
+   meter or PC (no tracing, no special registers), so the charges are
+   applied in aggregate. *)
+let run_save t (cs : l0_copy array) =
+  let cpu = t.cpu in
+  let m = cpu.Cpu.meter in
+  let c = Cpu.table cpu in
+  let mem = cpu.Cpu.mem in
+  let n = Array.length cs in
+  WS.add_copies n;
+  let last = ref 0L in
+  for i = 0 to n - 1 do
+    let fc = Array.unsafe_get cs i in
+    let v = Cpu.read_sysreg_hw cpu fc.lc_src in
+    Memory.write64 mem fc.lc_slot v;
+    last := v
+  done;
+  if n > 0 then Cpu.set_reg cpu Cpu.scratch_reg !last;
+  m.Cost.insns <- m.Cost.insns + (2 * n);
+  m.Cost.cycles <- m.Cost.cycles + (n * (c.Cost.sysreg_read + c.Cost.mem_store));
+  m.Cost.mem_accesses <- m.Cost.mem_accesses + n;
+  cpu.Cpu.pc <- Int64.add cpu.Cpu.pc (Int64.of_int (8 * n))
+
+(* Replay a compiled restore loop: "ldr x9, [slot]; msr <dst>, x9" per
+   copy, plus the normalization mov (one instruction, one insn_base
+   cycle) for each copy whose route was redirected. *)
+let run_rest t (rq : l0_rseq) =
+  let cpu = t.cpu in
+  let m = cpu.Cpu.meter in
+  let c = Cpu.table cpu in
+  let mem = cpu.Cpu.mem in
+  let rs = rq.lr_ops in
+  let n = Array.length rs in
+  WS.add_copies n;
+  let last = ref 0L in
+  for i = 0 to n - 1 do
+    let fr = Array.unsafe_get rs i in
+    let v = Memory.read64 mem fr.lr_slot in
+    Cpu.write_sysreg_hw cpu fr.lr_dst v;
+    last := v
+  done;
+  if n > 0 then Cpu.set_reg cpu Cpu.scratch_reg !last;
+  let k = rq.lr_norms in
+  m.Cost.insns <- m.Cost.insns + (2 * n) + k;
+  m.Cost.cycles <-
+    m.Cost.cycles + (n * (c.Cost.mem_load + c.Cost.sysreg_write))
+    + (k * c.Cost.insn_base);
+  m.Cost.mem_accesses <- m.Cost.mem_accesses + n;
+  cpu.Cpu.pc <- Int64.add cpu.Cpu.pc (Int64.of_int ((8 * n) + (4 * k)))
+
 let l0_enter t =
-  let o = l0_ops t in
   let copies0 = WS.reg_copies () in
   Cost.charge t.cpu.Cpu.meter (table t).Cost.l0_exit_dispatch;
-  (* save whoever was running at EL1 *)
-  WS.save_array o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el1_state_arr;
-  WS.save_array o ~ctx:t.guest_stash ~via:Sysreg.direct Reglists.el0_state_arr;
-  (* restore the host's EL1 world *)
-  WS.restore_array o ~ctx:t.l0_ctx ~via:Sysreg.direct Reglists.el1_state_arr;
-  WS.deactivate_traps o ~vhe:false;
+  (match plan_for t with
+   | Some p ->
+     (* save whoever was running at EL1, restore the host's EL1 world *)
+     run_save t p.lp_save_el1;
+     run_save t p.lp_save_el0;
+     run_rest t p.lp_rest_host
+   | None ->
+     let o = l0_ops t in
+     WS.save_array o ~ctx:t.guest_stash ~via:Sysreg.direct
+       Reglists.el1_state_arr;
+     WS.save_array o ~ctx:t.guest_stash ~via:Sysreg.direct
+       Reglists.el0_state_arr;
+     WS.restore_array o ~ctx:t.l0_ctx ~via:Sysreg.direct
+       Reglists.el1_state_arr);
+  WS.deactivate_traps (l0_ops t) ~vhe:false;
   if !Trace.on then
     Trace.emit ~cycles:t.cpu.Cpu.meter.Cost.cycles ~tid:t.cpu.Cpu.meter.Cost.tid
       ~a0:(Int64.of_int (WS.reg_copies () - copies0))
@@ -185,13 +362,19 @@ let l0_enter t =
       Trace.Ws_enter
 
 let l0_exit t =
-  let o = l0_ops t in
   let copies0 = WS.reg_copies () in
   (* put the interrupted guest context back *)
-  WS.restore_array o ~ctx:t.guest_stash ~via:Sysreg.direct
-    Reglists.el1_state_arr;
-  WS.restore_array o ~ctx:t.guest_stash ~via:Sysreg.direct
-    Reglists.el0_state_arr;
+  (match plan_for t with
+   | Some p ->
+     run_rest t p.lp_rest_el1;
+     run_rest t p.lp_rest_el0
+   | None ->
+     let o = l0_ops t in
+     WS.restore_array o ~ctx:t.guest_stash ~via:Sysreg.direct
+       Reglists.el1_state_arr;
+     WS.restore_array o ~ctx:t.guest_stash ~via:Sysreg.direct
+       Reglists.el0_state_arr);
+  let o = l0_ops t in
   WS.activate_traps o ~vhe:false ~hcr:(hcr_for t ~vel2:t.vcpu.Vcpu.in_vel2);
   WS.write_stage2 o ~vttbr:t.shadow_vttbr;
   if !Trace.on then
@@ -258,7 +441,7 @@ let neve_populate t =
   in
   Core.Deferred_page.populate t.page ~read_virtual;
   Cost.charge t.cpu.Cpu.meter
-    (List.length Sysreg.vncr_layout * (table t).Cost.mem_store)
+    (Core.Deferred_page.layout_len * (table t).Cost.mem_store)
 
 let neve_drain t =
   let write_virtual r v =
@@ -273,7 +456,7 @@ let neve_drain t =
   in
   Core.Deferred_page.drain t.page ~write_virtual;
   Cost.charge t.cpu.Cpu.meter
-    (List.length Sysreg.vncr_layout * (table t).Cost.mem_load)
+    (Core.Deferred_page.layout_len * (table t).Cost.mem_load)
 
 let neve_on t = Config.is_neve t.config
 
@@ -797,6 +980,7 @@ let create ?(id = 0) cpu config scenario =
       shadow = None;
       l2_is_hyp = false;
       l2_vncr = None;
+      l0_plans = [];
     }
   in
   cpu.Cpu.el2_handler <- Some (fun cpu e -> handler t cpu e);

@@ -19,6 +19,33 @@ module Exn = Arm.Exn
 
 type scenario = Single_vm | Nested
 
+(** One pre-resolved register copy of a compiled l0 world-switch save
+    loop: read [lc_src] (route already applied), store to [lc_slot]. *)
+type l0_copy = { lc_src : Sysreg.t; lc_slot : int64 }
+
+(** One pre-resolved restore copy: load [lr_slot], write [lr_dst];
+    [lr_norm] records that the interpreted path would normalize the
+    immediate MSR (one extra instruction of cost). *)
+type l0_rest = { lr_slot : int64; lr_dst : Sysreg.t; lr_norm : bool }
+
+type l0_rseq = { lr_ops : l0_rest array; lr_norms : int }
+
+(** A compiled full-exit path (the save/restore loops of l0 enter/exit),
+    valid while HCR_EL2 equals [lp_hcr] and the feature record is
+    physically [lp_feats].  Replaying a plan is observably identical to
+    interpreting the loops through {!Cpu.exec} — same state writes,
+    meter charges, copy counts and PC movement — without the per-copy
+    routing and allocation. *)
+type l0_plan = {
+  lp_hcr : int64;
+  lp_feats : Arm.Features.t;
+  lp_save_el1 : l0_copy array;
+  lp_save_el0 : l0_copy array;
+  lp_rest_host : l0_rseq;
+  lp_rest_el1 : l0_rseq;
+  lp_rest_el0 : l0_rseq;
+}
+
 type t = {
   cpu : Cpu.t;
   config : Config.t;
@@ -56,6 +83,8 @@ type t = {
   mutable l2_vncr : int64 option;
       (** machine-physical VNCR to program while the L2 hypervisor runs:
           L1's virtual VNCR with a translated BADDR *)
+  mutable l0_plans : l0_plan list;
+      (** compiled world-switch plans, one per (HCR, features) pair seen *)
 }
 
 val table : t -> Cost.table

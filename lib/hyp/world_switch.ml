@@ -54,6 +54,11 @@ let copied = ref 0
 
 let reg_copies () = !copied
 
+(* Compiled save/restore loops (Host_hyp's l0 fast path) perform the same
+   copies without going through [save_array]/[restore_array]; they account
+   for them here so tracer deltas stay identical. *)
+let add_copies n = copied := !copied + n
+
 let save_list ops ~ctx ~via regs =
   copied := !copied + List.length regs;
   List.iter (fun r -> ops.st (slot ctx r) (ops.rd (via r))) regs

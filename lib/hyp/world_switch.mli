@@ -30,6 +30,11 @@ val reg_copies : unit -> int
     loops since startup.  The world-switch tracer takes deltas around
     enter/exit to attribute a copy count to each switch. *)
 
+val add_copies : int -> unit
+(** Account [n] copies performed by a compiled save/restore loop that
+    bypasses {!save_array}/{!restore_array} (the host's l0 fast path),
+    keeping {!reg_copies} deltas identical to the interpreted loops. *)
+
 val own_el2_access : vhe:bool -> Sysreg.t -> Sysreg.access
 (** How a hypervisor reaches its {e own} EL2 register: the E2H-redirected
     EL1 form where one exists for VHE (no trap when deprivileged), the

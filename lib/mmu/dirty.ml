@@ -29,9 +29,8 @@ type t = {
    dirty — the first pre-copy round must transfer everything. *)
 let attach ?(on_fault = fun _ -> ()) mem =
   let t = { mem; pages = Hashtbl.create 64; write_faults = 0; on_fault } in
-  Hashtbl.iter
-    (fun addr v -> if v <> 0L then Hashtbl.replace t.pages (page_base addr) ())
-    mem.Memory.words;
+  Memory.iter_nonzero mem (fun addr _v ->
+      Hashtbl.replace t.pages (page_base addr) ());
   mem.Memory.on_write <-
     Some
       (fun addr ->
@@ -61,8 +60,7 @@ let write_faults t = t.write_faults
 
 (* The backed words of one tracked page, ascending — what a round copies. *)
 let page_words t page =
-  Hashtbl.fold
-    (fun addr v acc ->
-      if v <> 0L && page_base addr = page then (addr, v) :: acc else acc)
-    t.mem.Memory.words []
-  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  let acc = ref [] in
+  Memory.iter_nonzero t.mem (fun addr v ->
+      if page_base addr = page then acc := (addr, v) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Int64.compare a b) !acc

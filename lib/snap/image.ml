@@ -308,14 +308,17 @@ let pstate_of_node n =
 let i64_array a = L (Array.to_list (Array.map (fun v -> I v) a))
 
 let file_node (f : Sysreg_file.t) =
-  R [ ("values", i64_array f.values); ("dirty", S (Bytes.to_string f.dirty)) ]
+  R
+    [ ("values",
+       L (List.init Arm.Sysreg.count (fun i -> I (Sysreg_file.get_index f i))));
+      ("dirty", S (Bytes.to_string f.dirty)) ]
 
 let load_file n (f : Sysreg_file.t) =
   let values = fl "values" n in
-  if List.length values <> Array.length f.values then
+  if List.length values <> Arm.Sysreg.count then
     fail "sysreg file has %d values, this build has %d" (List.length values)
-      (Array.length f.values);
-  List.iteri (fun i v -> f.values.(i) <- get_i v) values;
+      Arm.Sysreg.count;
+  List.iteri (fun i v -> Sysreg_file.set_index f i (get_i v)) values;
   let dirty = fs "dirty" n in
   if String.length dirty <> Bytes.length f.dirty then
     fail "sysreg dirty bitmap is %d bytes, this build has %d" (String.length dirty)
@@ -335,9 +338,9 @@ let meter_node (m : Cost.meter) =
         L
           (List.filter_map
              (fun k ->
-               match Hashtbl.find_opt m.by_kind k with
-               | None | Some 0 -> None
-               | Some c -> Some (L [ int (trap_kind_code k); int c ]))
+               match m.by_kind.(Cost.kind_index k) with
+               | 0 -> None
+               | c -> Some (L [ int (trap_kind_code k); int c ]))
              Cost.all_trap_kinds) );
       ("log", L (List.map (fun (k, d) -> L [ int (trap_kind_code k); S d ]) m.log)) ]
 
@@ -347,11 +350,13 @@ let load_meter n (m : Cost.meter) =
   m.traps <- fint "traps" n;
   m.mem_accesses <- fint "mem_accesses" n;
   m.tid <- fint "tid" n;
-  Hashtbl.reset m.by_kind;
+  Array.fill m.by_kind 0 Cost.kind_count 0;
   List.iter
     (fun e ->
       match get_l e with
-      | [ k; c ] -> Hashtbl.replace m.by_kind (trap_kind_of_code (get_int k)) (get_int c)
+      | [ k; c ] ->
+        m.by_kind.(Cost.kind_index (trap_kind_of_code (get_int k))) <-
+          get_int c
       | _ -> fail "bad by_kind entry")
     (fl "by_kind" n);
   m.log <-

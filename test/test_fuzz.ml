@@ -120,8 +120,9 @@ let test_decode_cache_collisions =
       (* two words congruent modulo the cache size fight over one
          direct-mapped slot; alternating lookups force evictions *)
       let w1 = Encode.encode insn in
-      let w2 = (w1 + (k * Interp.decode_cache_size)) land 0xffff_ffff in
-      let agree w = Interp.decode_cached w = Encode.decode w in
+      let w2 = (w1 + (k * Arm.Xlate.decode_cache_size)) land 0xffff_ffff in
+      let xc = Arm.Xlate.create () in
+      let agree w = Arm.Xlate.decode xc w = Encode.decode w in
       agree w1 && agree w2 && agree w1 && agree w2)
 
 (* --- satellite: coverage matrix -------------------------------------- *)
@@ -259,6 +260,38 @@ let test_campaign_deterministic_and_clean () =
     0
     (Fuzz.Campaign.divergence_count a)
 
+(* --- superblock on/off equivalence across the full column matrix ------ *)
+
+(* The two interpreter engines must be observationally indistinguishable:
+   a fuzz campaign (all 8 columns per program, snapshot oracle included)
+   run with superblocks forced on and forced off must produce
+   byte-identical stats — same trap counts, coverage, and zero
+   divergences either way. *)
+let equivalence_seed = 11
+let equivalence_n = 60
+
+let test_superblock_equivalence () =
+  let with_superblocks b f =
+    let saved = !Arm.Xlate.enabled in
+    Arm.Xlate.enabled := b;
+    Fun.protect ~finally:(fun () -> Arm.Xlate.enabled := saved) f
+  in
+  let campaign () =
+    Fuzz.Campaign.run ~snap_oracle:true ~seed:equivalence_seed
+      ~n:equivalence_n ()
+  in
+  let on = with_superblocks true campaign in
+  let off = with_superblocks false campaign in
+  check Alcotest.string
+    (Printf.sprintf "superblocks on == off, byte-identical stats (seed=%d)"
+       equivalence_seed)
+    (Fuzz.Campaign.json_stats off)
+    (Fuzz.Campaign.json_stats on);
+  check Alcotest.int
+    (Printf.sprintf "no divergences either way (seed=%d)" equivalence_seed)
+    0
+    (Fuzz.Campaign.divergence_count on + Fuzz.Campaign.divergence_count off)
+
 let suite =
   [
     qtest test_roundtrip;
@@ -277,4 +310,6 @@ let suite =
       test_corpus_replay;
     Alcotest.test_case "campaign: deterministic and clean" `Slow
       test_campaign_deterministic_and_clean;
+    Alcotest.test_case "superblocks on == off across all columns" `Slow
+      test_superblock_equivalence;
   ]

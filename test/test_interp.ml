@@ -94,8 +94,10 @@ let test_budget_nonpositive () =
     [ 0; -1; -1000 ]
 
 (* The decode cache must be invisible: same result as a direct decode for
-   any word, including two words that collide in the same cache slot. *)
+   any word, including two words that collide in the same cache slot.
+   The cache is per-CPU state now (Xlate), so exercise a fresh one. *)
 let test_decode_cache_equivalence () =
+  let xc = Arm.Xlate.create () in
   let words =
     List.map Encode.encode
       [ Insn.Nop; Insn.Hvc 7; Insn.Eret;
@@ -110,10 +112,120 @@ let test_decode_cache_equivalence () =
     (fun w ->
       (* twice: once cold (fills the slot), once warm (served from it) *)
       for _ = 1 to 2 do
-        let direct = Encode.decode w and cached = Interp.decode_cached w in
+        let direct = Encode.decode w and cached = Arm.Xlate.decode xc w in
         if direct <> cached then Alcotest.failf "word 0x%08x: cache differs" w
       done)
     (words @ colliders @ words)
+
+(* --- superblock engine vs stepwise engine ----------------------------- *)
+
+(* Regression: [fetch32] used to silently read the containing aligned
+   word for a misaligned PC and run a skewed instruction stream; a
+   misaligned PC must be a deterministic alignment halt, under both
+   engines and from both misalignment sources (a misaligned entry and a
+   misaligned ELR restored by eret). *)
+let test_misaligned_pc_halts () =
+  List.iter
+    (fun sb ->
+      let cpu = fresh () in
+      Interp.load_program cpu.Cpu.mem ~base [ Insn.Nop; Insn.Nop ];
+      let entry = Int64.add base 2L in
+      (match Interp.run cpu ~superblocks:sb ~entry ~max_insns:10 with
+       | Interp.Halted a ->
+         check Alcotest.int64 "halted at the misaligned entry" entry a
+       | o ->
+         Alcotest.failf "superblocks=%b: expected alignment halt, got %a" sb
+           Interp.pp_outcome o);
+      (* eret onto a misaligned ELR: the halt happens at dispatch, after
+         the eret itself executed *)
+      let cpu = fresh () in
+      cpu.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL2;
+      let bad = Int64.add base 0x102L in
+      Arm.Cpu.poke_sysreg cpu Sysreg.ELR_EL2 bad;
+      Arm.Cpu.poke_sysreg cpu Sysreg.SPSR_EL2
+        (Arm.Pstate.to_spsr (Arm.Pstate.at Arm.Pstate.EL1));
+      Interp.load_program cpu.Cpu.mem ~base [ Insn.Eret ];
+      match Interp.run cpu ~superblocks:sb ~entry:base ~max_insns:10 with
+      | Interp.Halted a ->
+        check Alcotest.int64 "halted at the misaligned ELR" bad a
+      | o ->
+        Alcotest.failf "superblocks=%b: expected halt after eret, got %a" sb
+          Interp.pp_outcome o)
+    [ true; false ]
+
+(* Self-modifying code (the Section-4 binary-patching path at runtime): a
+   program that overwrites two later instructions of its own block.  The
+   store bumps the memory's code generation, so the superblock engine
+   must side-exit and re-decode instead of replaying the stale poison
+   ops; both engines must make identical observations. *)
+let test_self_modifying_code_invalidation () =
+  let data = 0x9000L in
+  let patch_at = Int64.add base 16L in (* instructions 4 and 5 *)
+  let nop = Encode.encode Insn.Nop in
+  let packed_nops =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int nop) 32)
+      (Int64.of_int nop)
+  in
+  let run sb =
+    let cpu = fresh () in
+    Arm.Memory.write64 cpu.Cpu.mem data packed_nops;
+    Arm.Memory.write64 cpu.Cpu.mem (Int64.add data 8L) patch_at;
+    Interp.load_program cpu.Cpu.mem ~base
+      [ Insn.Mov (1, Insn.Imm data);         (* 0 *)
+        Insn.Ldr (0, Insn.Based (1, 0L));    (* 1: packed nop pair *)
+        Insn.Ldr (3, Insn.Based (1, 8L));    (* 2: patch address *)
+        Insn.Str (0, Insn.Based (3, 0L));    (* 3: overwrite 4 and 5 *)
+        Insn.Mov (2, Insn.Imm 99L);          (* 4: poison *)
+        Insn.Mov (4, Insn.Imm 77L) ];        (* 5: poison *)
+    (match Interp.run cpu ~superblocks:sb ~entry:base ~max_insns:100 with
+     | Interp.Breakpoint -> ()
+     | o -> Alcotest.failf "superblocks=%b: %a" sb Interp.pp_outcome o);
+    ( Cpu.get_reg cpu 2, Cpu.get_reg cpu 4,
+      cpu.Cpu.meter.Cost.cycles, cpu.Cpu.meter.Cost.insns )
+  in
+  let x2, x4, cyc, insns = run true in
+  check Alcotest.int64 "patched-over poison (x2) never executed" 0L x2;
+  check Alcotest.int64 "patched-over poison (x4) never executed" 0L x4;
+  let x2', x4', cyc', insns' = run false in
+  check Alcotest.int64 "stepwise agrees on x2" x2' x2;
+  check Alcotest.int64 "stepwise agrees on x4" x4' x4;
+  check Alcotest.int "identical cycle charges" cyc' cyc;
+  check Alcotest.int "identical instruction counts" insns' insns
+
+(* A mid-block HCR_EL2 change must invalidate the block's cached routes:
+   at EL2 under VHE, setting E2H redirects later EL1-register accesses to
+   their EL2 twins.  A stale block would keep writing SCTLR_EL1. *)
+let test_mid_block_hcr_side_exit () =
+  let data = 0x9000L in
+  let run sb =
+    let cpu =
+      Arm.Cpu.create ~features:(Arm.Features.v Arm.Features.V8_4) ()
+    in
+    cpu.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL2;
+    Arm.Memory.write64 cpu.Cpu.mem data Arm.Hcr.e2h;
+    Interp.load_program cpu.Cpu.mem ~base
+      [ Insn.Mov (1, Insn.Imm data);
+        Insn.Ldr (0, Insn.Based (1, 0L));                    (* E2H bit *)
+        Insn.Mov (2, Insn.Imm 0x11L);
+        Insn.Msr (Sysreg.direct Sysreg.SCTLR_EL1, Insn.Reg 2);
+        Insn.Msr (Sysreg.direct Sysreg.HCR_EL2, Insn.Reg 0); (* set E2H *)
+        Insn.Mov (3, Insn.Imm 0x22L);
+        Insn.Msr (Sysreg.direct Sysreg.SCTLR_EL1, Insn.Reg 3) ];
+    (match Interp.run cpu ~superblocks:sb ~entry:base ~max_insns:100 with
+     | Interp.Breakpoint -> ()
+     | o -> Alcotest.failf "superblocks=%b: %a" sb Interp.pp_outcome o);
+    ( Arm.Cpu.peek_sysreg cpu Sysreg.SCTLR_EL1,
+      Arm.Cpu.peek_sysreg cpu Sysreg.SCTLR_EL2,
+      cpu.Cpu.meter.Cost.cycles )
+  in
+  let el1, el2, cyc = run true in
+  check Alcotest.int64 "pre-E2H write landed in SCTLR_EL1" 0x11L el1;
+  check Alcotest.int64 "post-E2H write redirected to SCTLR_EL2" 0x22L el2;
+  let el1', el2', cyc' = run false in
+  check Alcotest.int64 "stepwise agrees on SCTLR_EL1" el1' el1;
+  check Alcotest.int64 "stepwise agrees on SCTLR_EL2" el2' el2;
+  check Alcotest.int "identical cycle charges" cyc' cyc
 
 let test_halt_on_garbage () =
   let cpu = fresh () in
@@ -208,6 +320,12 @@ let suite =
     ("instruction budget", `Quick, test_budget_limit);
     ("non-positive budget returns Limit", `Quick, test_budget_nonpositive);
     ("decode cache is invisible", `Quick, test_decode_cache_equivalence);
+    ("misaligned PC is a deterministic halt", `Quick,
+     test_misaligned_pc_halts);
+    ("self-modifying code invalidates superblocks", `Quick,
+     test_self_modifying_code_invalidation);
+    ("mid-block HCR change side-exits and re-routes", `Quick,
+     test_mid_block_hcr_side_exit);
     ("halt on unencodable words", `Quick, test_halt_on_garbage);
     ("branch encodings roundtrip", `Quick, test_branch_roundtrips);
     ("disassembler", `Quick, test_disassemble);
