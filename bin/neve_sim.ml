@@ -14,6 +14,7 @@
      trace     exit-attribution tracing with class-sum checking
      snapshot/restore/migrate  serialization and live migration
      recover   SError + watchdog + migration-retry recovery campaign
+     fleet     sharded multi-domain fleet with byte-deterministic merge
 
    Exit statuses are shared across subcommands (Workloads.Exit_code):
    0 success, 1 detected fault, 2 sim-cycle budget timeout.  The same
@@ -46,6 +47,24 @@ let verbose_arg =
 let iters_arg =
   let doc = "Iterations per measurement." in
   Arg.(value & opt int 16 & info [ "iters"; "n" ] ~doc)
+
+(* sharding flags shared by fleet/chaos/fuzz/recover: sharded runs are
+   byte-identical to serial ones, so these only change wall-clock time *)
+let shards_arg =
+  let doc =
+    "Fan the campaign out over $(docv) strided shards on a pool of OCaml \
+     domains.  Per-job seeds are position-independent and results merge \
+     in job order, so the output is byte-identical whatever the shard \
+     count."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"SHARDS" ~doc)
+
+let domains_arg =
+  let doc =
+    "Force the domain-pool size (default: the smaller of the shard count \
+     and the runtime's recommended domain count)."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"DOMAINS" ~doc)
 
 (* --- table printers with paper-style relative overheads --- *)
 
@@ -317,9 +336,11 @@ let chaos_cmd =
     in
     Arg.(value & opt int 0 & info [ "max-cycles" ] ~doc)
   in
-  let run seed faults traps max_cycles verbose =
+  let run seed faults traps max_cycles shards domains verbose =
     setup_logs verbose;
-    let report = Workloads.Chaos.run ~seed ~faults ~traps ~max_cycles () in
+    let report =
+      Workloads.Chaos.run ~seed ~faults ~traps ~max_cycles ~shards ?domains ()
+    in
     Fmt.pr "%a@." Workloads.Chaos.pp_report report;
     if Workloads.Chaos.crashes report <> [] then exit fault_exit;
     if Workloads.Chaos.timed_out report then exit timeout_exit
@@ -331,7 +352,7 @@ let chaos_cmd =
           invariant checking; exit nonzero on any anonymous crash")
     Term.(
       const run $ seed_arg $ faults_arg $ traps_arg $ max_cycles_arg
-      $ verbose_arg)
+      $ shards_arg $ domains_arg $ verbose_arg)
 
 (* --- exit-attribution tracing --- *)
 
@@ -528,11 +549,18 @@ let fuzz_cmd =
     Arg.(value & opt (some bool) None & info [ "superblocks" ] ~doc)
   in
   let run seed n max_seconds max_cycles json corpus_dir traced snap_oracle
-      superblocks verbose =
+      superblocks shards domains verbose =
     setup_logs verbose;
     (match superblocks with
      | Some b -> Arm.Xlate.enabled := b
      | None -> ());
+    if shards > 1 && (max_seconds > 0.0 || max_cycles <> 0) then begin
+      Fmt.epr
+        "neve_sim fuzz: --shards > 1 cannot be combined with a budget \
+         (--max-seconds / --max-cycles): a parallel campaign has no \
+         well-defined truncation point@.";
+      exit Cmd.Exit.cli_error
+    end;
     let should_stop =
       if max_seconds <= 0.0 then fun () -> false
       else begin
@@ -543,7 +571,7 @@ let fuzz_cmd =
     if not (Sys.file_exists corpus_dir) then Unix.mkdir corpus_dir 0o755;
     let stats =
       Fuzz.Campaign.run ~should_stop ~corpus_dir ~traced ~snap_oracle
-        ~max_cycles ~seed ~n ()
+        ~max_cycles ~shards ?domains ~seed ~n ()
     in
     if json then print_endline (Fuzz.Campaign.json_stats stats)
     else Fmt.pr "%a@." Fuzz.Campaign.pp_stats stats;
@@ -561,7 +589,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ n_arg $ max_seconds_arg $ max_cycles_arg
       $ json_arg $ corpus_arg $ trace_arg $ snap_oracle_arg
-      $ superblocks_arg $ verbose_arg)
+      $ superblocks_arg $ shards_arg $ domains_arg $ verbose_arg)
 
 (* --- snapshot / restore / live migration --- *)
 
@@ -822,15 +850,18 @@ let recover_cmd =
       & opt policy_conv Supervise.Restart_from_snapshot
       & info [ "policy"; "p" ] ~doc)
   in
-  let run seed policy verbose =
+  let run seed policy shards domains verbose =
     setup_logs verbose;
-    let r = Workloads.Recover.run ~seed ~policy () in
+    let r = Workloads.Recover.run ~seed ~policy ~shards ?domains () in
     Fmt.pr "%a@." Workloads.Recover.pp_report r;
     (* rerun the whole campaign and require byte-identity — recovery
        behavior is under the same determinism contract as everything
        else *)
     let d1 = Workloads.Recover.digest r in
-    let d2 = Workloads.Recover.digest (Workloads.Recover.run ~seed ~policy ()) in
+    let d2 =
+      Workloads.Recover.digest
+        (Workloads.Recover.run ~seed ~policy ~shards ?domains ())
+    in
     if String.equal d1 d2 then Fmt.pr "digest: %s (rerun identical)@." d1
     else Fmt.epr "DETERMINISM BUG: rerun digest %s differs from %s@." d2 d1;
     if
@@ -849,7 +880,104 @@ let recover_cmd =
           (rolled back and retried) across the five ARM configurations; \
           exit nonzero unless every scenario recovers, trace class sums \
           match the meters, and a full rerun is byte-identical")
-    Term.(const run $ seed_arg $ policy_arg $ verbose_arg)
+    Term.(const run $ seed_arg $ policy_arg $ shards_arg $ domains_arg
+          $ verbose_arg)
+
+(* --- the sharded fleet --- *)
+
+let fleet_cmd =
+  let n_arg =
+    let doc = "Number of machines to boot and run." in
+    Arg.(value & opt int 1000 & info [ "n" ] ~docv:"MACHINES" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Campaign seed.  Machine $(i,i)'s seed is derived from (seed, i) \
+       with a splitmix64 mix, so it is independent of the fleet size and \
+       the shard count."
+    in
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~doc)
+  in
+  let profile_arg =
+    let doc =
+      "Workload profile shaping each machine's exit-event mix: a Table 8 \
+       workload name (e.g. $(b,hackbench), $(b,tcp_maerts)) or \
+       $(b,mixed) to round-robin all ten over the fleet."
+    in
+    Arg.(value & opt string "mixed" & info [ "profile"; "p" ] ~docv:"PROFILE" ~doc)
+  in
+  let configs_arg =
+    let doc =
+      "Comma-separated configuration columns to round-robin machines \
+       over (default: all five ARM columns)."
+    in
+    Arg.(value & opt (some string) None & info [ "configs" ] ~docv:"KEYS" ~doc)
+  in
+  let ops_arg =
+    let doc = "Guest operations per machine." in
+    Arg.(value & opt int 48 & info [ "ops" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the canonical aggregate JSON (no shard count, no wall clock: \
+       byte-identical across shard counts) instead of the text summary."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let traced_arg =
+    let doc =
+      "Trace every machine's workload region on its own domain and \
+       cross-check the tracer's per-class sums against the cost meters; \
+       exit nonzero on any mismatch."
+    in
+    Arg.(value & flag & info [ "traced" ] ~doc)
+  in
+  let run n seed profile configs ops shards domains json traced verbose =
+    setup_logs verbose;
+    let configs =
+      match configs with
+      | None -> Fleet.columns
+      | Some s -> (
+        match Fleet.lookup_columns (String.split_on_char ',' s) with
+        | Ok cols -> cols
+        | Error k ->
+          Fmt.epr "neve_sim fleet: unknown config key %S (have: %s)@." k
+            (String.concat ", " Fleet.column_keys);
+          exit Cmd.Exit.cli_error)
+    in
+    if
+      String.lowercase_ascii profile <> "mixed"
+      && Workloads.Profiles.by_name profile = None
+    then begin
+      Fmt.epr "neve_sim fleet: unknown profile %S (have: mixed, %s)@." profile
+        (String.concat ", "
+           (List.map
+              (fun p -> p.Workloads.Profiles.name)
+              Workloads.Profiles.all));
+      exit Cmd.Exit.cli_error
+    end;
+    let t0 = Unix.gettimeofday () in
+    let t =
+      Fleet.run ?domains ~shards ~traced ~ops ~configs ~n ~seed ~profile ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if json then print_string (Fleet.json t)
+    else begin
+      Fmt.pr "%a@." Fleet.pp_summary t;
+      Fmt.pr "wall: %.2fs, %.0f machines/sec (shards=%d)@." dt
+        (float_of_int n /. dt) shards
+    end;
+    if not t.Fleet.agg.Fleet.a_trace_ok then exit fault_exit
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~exits:fault_exits
+       ~doc:
+         "Boot a fleet of machines across the five ARM configurations on \
+          a pool of OCaml domains and merge their meters; the aggregate \
+          is byte-identical whatever the shard count")
+    Term.(
+      const run $ n_arg $ seed_arg $ profile_arg $ configs_arg $ ops_arg
+      $ shards_arg $ domains_arg $ json_arg $ traced_arg $ verbose_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
@@ -866,4 +994,4 @@ let () =
             classify_cmd; validate_cmd; ablation_cmd; recursive_cmd;
             sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd; fuzz_cmd;
             trace_cmd; snapshot_cmd; restore_cmd; migrate_cmd;
-            recover_cmd ]))
+            recover_cmd; fleet_cmd ]))

@@ -23,7 +23,9 @@ let page_words = page_bytes / 8
 let cache_slots = 64
 
 (* Distinguished empty page: physical equality marks an absent page in
-   the front cache without an option allocation. *)
+   the front cache without an option allocation.
+   domain-safety: allowlisted global — an immutable zero-length sentinel
+   that is compared by identity and never written. *)
 let no_page : Bytes.t = Bytes.create 0
 
 type t = {

@@ -540,6 +540,8 @@ let all : t list =
 
 (* Reverse encoding lookup (used when decoding trapped-access syndromes and
    when decoding 32-bit MSR/MRS words). *)
+(* domain-safety: allowlisted global — the closed-over table is fully
+   populated at module load and read-only afterwards. *)
 let of_enc : (int * int * int * int * int) -> t option =
   let tbl = Hashtbl.create 128 in
   List.iter (fun r -> Hashtbl.replace tbl (enc r) r) all;
@@ -661,6 +663,8 @@ let index = function
   | VSESR_EL2 -> 152
   | VDISR_EL2 -> 153
 
+(* domain-safety: allowlisted global — populated (and checked bijective)
+   at module load, read-only afterwards. *)
 let of_index_tbl : t array =
   let placeholder = SP_EL0 in
   let tbl = Array.make count placeholder in
@@ -715,6 +719,8 @@ let vncr_layout : t list = List.filter has_page_slot all
 
 (* Dense-index-keyed offset table: -1 marks "no slot" so the hot lookup is
    one array load and a compare, no hashing or option allocation. *)
+(* domain-safety: allowlisted global — populated at module load,
+   read-only afterwards. *)
 let vncr_offset_tbl : int array =
   let tbl = Array.make count (-1) in
   List.iteri (fun i r -> tbl.(index r) <- 0x010 + (8 * i)) vncr_layout;

@@ -51,7 +51,12 @@ let streams_of ?snap_oracle words =
   | [] -> all
 
 let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
-    ?(traced = false) ?(snap_oracle = false) ?(max_cycles = 0) ~seed ~n () =
+    ?(traced = false) ?(snap_oracle = false) ?(max_cycles = 0) ?(shards = 1)
+    ?domains ~seed ~n () =
+  if shards > 1 && max_cycles <> 0 then
+    invalid_arg
+      "Campaign.run: a sim-cycle budget requires a serial campaign \
+       (shards=1) — truncation is defined program by program";
   let gen = Gen.create ~seed in
   let column_traps =
     List.map (fun c -> (c.Diff.col_name, ref 0)) Diff.columns
@@ -62,11 +67,12 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
      Unlike [should_stop] (a wall-clock escape hatch) this is part of the
      campaign's identity — same seed, same budget, same truncation. *)
   let within_cycles () = max_cycles = 0 || !cycles < max_cycles in
-  let i = ref 0 in
-  while !i < n && not (should_stop ()) && within_cycles () do
-    let prog = Gen.program gen in
-    let words = Prog.to_words prog in
-    let res = Diff.run_words ~snap_oracle words in
+  (* Fold one program's oracle result into the campaign state.  Both the
+     serial loop and the sharded fan-out go through this, in program
+     order — shrinking, repro writing and traced replays all happen here
+     on the calling domain, so fanning out parallelizes only the
+     side-effect-free oracle runs. *)
+  let fold_program i prog words res =
     incr ran;
     List.iter
       (fun (c, o) ->
@@ -83,7 +89,7 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
       let f =
         if List.length !found >= max_found then
           {
-            f_program = !i;
+            f_program = i;
             f_words = words;
             f_min_words = words;
             f_divergences =
@@ -112,20 +118,20 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
             | Some dir ->
               let path =
                 Filename.concat dir
-                  (Printf.sprintf "div-seed%d-p%d.repro" seed !i)
+                  (Printf.sprintf "div-seed%d-p%d.repro" seed i)
               in
               Prog.save ~path
                 ~header:
                   ([
                      "neve fuzz repro";
-                     Printf.sprintf "campaign seed=%d program=%d" seed !i;
+                     Printf.sprintf "campaign seed=%d program=%d" seed i;
                    ]
                   @ List.map (fun d -> "divergence: " ^ d) divs)
                 min_words;
               Some path
           in
           {
-            f_program = !i;
+            f_program = i;
             f_words = words;
             f_min_words = min_words;
             f_divergences = divs;
@@ -135,9 +141,36 @@ let run ?(should_stop = fun () -> false) ?corpus_dir ?(max_found = 3)
         end
       in
       found := f :: !found
-    end;
-    incr i
-  done;
+    end
+  in
+  if shards > 1 then begin
+    (* Sharded campaign.  The generator is coverage-directed and strictly
+       sequential — its PRNG is the campaign's one entropy stream — so
+       programs are drawn serially here exactly as the serial loop would
+       draw them, and only the oracle runs fan out.  [Diff.run_words] is
+       self-contained per program (fresh machines, no tracing), so the
+       result in slot i is the serial loop's result for program i, and
+       folding slots in index order reproduces the serial report byte
+       for byte.  The wall-clock escape hatch cannot cut a parallel
+       campaign at a well-defined program, so it is not consulted. *)
+    let progs = Array.init n (fun _ -> Gen.program gen) in
+    let words = Array.map Prog.to_words progs in
+    let results =
+      Shard.map ?domains ~shards ~jobs:n (fun i ->
+          Diff.run_words ~snap_oracle words.(i))
+    in
+    Array.iteri (fun i res -> fold_program i progs.(i) words.(i) res) results
+  end
+  else begin
+    let i = ref 0 in
+    while !i < n && not (should_stop ()) && within_cycles () do
+      let prog = Gen.program gen in
+      let words = Prog.to_words prog in
+      let res = Diff.run_words ~snap_oracle words in
+      fold_program !i prog words res;
+      incr i
+    done
+  end;
   {
     s_seed = seed;
     s_programs = !ran;

@@ -65,6 +65,8 @@ let rules_for config =
       (fun (rule, insn) -> if traps_under config insn then Some rule else None)
       [ (R_hvc, Insn.Hvc 0); (R_eret, Insn.Eret); (R_smc, Insn.Smc 0) ]
 
+(* domain-safety: allowlisted global — the dedup table is consumed at
+   module load; the resulting list is immutable. *)
 let registry =
   let seen = Hashtbl.create 512 in
   List.concat_map rules_for Config.all_nested
@@ -78,6 +80,8 @@ let registry =
 
 let registry_size = List.length registry
 
+(* domain-safety: allowlisted global — populated at module load,
+   read-only afterwards. *)
 let registry_names =
   let h = Hashtbl.create (2 * registry_size) in
   List.iter (fun r -> Hashtbl.replace h (rule_name r) ()) registry;

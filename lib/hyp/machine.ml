@@ -193,7 +193,7 @@ let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
      (* arm the stage-2 walker's injection point: a due S2_fault event
         makes the next walk miss, exercising the shadow-refill and
         fault-reflection paths *)
-     Mmu.Walk.inject :=
+     Mmu.Walk.set_inject
        (fun ~ia ~is_write:_ ->
          match
            Fault.Plan.due ~kind:Fault.Plan.S2_fault plan

@@ -36,6 +36,8 @@ let forms : Sysreg.access array =
      @ List.map Sysreg.el12 Reglists.el12_capable
      @ List.map Sysreg.el02 Reglists.timer_el0_state)
 
+(* domain-safety: allowlisted global — the closed-over table is fully
+   populated at module load and read-only afterwards. *)
 let form_index : Sysreg.access -> int =
   let tbl = Hashtbl.create 256 in
   Array.iteri (fun i a -> Hashtbl.replace tbl a i) forms;

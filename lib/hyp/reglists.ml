@@ -161,6 +161,8 @@ let el0_state_indices = index_array el0_state
    world-switch code stores to and loads from these slots.  Slot order
    follows [Sysreg.all] (the layout guest images were built against), the
    lookup is one array load keyed by the dense index. *)
+(* domain-safety: allowlisted global — populated at module load,
+   read-only afterwards. *)
 let ctx_slot_tbl : int array =
   let tbl = Array.make Sysreg.count (-1) in
   List.iteri (fun i r -> tbl.(Sysreg.index r) <- 8 * i) Sysreg.all;

@@ -46,35 +46,41 @@ let vm_el1_access ~vhe r =
   if vhe && Reglists.is_el12_capable r then Sysreg.el12 r
   else Sysreg.direct r
 
-(* Register copies performed by save/restore loops since startup.  The
-   world-switch tracer reads the delta around l0 enter/exit to attribute a
-   copy count to each switch; a plain monotonic counter keeps the loops
-   allocation-free. *)
-let copied = ref 0
+(* Register copies performed by save/restore loops since startup,
+   domain-local: every domain's world switches count into its own
+   monotonic counter, so fleet shards never race and the world-switch
+   tracer's delta around l0 enter/exit (taken on the emitting domain)
+   attributes exactly that domain's copies.  A plain counter keeps the
+   loops allocation-free. *)
+let copied_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let reg_copies () = !copied
+let copied () = Domain.DLS.get copied_key
+
+let reg_copies () = !(copied ())
 
 (* Compiled save/restore loops (Host_hyp's l0 fast path) perform the same
    copies without going through [save_array]/[restore_array]; they account
    for them here so tracer deltas stay identical. *)
-let add_copies n = copied := !copied + n
+let add_copies n =
+  let c = copied () in
+  c := !c + n
 
 let save_list ops ~ctx ~via regs =
-  copied := !copied + List.length regs;
+  add_copies (List.length regs);
   List.iter (fun r -> ops.st (slot ctx r) (ops.rd (via r))) regs
 
 let restore_list ops ~ctx ~via regs =
-  copied := !copied + List.length regs;
+  add_copies (List.length regs);
   List.iter (fun r -> ops.wr (via r) (ops.ld (slot ctx r))) regs
 
 (* Same loops over the precomputed register arrays the Reglists compile
    to — the form every per-switch path below uses. *)
 let save_array ops ~ctx ~via regs =
-  copied := !copied + Array.length regs;
+  add_copies (Array.length regs);
   Array.iter (fun r -> ops.st (slot ctx r) (ops.rd (via r))) regs
 
 let restore_array ops ~ctx ~via regs =
-  copied := !copied + Array.length regs;
+  add_copies (Array.length regs);
   Array.iter (fun r -> ops.wr (via r) (ops.ld (slot ctx r))) regs
 
 (* --- the VM's EL1 context --- *)

@@ -27,8 +27,10 @@ val slot : int64 -> Sysreg.t -> int64
 
 val reg_copies : unit -> int
 (** Monotonic count of register copies performed by the save/restore
-    loops since startup.  The world-switch tracer takes deltas around
-    enter/exit to attribute a copy count to each switch. *)
+    loops on the {e calling domain} since it started.  The world-switch
+    tracer takes deltas around enter/exit to attribute a copy count to
+    each switch; the counter is domain-local so fleet shards never race
+    on it. *)
 
 val add_copies : int -> unit
 (** Account [n] copies performed by a compiled save/restore loop that

@@ -51,16 +51,21 @@ let block_offset ~level a =
   Int64.logand a (Int64.sub sz 1L)
 
 (* Fault-injection hook: consulted before every walk; returning [Some f]
-   makes the walk fail with that fault without touching memory.  Global
-   (not per-walker) because walks happen from both CPU-driven stage-2
-   lookups and host shadow-table maintenance, and the injector wants to
-   perturb either. *)
-let inject : (ia:int64 -> is_write:bool -> fault option) ref =
-  ref (fun ~ia:_ ~is_write:_ -> None)
+   makes the walk fail with that fault without touching memory.  Not
+   per-walker, because walks happen from both CPU-driven stage-2 lookups
+   and host shadow-table maintenance and the injector wants to perturb
+   either — but domain-local, so a fault plan armed by a machine running
+   on one fleet shard can never reach into walks on another domain. *)
+let no_inject ~ia:_ ~is_write:_ = None
+
+let inject_key = Domain.DLS.new_key (fun () -> ref no_inject)
+
+let set_inject f = Domain.DLS.get inject_key := f
+let clear_inject () = Domain.DLS.get inject_key := no_inject
 
 (* Walk the table rooted at [base] for input address [ia]. *)
 let walk mem ~base ~ia ~is_write : (translation, fault) result =
-  match !inject ~ia ~is_write with
+  match !(Domain.DLS.get inject_key) ~ia ~is_write with
   | Some f -> Error f
   | None ->
   let rec go table level =

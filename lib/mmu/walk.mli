@@ -31,10 +31,14 @@ val page_offset : int64 -> int64
 val block_base : level:int -> int64 -> int64
 val block_offset : level:int -> int64 -> int64
 
-val inject : (ia:int64 -> is_write:bool -> fault option) ref
-(** Fault-injection hook consulted before every {!walk}; [Some f] fails
-    the walk with that fault without touching memory.  Defaults to a
-    function returning [None]. *)
+val set_inject : (ia:int64 -> is_write:bool -> fault option) -> unit
+(** Arm the fault-injection hook consulted before every {!walk} on the
+    calling domain; [Some f] fails the walk with that fault without
+    touching memory.  The hook is domain-local: a fault plan armed by a
+    machine on one fleet shard can never perturb walks on another. *)
+
+val clear_inject : unit -> unit
+(** Disarm the calling domain's hook (back to the [None] default). *)
 
 val walk :
   Memory.t -> base:int64 -> ia:int64 -> is_write:bool ->

@@ -106,6 +106,7 @@ type view = {
 let default_capacity = 4096
 
 type sink = {
+  mutable enabled : bool;   (* this domain's emission gate *)
   mutable ring : event array;
   mutable next : int;       (* total events ever emitted *)
   mutable clock : int;      (* last simulated-cycle stamp seen *)
@@ -118,72 +119,100 @@ let fresh_event () =
   { e_seq = 0; e_cycles = 0; e_tid = 0; e_kind = Trap; e_cls = ""; e_a0 = 0L;
     e_a1 = 0L; e_detail = "" }
 
-let sink = {
-  ring = [||];
-  next = 0;
-  clock = 0;
-  tid = 0;
-  counters = Hashtbl.create 16;
-}
+(* All mutable trace state is domain-local: each domain that traces owns
+   its own ring, counters and clock, so fleet shards on separate domains
+   emit race-free and their per-machine counter snapshots stay
+   byte-deterministic.  Cross-domain aggregation is the caller's job
+   (the fleet merges per-machine counts in machine-index order). *)
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        enabled = false;
+        ring = [||];
+        next = 0;
+        clock = 0;
+        tid = 0;
+        counters = Hashtbl.create 16;
+      })
 
-(* The single branch the disabled path pays.  Exposed as a ref so call
-   sites compile to a load and a conditional jump, nothing more. *)
+let sink () = Domain.DLS.get key
+
+(* domain-safety: allowlisted global.  The single branch the disabled
+   path pays — exposed as a ref so call sites compile to a load and a
+   conditional jump, nothing more.  It is a cross-domain *may-trace*
+   guard, not state: flipping it true is idempotent and races benignly;
+   flipping it false must only happen when no other domain is tracing
+   (single-domain use, or a fleet coordinator after Domain.join — worker
+   domains use {!detach}).  Everything an emission actually touches
+   lives in the domain-local sink above. *)
 let on = ref false
 
-let is_on () = !on
+let is_on () = !on && (sink ()).enabled
 
 let reset () =
-  sink.next <- 0;
-  sink.clock <- 0;
-  sink.tid <- 0;
-  Hashtbl.reset sink.counters
+  let s = sink () in
+  s.next <- 0;
+  s.clock <- 0;
+  s.tid <- 0;
+  Hashtbl.reset s.counters
 
 let enable ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
-  if Array.length sink.ring <> capacity then
-    sink.ring <- Array.init capacity (fun _ -> fresh_event ());
+  let s = sink () in
+  if Array.length s.ring <> capacity then
+    s.ring <- Array.init capacity (fun _ -> fresh_event ());
   reset ();
+  s.enabled <- true;
   on := true
 
-let disable () = on := false
+let detach () = (sink ()).enabled <- false
 
-let capacity () = Array.length sink.ring
+let disable () =
+  detach ();
+  on := false
+
+let capacity () = Array.length (sink ()).ring
 
 let emit ?cycles ?tid ?(cls = "") ?(a0 = 0L) ?(a1 = 0L) ?(detail = "") kind =
   if !on then begin
-    let cyc =
-      match cycles with
-      | Some c ->
-        if c > sink.clock then sink.clock <- c;
-        c
-      | None -> sink.clock
-    in
-    let lane =
-      match tid with
-      | Some t ->
-        sink.tid <- t;
-        t
-      | None -> sink.tid
-    in
-    let e = sink.ring.(sink.next mod Array.length sink.ring) in
-    e.e_seq <- sink.next;
-    e.e_cycles <- cyc;
-    e.e_tid <- lane;
-    e.e_kind <- kind;
-    e.e_cls <- cls;
-    e.e_a0 <- a0;
-    e.e_a1 <- a1;
-    e.e_detail <- detail;
-    sink.next <- sink.next + 1;
-    if kind = Trap then
-      match Hashtbl.find_opt sink.counters cls with
-      | Some r -> incr r
-      | None -> Hashtbl.add sink.counters cls (ref 1)
+    let sink = sink () in
+    if sink.enabled then begin
+      let cyc =
+        match cycles with
+        | Some c ->
+          if c > sink.clock then sink.clock <- c;
+          c
+        | None -> sink.clock
+      in
+      let lane =
+        match tid with
+        | Some t ->
+          sink.tid <- t;
+          t
+        | None -> sink.tid
+      in
+      let e = sink.ring.(sink.next mod Array.length sink.ring) in
+      e.e_seq <- sink.next;
+      e.e_cycles <- cyc;
+      e.e_tid <- lane;
+      e.e_kind <- kind;
+      e.e_cls <- cls;
+      e.e_a0 <- a0;
+      e.e_a1 <- a1;
+      e.e_detail <- detail;
+      sink.next <- sink.next + 1;
+      if kind = Trap then
+        match Hashtbl.find_opt sink.counters cls with
+        | Some r -> incr r
+        | None -> Hashtbl.add sink.counters cls (ref 1)
+    end
   end
 
-let total_emitted () = sink.next
+let total_emitted () = (sink ()).next
 
-let dropped () = max 0 (sink.next - Array.length sink.ring)
+let dropped () =
+  let s = sink () in
+  max 0 (s.next - Array.length s.ring)
 
 let view_of (e : event) = {
   v_seq = e.e_seq;
@@ -198,6 +227,7 @@ let view_of (e : event) = {
 
 (* Events still in the window, oldest first. *)
 let events () =
+  let sink = sink () in
   let cap = Array.length sink.ring in
   if cap = 0 then []
   else begin
@@ -215,16 +245,16 @@ let last n =
    count, so the class totals sum to exactly the number of classified
    traps the run took. *)
 let class_counts () =
-  Hashtbl.fold (fun cls r acc -> (cls, !r) :: acc) sink.counters []
+  Hashtbl.fold (fun cls r acc -> (cls, !r) :: acc) (sink ()).counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let class_count cls =
-  match Hashtbl.find_opt sink.counters cls with
+  match Hashtbl.find_opt (sink ()).counters cls with
   | Some r -> !r
   | None -> 0
 
 let class_total () =
-  Hashtbl.fold (fun _ r acc -> acc + !r) sink.counters 0
+  Hashtbl.fold (fun _ r acc -> acc + !r) (sink ()).counters 0
 
 (* --- rendering --- *)
 

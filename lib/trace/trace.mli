@@ -8,7 +8,16 @@
     [if !Trace.on then ...]: with tracing disabled each site costs one
     load-and-branch and allocates nothing.  Timestamps are simulated
     cycles and sequence numbers, never wall clock, so traces are
-    byte-deterministic per run. *)
+    byte-deterministic per run.
+
+    {b Domain model.}  All mutable trace state — the ring, the class
+    counters, the clock — is domain-local ([Domain.DLS]): each domain
+    that calls {!enable} traces into its own sink, so fleet shards on
+    separate domains emit race-free and read back their own counters.
+    The one shared word is {!on}, a cross-domain {e may-trace} guard:
+    worker domains may {!enable} (setting it true is idempotent) and
+    must stand down with {!detach}; only the coordinating domain — after
+    joining its workers — may {!disable}, which also drops the guard. *)
 
 (** Event taxonomy (DESIGN.md section 4f maps these onto the paper's
     Table 7 exit classes). *)
@@ -60,18 +69,29 @@ type view = {
 val on : bool ref
 (** The single branch the disabled path pays.  Call sites guard emission
     (and any argument construction) with [if !Trace.on then ...].  Use
-    {!enable}/{!disable} to flip it — never write it directly, or the
-    ring may be unallocated. *)
+    {!enable}/{!disable}/{!detach} to flip it — never write it directly,
+    or the ring may be unallocated.  True means {e some} domain may be
+    tracing; {!emit} then consults the calling domain's own gate, so a
+    domain that never enabled still emits nothing. *)
 
 val is_on : unit -> bool
+(** Whether the {e calling domain} is tracing. *)
 
 val enable : ?capacity:int -> unit -> unit
-(** Preallocate a ring of [capacity] (default 4096) event slots, clear
-    all counters, and turn emission on.  Re-enabling with the same
-    capacity reuses the allocation. *)
+(** Preallocate a ring of [capacity] (default 4096) event slots in the
+    calling domain's sink, clear its counters, and turn emission on for
+    this domain.  Re-enabling with the same capacity reuses the
+    allocation. *)
 
 val disable : unit -> unit
-(** Turn emission off.  Buffered events and counters stay readable. *)
+(** Turn emission off — this domain's gate and the cross-domain guard.
+    Buffered events and counters stay readable.  Must not be called
+    while another domain is tracing; shard workers use {!detach}. *)
+
+val detach : unit -> unit
+(** Turn emission off for the calling domain only, leaving the
+    cross-domain guard up.  What shard workers call instead of
+    {!disable}, so they cannot silence a sibling domain mid-run. *)
 
 val reset : unit -> unit
 (** Clear events and counters without touching the enabled flag. *)

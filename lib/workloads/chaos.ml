@@ -123,8 +123,8 @@ let run_config ~seed ~faults ~trap_budget ~max_cycles (name, config, scenario) =
   done;
   let timed_out = not (within_cycles ()) in
   let final_sweep = Machine.check_invariants m in
-  (* disarm the global stage-2 hook so the next machine starts clean *)
-  Mmu.Walk.inject := (fun ~ia:_ ~is_write:_ -> None);
+  (* disarm this domain's stage-2 hook so the next machine starts clean *)
+  Mmu.Walk.clear_inject ();
   let live = Machine.violations m in
   let sample =
     List.filteri
@@ -146,15 +146,22 @@ let run_config ~seed ~faults ~trap_budget ~max_cycles (name, config, scenario) =
     cr_timed_out = timed_out;
   }
 
-let run ?(seed = 42) ?(faults = 24) ?(traps = 10_000) ?(max_cycles = 0) () =
+let run ?(seed = 42) ?(faults = 24) ?(traps = 10_000) ?(max_cycles = 0)
+    ?(shards = 1) ?domains () =
+  (* per-configuration seeds come from the configuration *name*, never
+     from a shared stream, so fanning the matrix out over shards returns
+     the exact report the serial loop produces: Shard.map fills slot i
+     with configuration i's report and the fold below is in slot order *)
+  let scens = Array.of_list scenarios in
+  let reports =
+    Shard.map ?domains ~shards ~jobs:(Array.length scens) (fun i ->
+        run_config ~seed ~faults ~trap_budget:traps ~max_cycles scens.(i))
+  in
   {
     r_seed = seed;
     r_faults = faults;
     r_trap_budget = traps;
-    r_configs =
-      List.map
-        (run_config ~seed ~faults ~trap_budget:traps ~max_cycles)
-        scenarios;
+    r_configs = Array.to_list reports;
   }
 
 let pp_config_report ppf c =

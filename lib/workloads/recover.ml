@@ -115,7 +115,7 @@ let run_serror ~seed ((name, _, _) as sc) =
   drive m ~cpu:0 1 (* the guest keeps running after taking the SError *);
   let expected = Machine.total_traps m - t0 in
   let tr_ok = Trace.class_total () = expected in
-  Trace.disable ();
+  Trace.detach ();
   {
     sr_config = name;
     sr_fault = "serror";
@@ -167,7 +167,7 @@ let run_hang ~policy ((name, _, scenario) as sc) =
   let alive = m'.Machine.cpus.(1).Cpu.meter.Cost.insns > insns_before in
   let expected = Machine.total_traps m' - t0 + !rewound in
   let tr_ok = Trace.class_total () = expected in
-  Trace.disable ();
+  Trace.detach ();
   let e = !fired in
   let applied =
     match e with
@@ -228,7 +228,7 @@ let run_mig ~seed ((name, _, _) as sc) =
     Machine.total_traps src' - t0 + rr.Snap.Migrate.rr_rewound_traps
   in
   let tr_ok = Trace.class_total () = expected in
-  Trace.disable ();
+  Trace.detach ();
   {
     sr_config = name;
     sr_fault = "mig-stream";
@@ -248,16 +248,27 @@ let run_mig ~seed ((name, _, _) as sc) =
         (if rr.Snap.Migrate.rr_rollbacks_clean then "clean" else "DIRTY");
   }
 
-let run ?(seed = 42) ?(policy = Supervise.Restart_from_snapshot) () =
+let run ?(seed = 42) ?(policy = Supervise.Restart_from_snapshot) ?(shards = 1)
+    ?domains () =
   let was_tracing = Trace.is_on () in
-  let reports =
-    List.concat_map
-      (fun sc ->
-        [ run_serror ~seed sc; run_hang ~policy sc; run_mig ~seed sc ])
-      scenarios
+  (* the campaign flattened: scenario i/3, fault family i mod 3 — the
+     same order the serial concat_map produced.  Per-scenario seeds are
+     pinned to configuration names and every body traces into its own
+     domain's sink (standing down with [detach], so a worker can't
+     silence a sibling), which is why sharding the campaign cannot
+     change a byte of the report. *)
+  let scens = Array.of_list scenarios in
+  let jobs = 3 * Array.length scens in
+  let results =
+    Shard.map ?domains ~shards ~jobs (fun i ->
+        let sc = scens.(i / 3) in
+        match i mod 3 with
+        | 0 -> run_serror ~seed sc
+        | 1 -> run_hang ~policy sc
+        | _ -> run_mig ~seed sc)
   in
   if not was_tracing then Trace.disable ();
-  { rc_seed = seed; rc_policy = policy; rc_scenarios = reports }
+  { rc_seed = seed; rc_policy = policy; rc_scenarios = Array.to_list results }
 
 (* --- reporting --- *)
 

@@ -39,9 +39,15 @@ val scenarios : (string * Hyp.Config.t * Hyp.Host_hyp.scenario) list
 (** The five ARM configurations: plain VM plus the four nested
     mechanisms. *)
 
-val run : ?seed:int -> ?policy:Supervise.policy -> unit -> report
+val run :
+  ?seed:int -> ?policy:Supervise.policy -> ?shards:int -> ?domains:int ->
+  unit -> report
 (** Run all [5 configs x 3 fault families] scenarios.  Deterministic:
-    same [seed] and [policy], byte-identical report. *)
+    same [seed] and [policy], byte-identical report — including under
+    [shards] > 1, which fans the 15 flattened scenarios out over
+    {!Shard.map} (each body traces into its own domain's sink and
+    stands down with [Trace.detach]).  [domains] forces the pool
+    size. *)
 
 val pp_scenario : Format.formatter -> scenario_report -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -83,10 +83,10 @@ let test_walk_inject () =
   let planted =
     { Mmu.Walk.f_level = 2; f_ia = 0x2000L; f_reason = `Permission }
   in
-  Mmu.Walk.inject :=
+  Mmu.Walk.set_inject
     (fun ~ia ~is_write:_ -> if ia = 0x2000L then Some planted else None);
   let r = Mmu.Walk.walk mem ~base:0x1000L ~ia:0x2000L ~is_write:false in
-  Mmu.Walk.inject := (fun ~ia:_ ~is_write:_ -> None);
+  Mmu.Walk.clear_inject ();
   check Alcotest.bool "armed hook fails the walk with the planted fault"
     true (r = Error planted);
   (* a natural walk of the same address misses at level 1, not level 2:

@@ -1,0 +1,232 @@
+(* The fleet engine's contract, tested from both ends:
+
+   - the generic shard engine (Shard.map) returns serial results
+     whatever the shard count, pool size or scheduling, and re-raises
+     the lowest failing job's exception;
+   - per-machine seeds are position-independent: machine k is the same
+     machine in an 8-member fleet and a 10,000-member fleet;
+   - the fleet's aggregate JSON is byte-identical across shard counts
+     (the determinism matrix), and per-machine results equal a serial
+     loop's (the serial-vs-fleet equivalence oracle), traced class
+     counters included;
+   - the chaos, fuzz and recover campaigns produce byte-identical
+     reports when fanned out over the same engine.
+
+   The host may have a single core; [~domains] forces a real
+   multi-domain pool so these tests still exercise cross-domain
+   execution (domain-local trace sinks, injection hooks, copy counters)
+   rather than degenerating to the inline path. *)
+
+open Alcotest
+
+(* --- the shard engine itself --- *)
+
+let test_derive_position_independent () =
+  let a = Shard.derive ~seed:42 ~index:7 in
+  check int64 "pure function of (seed, index)" a
+    (Shard.derive ~seed:42 ~index:7);
+  check bool "seed matters" false (a = Shard.derive ~seed:43 ~index:7);
+  check bool "index matters" false (a = Shard.derive ~seed:42 ~index:8);
+  (* no collisions across a healthy range (splitmix64 is bijective in
+     the counter; this guards the seed folding) *)
+  let seen = Hashtbl.create 1024 in
+  for i = 0 to 999 do
+    Hashtbl.replace seen (Shard.derive ~seed:42 ~index:i) ()
+  done;
+  check int "1000 distinct machine seeds" 1000 (Hashtbl.length seen);
+  check bool "derive_int is non-negative" true
+    (Shard.derive_int ~seed:42 ~index:123 >= 0)
+
+let test_shard_map_matches_serial () =
+  let f i = (i * i) + 1 in
+  let serial = Array.init 100 f in
+  List.iter
+    (fun shards ->
+      check (array int)
+        (Printf.sprintf "shards=%d" shards)
+        serial
+        (Shard.map ~shards ~jobs:100 f))
+    [ 1; 2; 4; 8; 13; 100 ];
+  (* a forced multi-domain pool must change nothing *)
+  check (array int) "forced 4-domain pool" serial
+    (Shard.map ~domains:4 ~shards:8 ~jobs:100 f)
+
+let test_shard_map_exception_lowest () =
+  match
+    Shard.map ~domains:4 ~shards:4 ~jobs:20 (fun i ->
+        if i mod 7 = 3 then failwith (string_of_int i) else i)
+  with
+  | _ -> fail "expected a re-raised job exception"
+  | exception Failure m ->
+    (* jobs 3, 10 and 17 fail on different shards; the surfaced error
+       must be the lowest job index, independent of scheduling *)
+    check string "lowest failing job wins" "3" m
+
+(* --- the fleet determinism matrix --- *)
+
+let small_ops = 12
+
+let run_fleet ?domains ?(traced = false) ~shards ~n ~seed ~profile () =
+  Fleet.run ?domains ~traced ~shards ~ops:small_ops ~n ~seed ~profile ()
+
+let digests (t : Fleet.t) =
+  Array.to_list (Array.map (fun r -> r.Fleet.r_digest) t.Fleet.results)
+
+let test_fleet_matrix () =
+  let base = run_fleet ~shards:1 ~n:24 ~seed:7 ~profile:"mixed" () in
+  let base_json = Fleet.json base in
+  List.iter
+    (fun shards ->
+      let t =
+        run_fleet ~domains:4 ~shards ~n:24 ~seed:7 ~profile:"mixed" ()
+      in
+      check string
+        (Printf.sprintf "aggregate JSON, shards=%d" shards)
+        base_json (Fleet.json t);
+      check (list int64)
+        (Printf.sprintf "per-machine digests, shards=%d" shards)
+        (digests base) (digests t))
+    [ 2; 4; 8 ];
+  (* rerun in-process: no state leaks between campaigns *)
+  check string "rerun is byte-identical" base_json
+    (Fleet.json (run_fleet ~shards:1 ~n:24 ~seed:7 ~profile:"mixed" ()))
+
+let test_serial_vs_fleet_equivalence () =
+  let n = 16 and seed = 11 and profile = "mixed" in
+  let fleet =
+    run_fleet ~domains:4 ~shards:4 ~n ~seed ~profile ()
+  in
+  (* the serial oracle: the same 16 machines, run one by one on this
+     domain with the same derived seeds *)
+  let serial =
+    Array.init n (fun i ->
+        Fleet.run_spec ~ops:small_ops
+          (Fleet.spec_of ~seed ~profile ~configs:Fleet.columns i))
+  in
+  Array.iteri
+    (fun i (s : Fleet.result) ->
+      let f = fleet.Fleet.results.(i) in
+      let tag fmt = Printf.sprintf "machine %d: %s" i fmt in
+      check int64 (tag "seed") s.Fleet.r_seed f.Fleet.r_seed;
+      check int (tag "traps") s.Fleet.r_traps f.Fleet.r_traps;
+      check int (tag "cycles") s.Fleet.r_cycles f.Fleet.r_cycles;
+      check int (tag "retired insns") s.Fleet.r_insns f.Fleet.r_insns;
+      check
+        (list (pair string int))
+        (tag "per-class trap sums")
+        (List.map (fun (k, c) -> (Cost.trap_kind_name k, c)) s.Fleet.r_by_kind)
+        (List.map (fun (k, c) -> (Cost.trap_kind_name k, c)) f.Fleet.r_by_kind);
+      check int64 (tag "digest") s.Fleet.r_digest f.Fleet.r_digest)
+    serial
+
+let test_seed_position_independence_in_fleet () =
+  (* growing the fleet must not move the machines that were already in
+     it: machine k of an 8-fleet equals machine k of a 16-fleet, and the
+     shard count is irrelevant to both *)
+  let small = run_fleet ~shards:1 ~n:8 ~seed:3 ~profile:"mixed" () in
+  let large = run_fleet ~domains:4 ~shards:4 ~n:16 ~seed:3 ~profile:"mixed" () in
+  for k = 0 to 7 do
+    check int64
+      (Printf.sprintf "machine %d unchanged by fleet growth" k)
+      small.Fleet.results.(k).Fleet.r_digest
+      large.Fleet.results.(k).Fleet.r_digest
+  done
+
+let test_traced_fleet_class_sums () =
+  let t =
+    run_fleet ~domains:3 ~traced:true ~shards:3 ~n:10 ~seed:5
+      ~profile:"hackbench" ()
+  in
+  check bool "aggregate trace_ok" true t.Fleet.agg.Fleet.a_trace_ok;
+  Array.iter
+    (fun (r : Fleet.result) ->
+      check bool
+        (Printf.sprintf "machine %d: tracer agrees with meters"
+           r.Fleet.r_index)
+        true r.Fleet.r_trace_ok;
+      check int
+        (Printf.sprintf "machine %d: class sums = traps" r.Fleet.r_index)
+        r.Fleet.r_traps
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 r.Fleet.r_trace_classes))
+    t.Fleet.results;
+  (* and the traced fleet's meters equal the untraced fleet's: tracing
+     is observation, not perturbation (digests differ by design — they
+     cover the trace counters) *)
+  let untraced =
+    run_fleet ~shards:1 ~n:10 ~seed:5 ~profile:"hackbench" ()
+  in
+  let meters (ft : Fleet.t) =
+    Array.to_list
+      (Array.map
+         (fun (r : Fleet.result) ->
+           (r.Fleet.r_cycles, (r.Fleet.r_insns, r.Fleet.r_traps)))
+         ft.Fleet.results)
+  in
+  check
+    (list (pair int (pair int int)))
+    "traced = untraced per-machine meters" (meters untraced) (meters t)
+
+let test_fleet_rejects_unknown_profile () =
+  check_raises "unknown profile"
+    (Invalid_argument "Fleet: unknown profile \"no-such-workload\"")
+    (fun () ->
+      ignore (Fleet.run ~n:1 ~seed:0 ~profile:"no-such-workload" ()))
+
+(* --- campaign fan-outs ride the same engine --- *)
+
+let test_chaos_fanout_equals_serial () =
+  let serial = Workloads.Chaos.run ~seed:13 ~traps:400 () in
+  let sharded =
+    Workloads.Chaos.run ~seed:13 ~traps:400 ~shards:4 ~domains:4 ()
+  in
+  check string "chaos report is byte-identical"
+    (Fmt.str "%a" Workloads.Chaos.pp_report serial)
+    (Fmt.str "%a" Workloads.Chaos.pp_report sharded)
+
+let test_fuzz_fanout_equals_serial () =
+  let serial = Fuzz.Campaign.run ~seed:5 ~n:12 () in
+  let sharded = Fuzz.Campaign.run ~seed:5 ~n:12 ~shards:4 ~domains:4 () in
+  check string "fuzz stats are byte-identical"
+    (Fuzz.Campaign.json_stats serial)
+    (Fuzz.Campaign.json_stats sharded)
+
+let test_fuzz_fanout_rejects_cycle_budget () =
+  check bool "sharded fuzz rejects --max-cycles" true
+    (match Fuzz.Campaign.run ~seed:0 ~n:4 ~max_cycles:1 ~shards:2 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_recover_fanout_equals_serial () =
+  let serial = Workloads.Recover.run ~seed:21 () in
+  let sharded = Workloads.Recover.run ~seed:21 ~shards:5 ~domains:4 () in
+  check string "recover digest is identical"
+    (Workloads.Recover.digest serial)
+    (Workloads.Recover.digest sharded)
+
+let suite =
+  [
+    test_case "seed derivation is position-independent" `Quick
+      test_derive_position_independent;
+    test_case "Shard.map equals serial for every shard count" `Quick
+      test_shard_map_matches_serial;
+    test_case "Shard.map re-raises the lowest failing job" `Quick
+      test_shard_map_exception_lowest;
+    test_case "determinism matrix: shards 1/2/4/8 byte-identical" `Quick
+      test_fleet_matrix;
+    test_case "serial-vs-fleet equivalence oracle (16 machines)" `Quick
+      test_serial_vs_fleet_equivalence;
+    test_case "machine k survives fleet growth and resharding" `Quick
+      test_seed_position_independence_in_fleet;
+    test_case "traced fleet: class sums match meters on every domain" `Quick
+      test_traced_fleet_class_sums;
+    test_case "unknown profile is rejected" `Quick
+      test_fleet_rejects_unknown_profile;
+    test_case "chaos fan-out is byte-identical to serial" `Quick
+      test_chaos_fanout_equals_serial;
+    test_case "fuzz fan-out is byte-identical to serial" `Quick
+      test_fuzz_fanout_equals_serial;
+    test_case "sharded fuzz rejects a sim-cycle budget" `Quick
+      test_fuzz_fanout_rejects_cycle_budget;
+    test_case "recover fan-out is byte-identical to serial" `Slow
+      test_recover_fanout_equals_serial;
+  ]

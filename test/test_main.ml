@@ -20,4 +20,6 @@ let () =
       ("trace", Test_trace.suite);
       ("snap", Test_snap.suite);
       ("supervision", Test_supervise.suite);
+      ("fleet", Test_fleet.suite);
+      ("domain-safety", Test_domain_safety.suite);
     ]
