@@ -548,9 +548,32 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some bool) None & info [ "superblocks" ] ~doc)
   in
+  let smp_arg =
+    let doc =
+      "Run the multi-vCPU SMP campaign instead of the instruction-stream \
+       oracle: seed-derived programs of remaps racing readers, staged \
+       break-before-make sequences and SGI storms on every column, \
+       checking the architectural observation streams match and the \
+       shootdown/BBM invariants hold (no stale translation after a \
+       completed shootdown, break-before-make ordering respected).  \
+       Exits nonzero on any divergence or invariant violation."
+    in
+    Arg.(value & flag & info [ "smp" ] ~doc)
+  in
+  let smp_ops_arg =
+    let doc = "Operations per program in the SMP campaign." in
+    Arg.(value & opt int Fuzz.Smp.default_ops & info [ "smp-ops" ] ~doc)
+  in
   let run seed n max_seconds max_cycles json corpus_dir traced snap_oracle
-      superblocks shards domains verbose =
+      superblocks smp smp_ops shards domains verbose =
     setup_logs verbose;
+    if smp then begin
+      let r = Fuzz.Smp.run ~ops:smp_ops ~seed ~n () in
+      if json then print_endline (Fuzz.Smp.json_report r)
+      else Fmt.pr "%a@." Fuzz.Smp.pp_report r;
+      if Fuzz.Smp.finding_count r > 0 then exit fault_exit;
+      exit 0
+    end;
     (match superblocks with
      | Some b -> Arm.Xlate.enabled := b
      | None -> ());
@@ -589,7 +612,8 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ n_arg $ max_seconds_arg $ max_cycles_arg
       $ json_arg $ corpus_arg $ trace_arg $ snap_oracle_arg
-      $ superblocks_arg $ shards_arg $ domains_arg $ verbose_arg)
+      $ superblocks_arg $ smp_arg $ smp_ops_arg $ shards_arg $ domains_arg
+      $ verbose_arg)
 
 (* --- snapshot / restore / live migration --- *)
 
@@ -979,6 +1003,65 @@ let fleet_cmd =
       const run $ n_arg $ seed_arg $ profile_arg $ configs_arg $ ops_arg
       $ shards_arg $ domains_arg $ json_arg $ traced_arg $ verbose_arg)
 
+(* --- SLO-grade serving scenarios --- *)
+
+let serve_cmd =
+  let n_arg =
+    let doc =
+      "Number of serving machines (round-robined over the five ARM \
+       configurations and the Apache/Memcached/MySQL profiles)."
+    in
+    Arg.(value & opt int 15 & info [ "n" ] ~docv:"MACHINES" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Campaign seed.  Machine $(i,i)'s seed (and so its fault plan and \
+       request stream) is derived from (seed, i), independent of fleet \
+       size and shard count."
+    in
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~doc)
+  in
+  let requests_arg =
+    let doc = "Requests served per machine." in
+    Arg.(value & opt int Serve.default_requests & info [ "requests" ] ~doc)
+  in
+  let migrate_every_arg =
+    let doc = "Live-migrate each machine every this many requests." in
+    Arg.(
+      value
+      & opt int Serve.default_migrate_every
+      & info [ "migrate-every" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the canonical SLO report JSON (schema neve-slo-report/1; no \
+       shard count, no wall clock: byte-identical across shard counts) \
+       instead of the text summary."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run n seed requests migrate_every shards domains json verbose =
+    setup_logs verbose;
+    let t = Serve.run ?domains ~shards ~requests ~migrate_every ~n ~seed () in
+    if json then print_endline (Serve.json t)
+    else Fmt.pr "%a@." Serve.pp_summary t;
+    if not t.Serve.s_clean then exit fault_exit
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:fault_exits
+       ~doc:
+         "SLO-grade serving: virtio-net request streams \
+          (Apache/Memcached/MySQL) on SMP nested guests while fault \
+          plans and live-migration rounds fire underneath; reports \
+          p50/p99/p999 sim-cycle latency of virtual-IRQ delivery and \
+          request completion per ARM configuration, byte-identical \
+          across reruns and shard counts.  Exits nonzero if any \
+          machine's TLB-shootdown/break-before-make checker records a \
+          violation")
+    Term.(
+      const run $ n_arg $ seed_arg $ requests_arg $ migrate_every_arg
+      $ shards_arg $ domains_arg $ json_arg $ verbose_arg)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -994,4 +1077,4 @@ let () =
             classify_cmd; validate_cmd; ablation_cmd; recursive_cmd;
             sweep_cmd; riscv_cmd; compare_cmd; chaos_cmd; fuzz_cmd;
             trace_cmd; snapshot_cmd; restore_cmd; migrate_cmd;
-            recover_cmd; fleet_cmd ]))
+            recover_cmd; fleet_cmd; serve_cmd ]))

@@ -57,6 +57,10 @@ type table = {
   watchdog_poll : int;       (* one supervision sweep over a vCPU *)
   recover_restore : int;     (* rebuilding a machine from a snapshot *)
   mig_retry_backoff : int;   (* base backoff unit before a migration retry *)
+  tlbi_recipient : int;      (* TLB shootdown: per-recipient cost of a
+                                broadcast TLBI reaching a remote vCPU *)
+  dvm_sync : int;            (* TLB shootdown: per-recipient share of the
+                                initiator's DSB waiting for DVM completion *)
 }
 
 (* Defaults.  The architectural constants come straight from the paper's
@@ -105,6 +109,8 @@ let default : table = {
   watchdog_poll = 40;
   recover_restore = 150000;
   mig_retry_backoff = 2000;
+  tlbi_recipient = 180;
+  dvm_sync = 90;
 }
 
 (* Trap classification used for reporting (Table 7 and the trap-analysis
@@ -313,6 +319,25 @@ module Stats = struct
     | [] -> invalid_arg "Stats.min_max: empty"
     | x :: xs ->
       List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+  (* Nearest-rank percentile over simulated-cycle samples: the SLO
+     quantiles of the serve scenario.  [q] in (0, 1]; the result is
+     always an observed sample, so percentile streams stay integral and
+     byte-deterministic (no interpolation). *)
+  let percentile q xs =
+    if q <= 0. || q > 1. then invalid_arg "Stats.percentile: q outside (0,1]";
+    match xs with
+    | [] -> invalid_arg "Stats.percentile: empty"
+    | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+
+  let p50 xs = percentile 0.50 xs
+  let p99 xs = percentile 0.99 xs
+  let p999 xs = percentile 0.999 xs
 
   (* Overhead of [measured] relative to [baseline]; 1.0 means "same as
      baseline".  This is the y-axis of Figure 2. *)

@@ -53,6 +53,12 @@ type table = {
   watchdog_poll : int;     (** one supervision sweep over a vCPU *)
   recover_restore : int;   (** rebuilding a machine from a snapshot *)
   mig_retry_backoff : int; (** base backoff unit before a migration retry *)
+  tlbi_recipient : int;
+      (** TLB shootdown: per-recipient cost of a broadcast TLBI reaching
+          a remote vCPU *)
+  dvm_sync : int;
+      (** TLB shootdown: per-recipient share of the initiator's DSB
+          waiting for DVM completion *)
 }
 
 val default : table
@@ -152,6 +158,15 @@ module Stats : sig
   val mean_int : int list -> float
   val stddev : float list -> float
   val min_max : float list -> float * float
+
+  val percentile : float -> int list -> int
+  (** Nearest-rank percentile of integer samples, [q] in (0, 1]; always
+      returns an observed sample (no interpolation), so quantile streams
+      stay byte-deterministic. *)
+
+  val p50 : int list -> int
+  val p99 : int list -> int
+  val p999 : int list -> int
 
   val overhead : baseline:float -> measured:float -> float
   (** The y-axis of Figure 2: 1.0 means "same as native". *)

@@ -34,6 +34,10 @@ type kind =
   | Bad_topology of string
       (* a machine shape that cannot be built: a CPU count outside the
          per-vCPU memory-region budget *)
+  | Bad_intid of string
+      (* an interrupt id outside the range its GIC path accepts; the
+         guest-reachable encodings mask their intid fields, so a trip
+         here is simulator misuse, not guest input *)
 
 let kind_to_string = function
   | Unknown_sysreg (op0, op1, crn, crm, op2) ->
@@ -46,6 +50,7 @@ let kind_to_string = function
   | Invariant_broken s -> "invariant broken: " ^ s
   | Oracle_divergence s -> "oracle divergence: " ^ s
   | Bad_topology s -> "bad machine topology: " ^ s
+  | Bad_intid s -> "bad interrupt id: " ^ s
 
 (* Machine context captured at the raise site. *)
 type context = {

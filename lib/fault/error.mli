@@ -24,6 +24,10 @@ type kind =
   | Bad_topology of string
       (** a machine shape that cannot be built: a CPU count outside the
           per-vCPU memory-region budget *)
+  | Bad_intid of string
+      (** an interrupt id outside the range its GIC path accepts; the
+          guest-reachable encodings mask their intid fields, so a trip
+          here is simulator misuse, not guest input *)
 
 val kind_to_string : kind -> string
 

@@ -79,7 +79,21 @@ let raise_irq t ~cpu ~intid =
 (* Send an SGI (IPI) from [src] to [dst]: the distributor makes the SGI
    pending on the destination CPU's bank. *)
 let send_sgi t ~src:_ ~dst ~intid =
-  if intid >= 16 then invalid_arg "Dist.send_sgi: not an SGI";
+  (* The guest-reachable encoding (ICC_SGI1R_EL1) masks its intid field
+     to four bits, so an out-of-range id here is a simulator bug, not
+     guest input — surface it typed, with the PR-1 [Fault.Error]
+     convention, never as a bare [Invalid_argument]. *)
+  if intid < 0 || intid >= 16 then
+    Fault.Error.sim_bug
+      (Fault.Error.Bad_intid
+         (Printf.sprintf "Dist.send_sgi: intid %d is not an SGI (0..15)"
+            intid));
+  if dst < 0 || dst >= t.ncpus then
+    Fault.Error.sim_bug
+      (Fault.Error.Bad_intid
+         (Printf.sprintf
+            "Dist.send_sgi: destination cpu %d outside 0..%d" dst
+            (t.ncpus - 1)));
   raise_irq t ~cpu:dst ~intid
 
 (* Highest-priority pending enabled interrupt for a CPU, if any. *)

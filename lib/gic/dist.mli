@@ -33,7 +33,10 @@ val raise_irq : t -> cpu:int -> intid:int -> unit
 
 val send_sgi : t -> src:int -> dst:int -> intid:int -> unit
 (** Pend an SGI on the destination CPU's bank.
-    @raise Invalid_argument if [intid] is not an SGI. *)
+    @raise Fault.Error.Sim_fault ([Bad_intid]) if [intid] is not an SGI
+    (0..15) or [dst] is not a CPU of this distributor — the
+    guest-reachable [ICC_SGI1R_EL1] encoding masks both fields, so a
+    trip here is simulator misuse. *)
 
 val best_pending : t -> cpu:int -> int option
 (** Highest-priority pending enabled interrupt for a CPU. *)

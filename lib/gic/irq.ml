@@ -4,7 +4,9 @@ type kind = SGI | PPI | SPI
 
 (* Interrupt id ranges per the GIC architecture. *)
 let kind_of_intid id =
-  if id < 0 then invalid_arg "Irq.kind_of_intid"
+  if id < 0 then
+    Fault.Error.sim_bug
+      (Fault.Error.Bad_intid (Printf.sprintf "Irq.kind_of_intid: %d" id))
   else if id < 16 then SGI
   else if id < 32 then PPI
   else SPI
@@ -38,7 +40,10 @@ let state_of_bits = function
   | 1 -> Pending
   | 2 -> Active
   | 3 -> Pending_and_active
-  | _ -> invalid_arg "Irq.state_of_bits"
+  | b ->
+    Fault.Error.sim_bug
+      (Fault.Error.Invariant_broken
+         (Printf.sprintf "Irq.state_of_bits: %d outside [0,3]" b))
 
 let add_pending = function
   | Inactive -> Pending

@@ -167,7 +167,7 @@ let handle_in_kernel t (reason : Vcpu.nested_exit) =
        placed in a list register on the way back in *)
     Queue.add intid t.pending_virqs;
     o.WS.st (Int64.add t.host_ctx 0x900L) (Int64.of_int intid)
-  | Vcpu.Exit_sgi { target; intid } ->
+  | Vcpu.Exit_sgi { target; intid; rt = _ } ->
     (* the nested VM sent an IPI: KVM resolves the target vCPU, then kicks
        it by sending a physical SGI — an ICC_SGI1R write that itself traps
        to the host hypervisor (part of exit multiplication) *)

@@ -502,7 +502,14 @@ let inject_vel2 t (reason : Vcpu.nested_exit) =
     | Vcpu.Exit_mmio { addr = _; is_write } ->
       Exn.esr ~ec:Exn.EC_dabt_lower ~iss:(if is_write then 0x40 else 0)
     | Vcpu.Exit_virq _ -> Exn.esr ~ec:Exn.EC_irq ~iss:0
-    | Vcpu.Exit_sgi _ -> Exn.esr ~ec:Exn.EC_sysreg ~iss:0
+    | Vcpu.Exit_sgi { rt; _ } ->
+      (* a faithful syndrome for the trapped ICC_SGI1R_EL1 write — the
+         guest hypervisor (and trap logs) can identify the SGI source
+         register instead of seeing an all-zero ISS *)
+      Exn.esr ~ec:Exn.EC_sysreg
+        ~iss:
+          (Exn.sysreg_iss ~access:(Sysreg.direct Sysreg.ICC_SGI1R_EL1) ~rt
+             ~is_read:false)
     | Vcpu.Exit_wfi -> Exn.esr ~ec:Exn.EC_wfx ~iss:0
     | Vcpu.Exit_hyp_insn { access; rt; is_read } ->
       Exn.esr ~ec:Exn.EC_sysreg ~iss:(Exn.sysreg_iss ~access ~rt ~is_read)
@@ -617,7 +624,7 @@ let emulate_sysreg t ~(access : Sysreg.access) ~rt ~is_read =
     end
     else begin
       (* the nested VM sends: the guest hypervisor must emulate it *)
-      inject_vel2 t (Vcpu.Exit_sgi { target; intid });
+      inject_vel2 t (Vcpu.Exit_sgi { target; intid; rt });
       true
     end
   end

@@ -32,6 +32,15 @@ type t = {
      identically); recovery policies clear the hang explicitly after a
      restore — the restart is what un-wedges the vCPU. *)
   hung : bool array;
+  (* GIC distributor: SGIs raised by trapped ICC_SGI1R writes pend in
+     the target's banked records here before delivery, so IPIs are real
+     distributor traffic rather than a direct function call *)
+  dist : Gic.Dist.t;
+  (* shared SMP stage-2 + per-vCPU TLBs + break-before-make checker;
+     built lazily on the first SMP operation.  Not serialized: a restore
+     comes back with empty TLBs, which is exactly what migration does to
+     real translation caches. *)
+  mutable smp : Mmu.Shootdown.t option;
 }
 
 let ncpus t = Array.length t.cpus
@@ -150,6 +159,15 @@ let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
       hosts
   in
   let checking = check_invariants || fault_plan <> None in
+  let dist = Gic.Dist.create ~ncpus in
+  (* distributor records default to disabled; the SGIs guests can encode
+     (intid 0..15) must be enabled per CPU or every IPI would stall
+     pending *)
+  for cpu = 0 to ncpus - 1 do
+    for intid = 0 to 15 do
+      Gic.Dist.enable dist ~cpu ~intid
+    done
+  done;
   let t =
     {
       mem;
@@ -165,6 +183,8 @@ let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
       violation_count = 0;
       irq_fault = Array.make ncpus None;
       hung = Array.make ncpus false;
+      dist;
+      smp = None;
     }
   in
   if checking then
@@ -203,14 +223,25 @@ let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
          | _ :: _ ->
            Some { Mmu.Walk.f_level = 1; f_ia = ia; f_reason = `Translation })
    | None -> ());
-  (* wire cross-CPU IPI delivery (through the fault-injection filter) *)
-  Array.iter
-    (fun (host : Host_hyp.t) ->
+  (* wire cross-CPU IPI delivery: a trapped ICC_SGI1R write pends the
+     SGI in the distributor's banked records for the target, which then
+     acknowledges and completes it there before the CPU-side delivery
+     runs (through the fault-injection filter).  Previously this hook
+     called deliver_filtered directly, so the distributor never saw
+     IPIs and its banked state stayed Inactive forever. *)
+  Array.iteri
+    (fun src (host : Host_hyp.t) ->
       host.Host_hyp.send_ipi <-
         Some
           (fun ~target ~intid ->
-            if target >= 0 && target < ncpus then
-              deliver_filtered t ~cpu:target ~intid))
+            if target >= 0 && target < ncpus then begin
+              Gic.Dist.send_sgi t.dist ~src ~dst:target ~intid;
+              match Gic.Dist.acknowledge t.dist ~cpu:target with
+              | Some acked ->
+                Gic.Dist.eoi t.dist ~cpu:target ~intid:acked;
+                deliver_filtered t ~cpu:target ~intid:acked
+              | None -> ()  (* SGI disabled at the distributor *)
+            end))
     hosts;
   t
 
@@ -408,6 +439,147 @@ let compute t ~cpu ~insns =
     Cost.charge c.Cpu.meter (insns * (Cpu.table c).Cost.insn_base);
     c.Cpu.meter.Cost.insns <- c.Cpu.meter.Cost.insns + insns
   end
+
+(* --- SMP stage-2 operations: TLB shootdown and break-before-make ---
+
+   The vCPUs of one guest share a stage-2; remapping a live page must go
+   break -> TLBI broadcast -> DSB -> make, with the broadcast reaching
+   every vCPU's TLB and any shadow stage-2 entries collapsing the page.
+   The shootdown IPI is sent as real ICC_SGI1R traffic (so it traps and
+   is emulated like any guest IPI), each recipient is charged
+   [tlbi_recipient] on its own meter, and the initiator's DSB pays
+   [dvm_sync] per recipient. *)
+
+let shootdown_sgi = 14  (* SGI reserved for remote TLB flush, as Linux does *)
+let smp_vmid = 0x200
+let smp_tlb_capacity = 64
+
+let smp t =
+  match t.smp with
+  | Some s -> s
+  | None ->
+    let s =
+      Mmu.Shootdown.create t.mem ~ncpus:(ncpus t) ~vmid:smp_vmid
+        ~tlb_capacity:smp_tlb_capacity
+    in
+    t.smp <- Some s;
+    s
+
+let smp_map t ~cpu ~ipa ~pa =
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let c = t.cpus.(cpu) in
+    (* writing the leaf PTE *)
+    Cost.charge c.Cpu.meter (Cpu.table c).Cost.mem_store;
+    Mmu.Shootdown.map (smp t) ~ipa ~pa
+  end
+
+let smp_read t ~cpu ~ipa =
+  if t.hung.(cpu) then Mmu.Shootdown.Unmapped
+  else begin
+    service_faults t ~cpu;
+    Mmu.Shootdown.read (smp t) ~cpu ~meter:t.cpus.(cpu).Cpu.meter ~ipa
+  end
+
+let bbm_break t ~cpu ~ipa =
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let c = t.cpus.(cpu) in
+    (* writing the invalid PTE *)
+    Cost.charge c.Cpu.meter (Cpu.table c).Cost.mem_store;
+    Mmu.Shootdown.break (smp t) ~ipa
+  end
+
+(* Broadcast TLBI: local invalidation, then one shootdown SGI per remote
+   vCPU — each of which acks and completes the virtual IRQ, processes the
+   invalidation on its own TLB, and is charged the recipient cost. *)
+let tlbi_bcast t ~cpu scope =
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let s = smp t in
+    let c = t.cpus.(cpu) in
+    Cost.charge c.Cpu.meter (Cpu.table c).Cost.tlbi;
+    Mmu.Shootdown.invalidate_cpu s ~cpu scope;
+    (* the broadcast also reaches the shadow stage-2 entries collapsing
+       nested-guest pages on every host *)
+    Array.iter
+      (fun (host : Host_hyp.t) ->
+        match host.Host_hyp.shadow with
+        | None -> ()
+        | Some (sh, _, _) -> begin
+            match scope with
+            | Mmu.Shootdown.By_page page -> Mmu.Shadow.invalidate_page sh ~ipa:page
+            | Mmu.Shootdown.By_vmid | Mmu.Shootdown.All_e1 ->
+              Mmu.Shadow.invalidate sh
+          end)
+      t.hosts;
+    for r = 0 to ncpus t - 1 do
+      if r <> cpu then begin
+        send_ipi t ~cpu ~target:r ~intid:shootdown_sgi;
+        (match vm_ack t ~cpu:r with
+         | Some v -> ignore (vm_eoi t ~cpu:r ~vintid:v)
+         | None -> ());
+        Mmu.Shootdown.invalidate_cpu s ~cpu:r scope;
+        Cost.charge t.cpus.(r).Cpu.meter
+          (Cpu.table t.cpus.(r)).Cost.tlbi_recipient;
+        Mmu.Shootdown.note_recipient s
+      end
+    done;
+    if !Trace.on then
+      Trace.emit
+        ~a0:(match scope with Mmu.Shootdown.By_page p -> p | _ -> 0L)
+        ~a1:(Int64.of_int (ncpus t - 1))
+        ~detail:(Mmu.Shootdown.scope_name scope)
+        Trace.Tlb_shootdown
+  end
+
+(* The initiator's DSB ISH: waits for DVM completion from every remote
+   PE, which is what closes the stale-use window. *)
+let dsb_sync t ~cpu =
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let c = t.cpus.(cpu) in
+    let tbl = Cpu.table c in
+    Cost.charge c.Cpu.meter
+      (tbl.Cost.barrier + ((ncpus t - 1) * tbl.Cost.dvm_sync));
+    Mmu.Shootdown.dsb_complete (smp t)
+  end
+
+let bbm_make t ~cpu ~ipa ~pa =
+  if t.hung.(cpu) then ()
+  else begin
+    service_faults t ~cpu;
+    let c = t.cpus.(cpu) in
+    Cost.charge c.Cpu.meter (Cpu.table c).Cost.mem_store;
+    Mmu.Shootdown.make (smp t) ~ipa ~pa
+  end
+
+(* Remap a (possibly live) page.  [broadcast:true] is the fixed path:
+   full break-before-make with the TLBI broadcast and DSB.
+   [broadcast:false] reproduces the bug this PR fixes — tables rewritten,
+   only the invoking vCPU's TLB invalidated — and exists solely so the
+   regression test can show other vCPUs reading the stale frame. *)
+let smp_remap ?(broadcast = true) t ~cpu ~ipa ~pa =
+  if t.hung.(cpu) then ()
+  else if broadcast then begin
+    bbm_break t ~cpu ~ipa;
+    tlbi_bcast t ~cpu (Mmu.Shootdown.By_page ipa);
+    dsb_sync t ~cpu;
+    bbm_make t ~cpu ~ipa ~pa
+  end
+  else begin
+    service_faults t ~cpu;
+    let c = t.cpus.(cpu) in
+    Cost.charge c.Cpu.meter
+      ((2 * (Cpu.table c).Cost.mem_store) + (Cpu.table c).Cost.tlbi);
+    Mmu.Shootdown.remap_local_only (smp t) ~cpu ~ipa ~pa
+  end
+
+let shootdown_stats t = Option.map Mmu.Shootdown.stats t.smp
 
 (* --- measurement helpers --- *)
 

@@ -26,6 +26,15 @@ type t = {
           serialized with the machine so snapshot continuation replays
           identically — recovery policies call {!clear_hung} after a
           restore, the restart being what un-wedges the vCPU *)
+  dist : Gic.Dist.t;
+      (** GIC distributor: trapped ICC_SGI1R writes pend SGIs in the
+          target's banked records here (then acknowledge + EOI) before
+          CPU-side delivery, so IPIs are real distributor traffic *)
+  mutable smp : Mmu.Shootdown.t option;
+      (** shared SMP stage-2, per-vCPU TLBs and the break-before-make
+          checker; built lazily on the first SMP operation and not
+          serialized — a restore comes back with empty TLBs, as
+          migration does to real translation caches *)
 }
 
 val ncpus : t -> int
@@ -95,6 +104,42 @@ val device_irq : t -> cpu:int -> intid:int -> unit
 val compute : t -> cpu:int -> insns:int -> unit
 (** Plain guest computation, charged without simulating each
     instruction. *)
+
+(** {1 SMP stage-2 operations: TLB shootdown and break-before-make}
+
+    The vCPUs share a stage-2 ({!Mmu.Shootdown}); remapping a live page
+    must run break → TLBI broadcast → DSB → make.  {!tlbi_bcast} sends
+    one shootdown SGI (intid {!shootdown_sgi}) per remote vCPU as real
+    trapped ICC_SGI1R traffic, charges each recipient
+    [Cost.tlbi_recipient], and {!dsb_sync} charges the initiator
+    [Cost.dvm_sync] per recipient. *)
+
+val shootdown_sgi : int
+(** SGI intid reserved for remote TLB flush (14, as Linux uses). *)
+
+val smp : t -> Mmu.Shootdown.t
+(** The machine's SMP translation state, created on first use. *)
+
+val smp_map : t -> cpu:int -> ipa:int64 -> pa:int64 -> unit
+(** Map a fresh page (no live entry, so no break needed). *)
+
+val smp_read : t -> cpu:int -> ipa:int64 -> Mmu.Shootdown.serve
+(** Translate through [cpu]'s TLB / the shared stage-2, audited against
+    the shootdown protocol. *)
+
+val bbm_break : t -> cpu:int -> ipa:int64 -> unit
+val tlbi_bcast : t -> cpu:int -> Mmu.Shootdown.scope -> unit
+val dsb_sync : t -> cpu:int -> unit
+val bbm_make : t -> cpu:int -> ipa:int64 -> pa:int64 -> unit
+
+val smp_remap : ?broadcast:bool -> t -> cpu:int -> ipa:int64 -> pa:int64 -> unit
+(** Remap a live page.  [broadcast:true] (default) runs the full fixed
+    protocol; [broadcast:false] reproduces the pre-fix local-only
+    invalidation so the regression test can observe remote stale
+    reads. *)
+
+val shootdown_stats : t -> Mmu.Shootdown.stats option
+(** [None] until the first SMP operation. *)
 
 (** {1 Measurement helpers} *)
 

@@ -79,7 +79,9 @@ type nested_exit =
   | Exit_hypercall
   | Exit_mmio of { addr : int64; is_write : bool }
   | Exit_virq of int  (* a physical interrupt meant for the nested VM *)
-  | Exit_sgi of { target : int; intid : int }  (* nested VM sent an IPI *)
+  | Exit_sgi of { target : int; intid : int; rt : int }
+    (* nested VM sent an IPI; [rt] is the register the trapped
+       ICC_SGI1R_EL1 write moved, needed to encode a faithful ISS *)
   | Exit_wfi
   (* recursive virtualization (Section 6.2): the nested VM is itself a
      hypervisor, and executed a hypervisor instruction the guest
@@ -92,7 +94,8 @@ let exit_name = function
   | Exit_mmio { addr; is_write } ->
     Printf.sprintf "mmio-%s@0x%Lx" (if is_write then "w" else "r") addr
   | Exit_virq n -> Printf.sprintf "virq%d" n
-  | Exit_sgi { target; intid } -> Printf.sprintf "sgi%d->cpu%d" intid target
+  | Exit_sgi { target; intid; rt = _ } ->
+    Printf.sprintf "sgi%d->cpu%d" intid target
   | Exit_wfi -> "wfi"
   | Exit_hyp_insn { access; is_read; _ } ->
     Printf.sprintf "hyp-insn-%s-%s"

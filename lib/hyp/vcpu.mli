@@ -53,7 +53,7 @@ type nested_exit =
   | Exit_hypercall
   | Exit_mmio of { addr : int64; is_write : bool }
   | Exit_virq of int
-  | Exit_sgi of { target : int; intid : int }
+  | Exit_sgi of { target : int; intid : int; rt : int }
   | Exit_wfi
   | Exit_hyp_insn of { access : Arm.Sysreg.access; rt : int; is_read : bool }
       (** recursive virtualization (Section 6.2): the nested VM is itself

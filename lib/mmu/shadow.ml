@@ -63,4 +63,13 @@ let invalidate t =
   List.iter (fun ipa -> Stage2.unmap_page t.shadow ~ipa) t.entries;
   t.entries <- []
 
+(* TLBI-by-IPA from a shootdown: drop only the shadow entries collapsing
+   that page (the broadcast's "matching entries in the shadow stage-2"). *)
+let invalidate_page t ~ipa =
+  let page = Walk.page_base ipa in
+  if List.mem page t.entries then begin
+    Stage2.unmap_page t.shadow ~ipa:page;
+    t.entries <- List.filter (fun e -> e <> page) t.entries
+  end
+
 let shadowed_pages t = List.length t.entries

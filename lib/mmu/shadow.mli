@@ -36,4 +36,8 @@ val invalidate : t -> unit
 (** Drop every shadow entry — required when the guest hypervisor changes
     its virtual stage-2 tables (trapped TLBI / VTTBR writes). *)
 
+val invalidate_page : t -> ipa:int64 -> unit
+(** Drop only the shadow entry collapsing [ipa]'s page, if present — a
+    shootdown's TLBI-by-IPA reaching the shadow stage-2. *)
+
 val shadowed_pages : t -> int

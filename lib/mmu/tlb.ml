@@ -95,6 +95,22 @@ let invalidate_vmid t ~vmid =
       ~a0:(Int64.of_int (List.length doomed))
       ~a1:(Int64.of_int vmid) ~detail:"vmid" Trace.Tlb_invalidate
 
+(* TLBI by IPA: remove every entry caching [page], whatever its ASID —
+   the shootdown protocol invalidates one page in every vCPU's TLB. *)
+let invalidate_page t ~vmid ~page =
+  let page = Walk.page_base page in
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if k.vmid = vmid && k.page = page then k :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) doomed;
+  t.invalidations <- t.invalidations + List.length doomed;
+  if !Trace.on then
+    Trace.emit ~a0:page ~a1:(Int64.of_int vmid) ~detail:"ipa"
+      Trace.Tlb_invalidate
+
 let invalidate_all t =
   let n = Hashtbl.length t.entries in
   t.invalidations <- t.invalidations + n;

@@ -24,6 +24,11 @@ val insert :
     re-inserting a cached page only refreshes it. *)
 
 val invalidate_vmid : t -> vmid:int -> unit
+
+val invalidate_page : t -> vmid:int -> page:int64 -> unit
+(** TLBI by IPA: drop every entry caching [page] under [vmid], whatever
+    its ASID (the shootdown protocol's per-page invalidation). *)
+
 val invalidate_all : t -> unit
 
 val nsets : t -> int

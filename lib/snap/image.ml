@@ -261,7 +261,7 @@ let table_fields (t : Cost.table) =
     t.x86_merge_vmcs; t.x86_reflect; t.x86_unshadowed; t.x86_posted_irq;
     t.x86_guest_hyp_logic; t.x86_apicv_eoi; t.arm_virtual_eoi;
     t.mig_page_copy; t.mig_state_copy; t.serror_delivery; t.watchdog_poll;
-    t.recover_restore; t.mig_retry_backoff ]
+    t.recover_restore; t.mig_retry_backoff; t.tlbi_recipient; t.dvm_sync ]
 
 let table_of_fields = function
   | [ trap_entry; trap_return; exc_entry_el1; sysreg_read; sysreg_write;
@@ -273,7 +273,7 @@ let table_of_fields = function
       x86_merge_vmcs; x86_reflect; x86_unshadowed; x86_posted_irq;
       x86_guest_hyp_logic; x86_apicv_eoi; arm_virtual_eoi;
       mig_page_copy; mig_state_copy; serror_delivery; watchdog_poll;
-      recover_restore; mig_retry_backoff ] ->
+      recover_restore; mig_retry_backoff; tlbi_recipient; dvm_sync ] ->
     { Cost.trap_entry; trap_return; exc_entry_el1; sysreg_read; sysreg_write;
       mem_load; mem_store; insn_base; barrier; tlbi; gic_mmio_access;
       irq_delivery; l0_exit_dispatch; l0_sysreg_emulate; l0_hvc_handle;
@@ -283,8 +283,8 @@ let table_of_fields = function
       x86_merge_vmcs; x86_reflect; x86_unshadowed; x86_posted_irq;
       x86_guest_hyp_logic; x86_apicv_eoi; arm_virtual_eoi;
       mig_page_copy; mig_state_copy; serror_delivery; watchdog_poll;
-      recover_restore; mig_retry_backoff }
-  | l -> fail "cost table has %d fields, this build expects 41" (List.length l)
+      recover_restore; mig_retry_backoff; tlbi_recipient; dvm_sync }
+  | l -> fail "cost table has %d fields, this build expects 43" (List.length l)
 
 (* ------------------------------------------------------------------ *)
 (* Component serializers                                               *)

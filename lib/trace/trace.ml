@@ -4,7 +4,7 @@
    The design constraint is the disabled path: every emission site in the
    simulator is guarded by [if !Trace.on then ...], so a run with tracing
    off pays one load-and-branch per site and allocates nothing — the
-   bench guard against BENCH_PR2.json holds the simulator to that.  When
+   bench guard against BENCH_PR7.json holds the simulator to that.  When
    tracing is on, events are written in place into preallocated mutable
    records (the ring never allocates per event; only the argument strings
    the call sites build do).
@@ -46,6 +46,9 @@ type kind =
   | Recover_end     (* recovery policy finished *)
   | Mig_abort       (* migration attempt aborted on a stream failure *)
   | Mig_retry       (* migration retried after backoff *)
+  | Tlb_shootdown   (* broadcast TLBI: every vCPU's TLB + shadow hit *)
+  | Bbm_break       (* break-before-make: old stage-2 entry broken *)
+  | Bbm_make        (* break-before-make: new stage-2 entry installed *)
 
 let kind_name = function
   | Trap -> "trap"
@@ -77,6 +80,9 @@ let kind_name = function
   | Recover_end -> "recover-end"
   | Mig_abort -> "mig-abort"
   | Mig_retry -> "mig-retry"
+  | Tlb_shootdown -> "tlb-shootdown"
+  | Bbm_break -> "bbm-break"
+  | Bbm_make -> "bbm-make"
 
 (* In-place ring slot: every field mutable so emission writes, never
    allocates. *)
@@ -365,5 +371,31 @@ let metrics_json ?(extra = []) streams =
         counts;
       Buffer.add_string b "}}")
     streams;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* Tail-latency SLO report: one row per configuration, integer metrics in
+   caller order.  Schema changes must bump the version string — CI's
+   serve-smoke job greps for it. *)
+let slo_json ?(extra = []) rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema\":\"neve-slo-report/1\"";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    extra;
+  Buffer.add_string b ",\"configs\":[";
+  List.iteri
+    (fun i (name, metrics) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"name\":\"%s\"" (json_escape name));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"%s\":%d" (json_escape k) v))
+        metrics;
+      Buffer.add_char b '}')
+    rows;
   Buffer.add_string b "]}";
   Buffer.contents b

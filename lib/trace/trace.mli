@@ -51,6 +51,9 @@ type kind =
   | Recover_end     (** recovery policy finished *)
   | Mig_abort       (** migration attempt aborted on a stream failure *)
   | Mig_retry       (** migration retried after backoff *)
+  | Tlb_shootdown   (** broadcast TLBI: every vCPU's TLB + shadow hit *)
+  | Bbm_break       (** break-before-make: old stage-2 entry broken *)
+  | Bbm_make        (** break-before-make: new stage-2 entry installed *)
 
 val kind_name : kind -> string
 
@@ -149,3 +152,14 @@ val metrics_json :
   string
 (** Aggregate metrics JSON over [(name, class_counts, meter_traps)]
     rows; [extra] adds top-level integer fields. *)
+
+val slo_json :
+  ?extra:(string * string) list ->
+  (string * (string * int) list) list ->
+  string
+(** Tail-latency SLO report JSON (schema ["neve-slo-report/1"]): one row
+    per configuration, each an object of integer metrics (percentile
+    latencies, counts) in the order given.  [extra] adds top-level string
+    fields (e.g. a digest).  Purely a function of its arguments — no
+    wall clock, no shard count — so serve reports are byte-identical
+    across reruns and shard counts. *)

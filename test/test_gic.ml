@@ -78,9 +78,12 @@ let test_dist_sgi_routing () =
 
 let test_dist_sgi_bad_intid () =
   let d = Dist.create ~ncpus:2 in
-  match Dist.send_sgi d ~src:0 ~dst:1 ~intid:40 with
-  | _ -> Alcotest.fail "SPI as SGI should be rejected"
-  | exception Invalid_argument _ -> ()
+  (match Dist.send_sgi d ~src:0 ~dst:1 ~intid:40 with
+   | _ -> Alcotest.fail "SPI as SGI should be rejected"
+   | exception Fault.Error.Sim_fault (Fault.Error.Bad_intid _, _) -> ());
+  match Dist.send_sgi d ~src:0 ~dst:7 ~intid:3 with
+  | _ -> Alcotest.fail "out-of-range destination cpu should be rejected"
+  | exception Fault.Error.Sim_fault (Fault.Error.Bad_intid _, _) -> ()
 
 (* --- list registers --- *)
 

@@ -22,4 +22,5 @@ let () =
       ("supervision", Test_supervise.suite);
       ("fleet", Test_fleet.suite);
       ("domain-safety", Test_domain_safety.suite);
+      ("shootdown", Test_shootdown.suite);
     ]
