@@ -107,16 +107,23 @@ let regen_validation () =
 let regen_migration () =
   hr "Live migration: pre-copy rounds, write faults and downtime";
   let columns =
-    ("VM", Workloads.Scenario.Arm_vm)
+    (("VM", Workloads.Scenario.Arm_vm, Expose.Policy.none)
     :: List.map
-         (fun c -> (Hyp.Config.name c, Workloads.Scenario.Arm_nested c))
-         Hyp.Config.all_nested
+         (fun c ->
+           ( Hyp.Config.name c,
+             Workloads.Scenario.Arm_nested c,
+             Expose.Policy.none ))
+         Hyp.Config.all_nested)
+    @ [ (* the OoH headline: same guest, dirty captures trap-free *)
+        ( "NEVE+ooh(dirty-log)",
+          Workloads.Scenario.Arm_nested (Hyp.Config.v Hyp.Config.Hw_neve),
+          Expose.Policy.of_list [ Expose.Policy.Dirty_log ] ) ]
   in
-  Fmt.pr "%-18s %6s %10s %10s %12s %12s  %s@." "" "rounds" "wr-faults"
+  Fmt.pr "%-19s %6s %10s %10s %12s %12s  %s@." "" "rounds" "captures"
     "pg-copied" "precopy-cyc" "downtime-cyc" "dirty/round";
   List.iter
-    (fun (name, col) ->
-      let src = Workloads.Scenario.make_arm col in
+    (fun (name, col, expose) ->
+      let src = Workloads.Scenario.make_arm ~expose col in
       Hyp.Machine.hypercall src ~cpu:0;
       let workload m ~round =
         if round < 2 then begin
@@ -135,7 +142,7 @@ let regen_migration () =
         failwith
           (Printf.sprintf "migration left %s different (%s): %s" path name
              detail));
-      Fmt.pr "%-18s %6d %10d %10d %12d %12d  %s@." name
+      Fmt.pr "%-19s %6d %10d %10d %12d %12d  %s@." name
         r.Snap.Migrate.r_rounds r.Snap.Migrate.r_write_faults
         r.Snap.Migrate.r_pages_copied r.Snap.Migrate.r_precopy_cycles
         r.Snap.Migrate.r_downtime_cycles
@@ -277,6 +284,7 @@ type config_sample = {
   cs_insns : int;
   cs_traps : int;
   cs_breakdown : (string * int) list;  (* per-exit-class trap counts *)
+  cs_exposed : (string * int) list;    (* per-feature OoH trap-free accesses *)
 }
 
 let sum_deltas ds =
@@ -304,8 +312,28 @@ let merge_by_kind ds =
       | _ -> None)
     Cost.all_trap_kinds
 
-let sample_arm ~iters (name, col) =
-  let m = Workloads.Scenario.make_arm col in
+(* Same shape for the OoH exposed-access counters: per-feature totals
+   across meters, in the stable [Expose.Policy.all_features] order with
+   zero rows dropped.  Non-empty only on columns sampled under a grant. *)
+let merge_exposed ds =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Cost.delta) ->
+      List.iter
+        (fun (f, n) ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt tbl f) in
+          Hashtbl.replace tbl f (prev + n))
+        d.Cost.d_exposed)
+    ds;
+  List.filter_map
+    (fun f ->
+      match Hashtbl.find_opt tbl f with
+      | Some n when n > 0 -> Some (Expose.Policy.feature_name f, n)
+      | _ -> None)
+    Expose.Policy.all_features
+
+let sample_arm ~iters ?expose (name, col) =
+  let m = Workloads.Scenario.make_arm ?expose col in
   let meters =
     Array.to_list
       (Array.map (fun (c : Arm.Cpu.t) -> c.Arm.Cpu.meter) m.Hyp.Machine.cpus)
@@ -324,7 +352,8 @@ let sample_arm ~iters (name, col) =
   { cs_name = name; cs_workload = "micro4";
     cs_ops = iters * List.length benches; cs_wall = wall;
     cs_cycles = cycles; cs_insns = insns; cs_traps = traps;
-    cs_breakdown = merge_by_kind deltas }
+    cs_breakdown = merge_by_kind deltas;
+    cs_exposed = merge_exposed deltas }
 
 let sample_x86 ~iters (name, col) =
   let t = Workloads.Scenario.make_x86 col in
@@ -339,7 +368,8 @@ let sample_x86 ~iters (name, col) =
   let d = Cost.delta_since meter snap in
   { cs_name = name; cs_workload = "hypercall"; cs_ops = iters;
     cs_wall = wall; cs_cycles = d.Cost.d_cycles; cs_insns = d.Cost.d_insns;
-    cs_traps = d.Cost.d_traps; cs_breakdown = merge_by_kind [ d ] }
+    cs_traps = d.Cost.d_traps; cs_breakdown = merge_by_kind [ d ];
+    cs_exposed = [] }
 
 let buf_sample b s =
   let fop v = float_of_int v /. float_of_int s.cs_ops in
@@ -352,7 +382,8 @@ let buf_sample b s =
     \     \"sim_cycles\": %d, \"sim_insns\": %d, \"traps\": %d,\n\
     \     \"sim_cycles_per_op\": %.1f, \"traps_per_op\": %.3f,\n\
     \     \"wall_ops_per_sec\": %.1f, \"wall_sim_insns_per_sec\": %.1f,\n\
-    \     \"trap_breakdown\": {%s}}"
+    \     \"trap_breakdown\": {%s},\n\
+    \     \"exposed_accesses\": {%s}}"
     (json_escape s.cs_name) s.cs_workload s.cs_ops s.cs_wall s.cs_cycles
     s.cs_insns s.cs_traps (fop s.cs_cycles) (fop s.cs_traps)
     (per_sec s.cs_ops) (per_sec s.cs_insns)
@@ -360,6 +391,10 @@ let buf_sample b s =
        (List.map
           (fun (k, n) -> Printf.sprintf "\"%s\": %d" (json_escape k) n)
           s.cs_breakdown))
+    (String.concat ", "
+       (List.map
+          (fun (k, n) -> Printf.sprintf "\"%s\": %d" (json_escape k) n)
+          s.cs_exposed))
 
 (* the argument after [--out], if any; CI passes it explicitly so the
    default only serves interactive runs *)
@@ -376,15 +411,30 @@ let run_json () =
   let arm_cols =
     Workloads.Micro.arm_columns_table1 @ Workloads.Micro.arm_columns_neve
   in
+  (* OoH twins: every nested column resampled under a Timer+Gic_lrs
+     grant, so the trajectory records exposed-access counters alongside
+     the trap breakdown they displace *)
+  let ooh_grant =
+    Expose.Policy.of_list [ Expose.Policy.Timer; Expose.Policy.Gic_lrs ]
+  in
+  let ooh_cols =
+    List.filter_map
+      (fun (name, col) ->
+        match col with
+        | Workloads.Scenario.Arm_nested _ -> Some (name ^ " (ooh)", col)
+        | _ -> None)
+      arm_cols
+  in
   let samples =
     List.map (sample_arm ~iters) arm_cols
+    @ List.map (sample_arm ~iters ~expose:ooh_grant) ooh_cols
     @ List.map (sample_x86 ~iters) Workloads.Micro.x86_columns
   in
   let total_wall = List.fold_left (fun a s -> a +. s.cs_wall) 0. samples in
   let total_insns = List.fold_left (fun a s -> a + s.cs_insns) 0 samples in
   let b = Buffer.create 4096 in
   Printf.bprintf b
-    "{\n  \"schema\": \"neve-bench-trajectory/2\",\n\
+    "{\n  \"schema\": \"neve-bench-trajectory/3\",\n\
     \  \"iters\": %d,\n  \"total_wall_seconds\": %.6f,\n\
     \  \"total_sim_insns\": %d,\n\
     \  \"wall_sim_insns_per_sec\": %.1f,\n  \"configs\": [\n"

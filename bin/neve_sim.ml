@@ -621,6 +621,39 @@ let single_vm_arg =
   let doc = "Use a plain (non-nested) VM instead of a nested guest." in
   Arg.(value & flag & info [ "single-vm" ] ~doc)
 
+(* --expose, shared by every machine-building subcommand that takes it.
+   Parsed as a plain string inside the command body (not an Arg.conv,
+   which would exit with cmdliner's 124) so an unknown feature name
+   lands on the unified detected-fault status. *)
+let expose_arg =
+  let doc =
+    "Comma-separated OoH feature grants L0 hands the guest hypervisor at \
+     machine creation: $(b,dirty-log) (trap-free dirty-page capture \
+     during live migration), $(b,timer) (direct CNTHP/CNTHV/CNTVOFF \
+     programming), $(b,gic-lrs) (direct vGIC list-register writes), or \
+     $(b,none).  Granted facilities never trap to L0 while the guest \
+     hypervisor runs in virtual EL2; everything else keeps the \
+     configured mechanism's path.  An unknown feature name exits with \
+     the detected-fault status."
+  in
+  Arg.(value & opt string "none" & info [ "expose" ] ~docv:"FEATURES" ~doc)
+
+let parse_expose s =
+  match Expose.Policy.parse s with
+  | Ok p -> p
+  | Error msg ->
+    Fmt.epr "neve_sim: --expose: %s@." msg;
+    exit fault_exit
+
+(* EXIT STATUS for subcommands carrying --expose: same unified codes,
+   with the rejection case called out *)
+let expose_exits =
+  Cmd.Exit.info fault_exit
+    ~doc:
+      (Workloads.Exit_code.fault_doc
+     ^ " An unknown $(b,--expose) feature name is such a fault.")
+  :: Cmd.Exit.defaults
+
 let make_scenario mech vhe single_vm =
   if single_vm then Workloads.Scenario.Arm_vm
   else Workloads.Scenario.Arm_nested (Hyp.Config.v ~guest_vhe:vhe mech)
@@ -657,9 +690,12 @@ let snapshot_cmd =
     in
     Arg.(value & opt int 4 & info [ "ops" ] ~doc)
   in
-  let run mech vhe single_vm ops file verbose =
+  let run mech vhe single_vm expose ops file verbose =
     setup_logs verbose;
-    let m = Workloads.Scenario.make_arm (make_scenario mech vhe single_vm) in
+    let expose = parse_expose expose in
+    let m =
+      Workloads.Scenario.make_arm ~expose (make_scenario mech vhe single_vm)
+    in
     drive m ops;
     let s = Snap.to_string m in
     if not (String.equal s (Snap.to_string m)) then begin
@@ -674,15 +710,16 @@ let snapshot_cmd =
     print_machine_summary m
   in
   Cmd.v
-    (Cmd.info "snapshot" ~exits:fault_exits
+    (Cmd.info "snapshot" ~exits:expose_exits
        ~doc:
-         "Build a machine, run a deterministic guest workload, and write \
-          a versioned byte-deterministic snapshot of its complete state \
-          (memory, per-CPU registers, virtual EL1/EL2 files, vGIC, \
-          shadow stage-2, cost meters)")
+         "Build a machine (optionally with an OoH $(b,--expose) grant \
+          set, which the image carries), run a deterministic guest \
+          workload, and write a versioned byte-deterministic snapshot of \
+          its complete state (memory, per-CPU registers, virtual EL1/EL2 \
+          files, vGIC, shadow stage-2, cost meters)")
     Term.(
-      const run $ mech_arg $ vhe_arg $ single_vm_arg $ ops_arg $ file_arg
-      $ verbose_arg)
+      const run $ mech_arg $ vhe_arg $ single_vm_arg $ expose_arg $ ops_arg
+      $ file_arg $ verbose_arg)
 
 let restore_cmd =
   let file_arg =
@@ -768,10 +805,13 @@ let migrate_cmd =
     let doc = "Retry budget after aborted attempts." in
     Arg.(value & opt int 4 & info [ "max-retries" ] ~doc)
   in
-  let run mech vhe single_vm threshold max_rounds busy writes fail_rate
-      fail_seed max_retries verbose =
+  let run mech vhe single_vm expose threshold max_rounds busy writes
+      fail_rate fail_seed max_retries verbose =
     setup_logs verbose;
-    let src = Workloads.Scenario.make_arm (make_scenario mech vhe single_vm) in
+    let expose = parse_expose expose in
+    let src =
+      Workloads.Scenario.make_arm ~expose (make_scenario mech vhe single_vm)
+    in
     drive src 4;
     let workload m ~round =
       if round < busy then begin
@@ -833,7 +873,7 @@ let migrate_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "migrate" ~exits:fault_exits
+    (Cmd.info "migrate" ~exits:expose_exits
        ~doc:
          "Pre-copy live migration driven by stage-2 dirty-page tracking: \
           iterative copy rounds against a configurable busy guest, \
@@ -841,11 +881,14 @@ let migrate_cmd =
           check between source and destination (nonzero exit on \
           non-convergence or any state difference); $(b,--fail-rate) \
           injects transfer-stream failures recovered by verified \
-          rollback and exponential-backoff retry")
+          rollback and exponential-backoff retry; \
+          $(b,--expose dirty-log) grants OoH trap-free dirty-page \
+          capture, read off the report's per-mechanism traps/cycles \
+          columns")
     Term.(
-      const run $ mech_arg $ vhe_arg $ single_vm_arg $ threshold_arg
-      $ rounds_arg $ busy_arg $ writes_arg $ fail_rate_arg $ fail_seed_arg
-      $ retries_arg $ verbose_arg)
+      const run $ mech_arg $ vhe_arg $ single_vm_arg $ expose_arg
+      $ threshold_arg $ rounds_arg $ busy_arg $ writes_arg $ fail_rate_arg
+      $ fail_seed_arg $ retries_arg $ verbose_arg)
 
 let recover_cmd =
   let seed_arg =
@@ -1040,27 +1083,31 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run n seed requests migrate_every shards domains json verbose =
+  let run n seed requests migrate_every expose shards domains json verbose =
     setup_logs verbose;
-    let t = Serve.run ?domains ~shards ~requests ~migrate_every ~n ~seed () in
+    let expose = parse_expose expose in
+    let t =
+      Serve.run ?domains ~shards ~requests ~migrate_every ~expose ~n ~seed ()
+    in
     if json then print_endline (Serve.json t)
     else Fmt.pr "%a@." Serve.pp_summary t;
     if not t.Serve.s_clean then exit fault_exit
   in
   Cmd.v
-    (Cmd.info "serve" ~exits:fault_exits
+    (Cmd.info "serve" ~exits:expose_exits
        ~doc:
          "SLO-grade serving: virtio-net request streams \
           (Apache/Memcached/MySQL) on SMP nested guests while fault \
           plans and live-migration rounds fire underneath; reports \
           p50/p99/p999 sim-cycle latency of virtual-IRQ delivery and \
           request completion per ARM configuration, byte-identical \
-          across reruns and shard counts.  Exits nonzero if any \
-          machine's TLB-shootdown/break-before-make checker records a \
-          violation")
+          across reruns and shard counts.  $(b,--expose) grants the \
+          whole fleet an OoH feature set to show its tail-latency \
+          effect.  Exits nonzero if any machine's \
+          TLB-shootdown/break-before-make checker records a violation")
     Term.(
       const run $ n_arg $ seed_arg $ requests_arg $ migrate_every_arg
-      $ shards_arg $ domains_arg $ json_arg $ verbose_arg)
+      $ expose_arg $ shards_arg $ domains_arg $ json_arg $ verbose_arg)
 
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))

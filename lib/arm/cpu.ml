@@ -32,6 +32,11 @@ type t = {
   (* NV2 ablation mask (simulator-only knob): which of NEVE's three
      mechanisms are implemented by this "hardware". *)
   mutable nv2_mask : Trap_rules.nv2_mask;
+  (* OoH exposure policy: the per-feature grant set L0 handed this
+     guest hypervisor.  Granted facilities' vEL2 accesses route as
+     [Execute_exposed] instead of trapping; set once by the machine
+     builder and immutable for the life of the VM. *)
+  mutable expose : Expose.Policy.t;
   (* Decoded-HCR cache: [Hcr.decode] allocates a 12-field record and runs
      on every executed instruction; HCR_EL2 changes only on world
      switches, so the view is reused while the raw value is unchanged. *)
@@ -61,6 +66,7 @@ let create ?(features = Features.v Features.V8_0) ?table ?mem ?meter () =
     el1_vectors = false;
     saved_regs = [];
     nv2_mask = Trap_rules.nv2_full;
+    expose = Expose.Policy.none;
     hcr_raw = 0L;
     hcr_cached = Hcr.decode 0L;
     xlate = Xlate.create ();
@@ -285,8 +291,8 @@ and exec_routed t (insn : Insn.t) =
      normalization below, which must re-route because the synthesized Reg
      form carries a different Rt in the trap syndrome. *)
   let action =
-    Trap_rules.route ~mask:t.nv2_mask t.features ~hcr:(hcr_view t)
-      ~vncr:(vncr_value t) ~el:t.pstate.Pstate.el insn
+    Trap_rules.route ~mask:t.nv2_mask ~expose:t.expose t.features
+      ~hcr:(hcr_view t) ~vncr:(vncr_value t) ~el:t.pstate.Pstate.el insn
   in
   match insn with
   | Insn.Msr (access, Insn.Imm v) when action <> Trap_rules.Execute ->
@@ -303,6 +309,14 @@ and exec_action t (insn : Insn.t) action =
   let c = table t in
   match (action : Trap_rules.action) with
   | Trap_rules.Execute -> exec_local t insn
+  | Trap_rules.Execute_exposed { feature } ->
+    (* OoH: the access runs against the real register at its ordinary
+       execute cost; only the saved exit is attributed. *)
+    let detail =
+      if t.meter.Cost.logging || !Trace.on then Insn.to_string insn else ""
+    in
+    Cost.record_exposed ~detail t.meter feature;
+    exec_local t insn
   | Trap_rules.Execute_redirected target -> begin
       match insn with
       | Insn.Mrs (rt, _) -> exec_local t (Insn.Mrs (rt, target))

@@ -37,6 +37,9 @@ type t = {
   mutable nv2_mask : Trap_rules.nv2_mask;
       (** simulator-only ablation knob: which NEVE mechanisms this
           "hardware" implements *)
+  mutable expose : Expose.Policy.t;
+      (** OoH per-feature grant set L0 handed this guest hypervisor
+          (set by {!Machine.create}; immutable for the VM's life) *)
   mutable hcr_raw : int64;
       (** raw HCR_EL2 value behind {!field-hcr_cached}; the decoded view is
           refreshed only when this changes *)

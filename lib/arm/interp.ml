@@ -122,13 +122,14 @@ let run ?on_step ?(stop = fun _ -> false) ?superblocks (cpu : Cpu.t) ~entry
     && blk.Xlate.k_vncr = Sysreg_file.read sysregs Sysreg.VNCR_EL2
     && blk.Xlate.k_features == cpu.Cpu.features
     && blk.Xlate.k_mask == cpu.Cpu.nv2_mask
+    && Expose.Policy.equal blk.Xlate.k_expose cpu.Cpu.expose
   in
   let rekey blk =
     let hcr = Cpu.hcr_view cpu in
     let hcr_raw = cpu.Cpu.hcr_raw in
     Xlate.re_route blk ~el:cpu.Cpu.pstate.Pstate.el ~hcr ~hcr_raw
       ~vncr:(Cpu.vncr_value cpu) ~features:cpu.Cpu.features
-      ~mask:cpu.Cpu.nv2_mask
+      ~mask:cpu.Cpu.nv2_mask ~expose:cpu.Cpu.expose
   in
   (* Replay one cached route-sensitive op.  On a key mismatch the block
      is re-routed under the current inputs and the op retried — an exact
@@ -167,7 +168,7 @@ let run ?on_step ?(stop = fun _ -> false) ?superblocks (cpu : Cpu.t) ~entry
         let blk =
           Xlate.lookup xc mem ~pc ~gen ~el:cpu.Cpu.pstate.Pstate.el ~hcr
             ~hcr_raw ~vncr:(Cpu.vncr_value cpu) ~features:cpu.Cpu.features
-            ~mask:cpu.Cpu.nv2_mask
+            ~mask:cpu.Cpu.nv2_mask ~expose:cpu.Cpu.expose
         in
         let ops = blk.Xlate.ops in
         let n = Array.length ops in

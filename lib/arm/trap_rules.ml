@@ -16,6 +16,10 @@
 
 type action =
   | Execute
+  | Execute_exposed of { feature : Expose.Policy.feature }
+      (* OoH exposure: the access runs against the real hardware register,
+         trap-free, because L0 granted the facility to the guest
+         hypervisor.  Same semantics as [Execute] plus attribution. *)
   | Execute_redirected of Sysreg.access
       (* perform the access against a different register *)
   | Defer_to_memory of { addr : int64; reg : Sysreg.t }
@@ -129,6 +133,41 @@ let nv2_defers_reads (r : Sysreg.t) =
   | NV_redirect _ | NV_redirect_vhe _ | NV_timer_trap -> false
   | NV_none -> Sysreg.has_vncr_offset r
 
+(* The sysreg surface of each OoH exposure grant.  Only registers whose
+   hardware copy can be made authoritative while the guest hypervisor
+   runs in virtual EL2 qualify:
+
+   - [Timer]: the EL2 timers and the virtual offset.  Their base-column
+     path is a trap on every access (NV_timer_trap) or on every write
+     (CNTVOFF); exposed, the guest programs the hardware comparators
+     directly.
+   - [Gic_lrs]: the list registers plus ICH_HCR/ICH_VMCR.  The
+     read-only status registers (ICH_VTR/MISR/EISR/ELRSR) and the
+     active-priority registers stay trapped: their values are derived
+     by the host's vGIC sanitizer, so a stale hardware copy is not
+     architectural state the guest may observe directly.
+   - [Dirty_log] has no sysreg surface at all — it exposes the stage-2
+     dirty bitmap to the migration layer (see Mmu.Dirty/Snap.Migrate).
+
+   EL02/EL12 alias forms keep trapping even when the underlying
+   register is exposed: the alias names the *VM's* state, which the
+   host must still multiplex (Section 7.1). *)
+let exposed_feature (expose : Expose.Policy.t) (r : Sysreg.t) :
+    Expose.Policy.feature option =
+  if Expose.Policy.is_none expose then None
+  else
+    match r with
+    | Sysreg.CNTHP_CTL_EL2 | Sysreg.CNTHP_CVAL_EL2 | Sysreg.CNTHV_CTL_EL2
+    | Sysreg.CNTHV_CVAL_EL2 | Sysreg.CNTVOFF_EL2 ->
+      if Expose.Policy.mem expose Expose.Policy.Timer then
+        Some Expose.Policy.Timer
+      else None
+    | Sysreg.ICH_HCR_EL2 | Sysreg.ICH_VMCR_EL2 | Sysreg.ICH_LR_EL2 _ ->
+      if Expose.Policy.mem expose Expose.Policy.Gic_lrs then
+        Some Expose.Policy.Gic_lrs
+      else None
+    | _ -> None
+
 let deferred_slot ~vncr (r : Sysreg.t) =
   match Sysreg.vncr_offset r with
   | Some off ->
@@ -139,7 +178,7 @@ let deferred_slot ~vncr (r : Sysreg.t) =
 (* Route a system-register access executed at EL1 while HCR_EL2.NV=1, i.e.
    by a deprivileged guest hypervisor running in virtual EL2. *)
 let route_sysreg_vel2 (features : Features.t) ~(hcr : Hcr.view) ~vncr ~mask
-    ~(access : Sysreg.access) ~rt ~is_read =
+    ~expose ~(access : Sysreg.access) ~rt ~is_read =
   let nv2_on =
     Features.has_nv2 features && hcr.h_nv2 && vncr_enable vncr
   in
@@ -162,8 +201,13 @@ let route_sysreg_vel2 (features : Features.t) ~(hcr : Hcr.view) ~vncr ~mask
       else trap ()
     else trap ()
   | Direct ->
-    if Sysreg.min_el access.reg = Pstate.EL2 then
-      (* EL2 register access from virtual EL2. *)
+    if Sysreg.min_el access.reg = Pstate.EL2 then begin
+      (* EL2 register access from virtual EL2.  An OoH grant wins over
+         every mechanism: the access reaches the hardware register
+         directly, trap-free, whether or not NV2 deferral is active. *)
+      match exposed_feature expose access.reg with
+      | Some feature -> Execute_exposed { feature }
+      | None ->
       if not nv2_on then trap ()
       else begin
         match Sysreg.neve_class access.reg with
@@ -186,6 +230,7 @@ let route_sysreg_vel2 (features : Features.t) ~(hcr : Hcr.view) ~vncr ~mask
         | NV_timer_trap -> trap ()
         | NV_none -> trap ()
       end
+    end
     else if Sysreg.min_el access.reg = Pstate.EL1 then
       (* EL1 register access from virtual EL2. *)
       match access.reg with
@@ -252,8 +297,9 @@ let route_sysreg_el2 (features : Features.t) ~(hcr : Hcr.view)
       | None -> Execute
     else Execute
 
-let route ?(mask = nv2_full) (features : Features.t) ~(hcr : Hcr.view) ~vncr
-    ~(el : Pstate.el) (insn : Insn.t) : action =
+let route ?(mask = nv2_full) ?(expose = Expose.Policy.none)
+    (features : Features.t) ~(hcr : Hcr.view) ~vncr ~(el : Pstate.el)
+    (insn : Insn.t) : action =
   match insn with
   | Insn.Hvc imm -> begin
       match el with
@@ -285,7 +331,7 @@ let route ?(mask = nv2_full) (features : Features.t) ~(hcr : Hcr.view) ~vncr
       | Pstate.EL2 -> route_sysreg_el2 features ~hcr ~access
       | Pstate.EL1 ->
         if hcr.h_nv && Features.has_nv features then
-          route_sysreg_vel2 features ~hcr ~vncr ~mask ~access ~rt
+          route_sysreg_vel2 features ~hcr ~vncr ~mask ~expose ~access ~rt
             ~is_read:true
         else if access.reg = Sysreg.CurrentEL then Execute
         else route_sysreg_vm ~hcr ~access ~rt ~is_read:true
@@ -314,7 +360,7 @@ let route ?(mask = nv2_full) (features : Features.t) ~(hcr : Hcr.view) ~vncr
       | Pstate.EL2 -> route_sysreg_el2 features ~hcr ~access
       | Pstate.EL1 ->
         if hcr.h_nv && Features.has_nv features then
-          route_sysreg_vel2 features ~hcr ~vncr ~mask ~access ~rt
+          route_sysreg_vel2 features ~hcr ~vncr ~mask ~expose ~access ~rt
             ~is_read:false
         else route_sysreg_vm ~hcr ~access ~rt ~is_read:false
       | Pstate.EL0 ->
@@ -330,6 +376,8 @@ let route ?(mask = nv2_full) (features : Features.t) ~(hcr : Hcr.view) ~vncr
 
 let pp_action ppf = function
   | Execute -> Fmt.string ppf "execute"
+  | Execute_exposed { feature } ->
+    Fmt.pf ppf "exposed (%s)" (Expose.Policy.feature_name feature)
   | Execute_redirected a ->
     Fmt.pf ppf "redirect -> %s" (Sysreg.access_name a)
   | Defer_to_memory { addr; reg } ->

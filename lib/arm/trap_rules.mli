@@ -16,6 +16,10 @@
 
 type action =
   | Execute
+  | Execute_exposed of { feature : Expose.Policy.feature }
+      (** OoH exposure: the access runs against the real hardware
+          register trap-free because L0 granted the facility — same
+          semantics as [Execute] plus per-feature attribution *)
   | Execute_redirected of Sysreg.access
       (** perform the access against a different register *)
   | Defer_to_memory of { addr : int64; reg : Sysreg.t }
@@ -54,8 +58,15 @@ val el1_form_of_el2 : Sysreg.t -> Sysreg.t option
 
 val nv2_defers_reads : Sysreg.t -> bool
 
+val exposed_feature :
+  Expose.Policy.t -> Sysreg.t -> Expose.Policy.feature option
+(** The OoH grant (if any) that makes a direct virtual-EL2 access to
+    this register trap-free.  [Dirty_log] has no sysreg surface; the
+    read-only vGIC status registers are never exposed. *)
+
 val route :
   ?mask:nv2_mask ->
+  ?expose:Expose.Policy.t ->
   Features.t ->
   hcr:Hcr.view ->
   vncr:int64 ->
@@ -65,6 +76,7 @@ val route :
 (** [route features ~hcr ~vncr ~el insn] is what the hardware does with
     [insn] executed at [el].  [vncr] is the raw VNCR_EL2 value; [mask]
     (default {!nv2_full}) selects which NEVE mechanisms the hardware
-    implements. *)
+    implements; [expose] (default {!Expose.Policy.none}) is the OoH
+    grant set L0 handed the guest hypervisor. *)
 
 val pp_action : Format.formatter -> action -> unit

@@ -93,6 +93,7 @@ type block = {
   mutable k_vncr : int64;
   mutable k_features : Features.t;
   mutable k_mask : Trap_rules.nv2_mask;
+  mutable k_expose : Expose.Policy.t;
 }
 
 let max_block_ops = 64
@@ -117,6 +118,7 @@ let empty_block =
     k_vncr = 0L;
     k_features = Features.v Features.V8_0;
     k_mask = Trap_rules.nv2_off;
+    k_expose = Expose.Policy.none;
   }
 
 type t = {
@@ -176,7 +178,7 @@ let ends_block (insn : Insn.t) =
 
 (* Decode straight-line code starting at [pc] into a block, routing each
    route-sensitive instruction once under the given inputs. *)
-let build t mem ~pc ~gen ~el ~hcr ~hcr_raw ~vncr ~features ~mask =
+let build t mem ~pc ~gen ~el ~hcr ~hcr_raw ~vncr ~features ~mask ~expose =
   let buf = Array.make max_block_ops (Plain Insn.Nop) in
   let rec scan i addr =
     if i >= max_block_ops then (i, T_fallthrough)
@@ -194,7 +196,7 @@ let build t mem ~pc ~gen ~el ~hcr ~hcr_raw ~vncr ~features ~mask =
           end
           else begin
             let action =
-              Trap_rules.route ~mask features ~hcr ~vncr ~el insn
+              Trap_rules.route ~mask ~expose features ~hcr ~vncr ~el insn
             in
             buf.(i) <- Routed { insn; action };
             if ends_block insn then (i + 1, T_branch)
@@ -212,32 +214,36 @@ let build t mem ~pc ~gen ~el ~hcr ~hcr_raw ~vncr ~features ~mask =
     k_vncr = vncr;
     k_features = features;
     k_mask = mask;
+    k_expose = expose;
   }
 
 (* Route state changed mid-block (or the block is entered under different
    state than it was formed under): recompute every cached action under
    the current inputs and rekey.  The instructions themselves are still
    valid — code validity is the generation's job, not the key's. *)
-let re_route blk ~el ~hcr ~hcr_raw ~vncr ~features ~mask =
+let re_route blk ~el ~hcr ~hcr_raw ~vncr ~features ~mask ~expose =
   Array.iter
     (function
       | Plain _ -> ()
       | Routed r ->
-        r.action <- Trap_rules.route ~mask features ~hcr ~vncr ~el r.insn)
+        r.action <- Trap_rules.route ~mask ~expose features ~hcr ~vncr ~el r.insn)
     blk.ops;
   blk.k_el <- el;
   blk.k_hcr <- hcr_raw;
   blk.k_vncr <- vncr;
   blk.k_features <- features;
-  blk.k_mask <- mask
+  blk.k_mask <- mask;
+  blk.k_expose <- expose
 
 (* Cached block for [pc] decoded under generation [gen], or rebuild. *)
-let lookup t mem ~pc ~gen ~el ~hcr ~hcr_raw ~vncr ~features ~mask =
+let lookup t mem ~pc ~gen ~el ~hcr ~hcr_raw ~vncr ~features ~mask ~expose =
   let slot = (Int64.to_int pc lsr 2) land block_mask in
   let blk = Array.unsafe_get t.blocks slot in
   if blk.entry = pc && blk.gen = gen then blk
   else begin
-    let blk = build t mem ~pc ~gen ~el ~hcr ~hcr_raw ~vncr ~features ~mask in
+    let blk =
+      build t mem ~pc ~gen ~el ~hcr ~hcr_raw ~vncr ~features ~mask ~expose
+    in
     t.blocks.(slot) <- blk;
     blk
   end

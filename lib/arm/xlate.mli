@@ -6,8 +6,8 @@
     against {!Memory.code_gen} (stores into the tracked code envelope
     invalidate them) and against the exact route inputs their cached
     actions were computed under (EL, raw HCR_EL2, VNCR_EL2, features,
-    ablation mask) — a mismatch re-routes in place, making the cache an
-    exact memoization of {!Trap_rules.route}.
+    ablation mask, OoH exposure policy) — a mismatch re-routes in place,
+    making the cache an exact memoization of {!Trap_rules.route}.
 
     This module holds the data and formation logic only; execution lives
     in {!Interp}, which also owns the side-exit rules (PC divergence,
@@ -49,6 +49,7 @@ type block = {
   mutable k_vncr : int64;
   mutable k_features : Features.t;
   mutable k_mask : Trap_rules.nv2_mask;
+  mutable k_expose : Expose.Policy.t;
 }
 
 val max_block_ops : int
@@ -83,6 +84,7 @@ val lookup :
   vncr:int64 ->
   features:Features.t ->
   mask:Trap_rules.nv2_mask ->
+  expose:Expose.Policy.t ->
   block
 (** The cached block entered at [pc] and decoded under generation [gen],
     built fresh if absent or stale. *)
@@ -95,6 +97,7 @@ val re_route :
   vncr:int64 ->
   features:Features.t ->
   mask:Trap_rules.nv2_mask ->
+  expose:Expose.Policy.t ->
   unit
 (** Recompute every cached action under the current route inputs and
     rekey the block (the mid-block side-exit repair path). *)

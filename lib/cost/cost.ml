@@ -178,6 +178,18 @@ let kind_index = function
 
 let kind_count = 15
 
+(* OoH exposure attribution: dense per-feature index into a meter's
+   [exposed] counter array, mirroring [kind_index] for traps.  An
+   exposed access is the trap that *didn't* happen — the access itself
+   is charged its ordinary execute cost by whoever runs it; the counter
+   only attributes the saved exit to its grant. *)
+let exposed_index = function
+  | Expose.Policy.Dirty_log -> 0
+  | Expose.Policy.Timer -> 1
+  | Expose.Policy.Gic_lrs -> 2
+
+let exposed_count = List.length Expose.Policy.all_features
+
 (* A meter accumulates cycles, instruction counts and trap counts for one
    measured region.  Meters are cheap to create; benchmarks snapshot and
    subtract them. *)
@@ -188,6 +200,8 @@ type meter = {
   mutable traps : int;
   mutable mem_accesses : int;
   by_kind : int array;  (* per-kind trap counts, indexed by [kind_index] *)
+  exposed : int array;  (* per-feature trap-free access counts, indexed
+                           by [exposed_index] *)
   mutable log : (trap_kind * string) list;  (* newest first *)
   mutable logging : bool;
   mutable tid : int;  (* owning CPU id; the trace lane for events this
@@ -201,6 +215,7 @@ let make_meter ?(table = default) () = {
   traps = 0;
   mem_accesses = 0;
   by_kind = Array.make kind_count 0;
+  exposed = Array.make exposed_count 0;
   log = [];
   logging = false;
   tid = 0;
@@ -235,6 +250,17 @@ let record_trap ?(detail = "") m kind =
     Trace.emit ~cycles:m.cycles ~tid:m.tid ~cls:(trap_kind_name kind) ~detail
       Trace.Trap
 
+(* The exposure twin of [record_trap]: called where the router returned
+   [Execute_exposed] instead of a trap.  No cycle charge here — the
+   access pays its ordinary execute cost at its execution site; the
+   whole point of an OoH grant is that the exit cost vanishes. *)
+let record_exposed ?(detail = "") m feature =
+  let i = exposed_index feature in
+  Array.unsafe_set m.exposed i (Array.unsafe_get m.exposed i + 1);
+  if !Trace.on then
+    Trace.emit ~cycles:m.cycles ~tid:m.tid
+      ~cls:(Expose.Policy.feature_name feature) ~detail Trace.Exposed_access
+
 let set_logging m b =
   m.logging <- b;
   if not b then m.log <- []
@@ -242,6 +268,8 @@ let set_logging m b =
 let trap_log m = List.rev m.log
 
 let traps_of_kind m kind = m.by_kind.(kind_index kind)
+let exposed_of_feature m f = m.exposed.(exposed_index f)
+let exposed_total m = Array.fold_left ( + ) 0 m.exposed
 
 (* Immutable snapshot, for delta measurements around a benchmark region. *)
 type snapshot = {
@@ -249,6 +277,7 @@ type snapshot = {
   snap_insns : int;
   snap_traps : int;
   snap_by_kind : (trap_kind * int) list;
+  snap_exposed : (Expose.Policy.feature * int) list;
 }
 
 let snapshot m = {
@@ -256,6 +285,9 @@ let snapshot m = {
   snap_insns = m.insns;
   snap_traps = m.traps;
   snap_by_kind = List.map (fun k -> (k, traps_of_kind m k)) all_trap_kinds;
+  snap_exposed =
+    List.map (fun f -> (f, exposed_of_feature m f))
+      Expose.Policy.all_features;
 }
 
 type delta = {
@@ -263,11 +295,15 @@ type delta = {
   d_insns : int;
   d_traps : int;
   d_by_kind : (trap_kind * int) list;
+  d_exposed : (Expose.Policy.feature * int) list;
 }
 
 let delta_since m s =
   let before k =
     Option.value ~default:0 (List.assoc_opt k s.snap_by_kind)
+  in
+  let exposed_before f =
+    Option.value ~default:0 (List.assoc_opt f s.snap_exposed)
   in
   {
     d_cycles = m.cycles - s.snap_cycles;
@@ -275,6 +311,10 @@ let delta_since m s =
     d_traps = m.traps - s.snap_traps;
     d_by_kind =
       List.map (fun k -> (k, traps_of_kind m k - before k)) all_trap_kinds;
+    d_exposed =
+      List.map
+        (fun f -> (f, exposed_of_feature m f - exposed_before f))
+        Expose.Policy.all_features;
   }
 
 let reset m =
@@ -283,6 +323,7 @@ let reset m =
   m.traps <- 0;
   m.mem_accesses <- 0;
   Array.fill m.by_kind 0 kind_count 0;
+  Array.fill m.exposed 0 exposed_count 0;
   m.log <- []
 
 let pp_delta ppf d =

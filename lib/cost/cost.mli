@@ -90,6 +90,12 @@ val kind_index : trap_kind -> int
 
 val kind_count : int
 
+val exposed_index : Expose.Policy.feature -> int
+(** Dense index of an OoH feature into a meter's [exposed] counter
+    array, mirroring {!kind_index}. *)
+
+val exposed_count : int
+
 (** A meter accumulates cycles, instruction counts and trap counts for one
     measured region. *)
 type meter = {
@@ -101,6 +107,9 @@ type meter = {
   by_kind : int array;
       (** per-kind trap counts indexed by {!kind_index} (dense: hashed
           lookups were real cost on the trap path) *)
+  exposed : int array;
+      (** per-feature counts of accesses that ran trap-free under an
+          OoH grant, indexed by {!exposed_index} *)
   mutable log : (trap_kind * string) list;  (** newest first *)
   mutable logging : bool;
   mutable tid : int;
@@ -123,12 +132,21 @@ val record_trap : ?detail:string -> meter -> trap_kind -> unit
     {!trap_kind_name}, which is why the tracer's per-class counter sums
     equal the meters' trap totals by construction. *)
 
+val record_exposed : ?detail:string -> meter -> Expose.Policy.feature -> unit
+(** The exposure twin of {!record_trap}: attribute a trap-free access
+    to the OoH grant that saved the exit.  Charges no cycles — the
+    access pays its ordinary execute cost at its execution site.  When
+    tracing is enabled it emits a [Trace.Exposed_access] event whose
+    class is the feature name. *)
+
 val set_logging : meter -> bool -> unit
 
 val trap_log : meter -> (trap_kind * string) list
 (** Oldest first. *)
 
 val traps_of_kind : meter -> trap_kind -> int
+val exposed_of_feature : meter -> Expose.Policy.feature -> int
+val exposed_total : meter -> int
 
 (** Immutable snapshot, for delta measurement around a benchmark region. *)
 type snapshot = {
@@ -136,6 +154,7 @@ type snapshot = {
   snap_insns : int;
   snap_traps : int;
   snap_by_kind : (trap_kind * int) list;
+  snap_exposed : (Expose.Policy.feature * int) list;
 }
 
 val snapshot : meter -> snapshot
@@ -145,6 +164,7 @@ type delta = {
   d_insns : int;
   d_traps : int;
   d_by_kind : (trap_kind * int) list;
+  d_exposed : (Expose.Policy.feature * int) list;
 }
 
 val delta_since : meter -> snapshot -> delta

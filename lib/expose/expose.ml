@@ -1,0 +1,90 @@
+(* Out-of-Hypervisor-style selective feature exposure.
+
+   The paper's three mechanisms (trap-and-emulate, NEVE deferral, and
+   the paravirtualized twins) all answer the same question — what
+   happens when the guest hypervisor touches privileged state — with
+   some flavor of "L0 intervenes".  The Out-of-Hypervisor work
+   (PAPERS.md) adds a fourth answer: L0 can *grant* the guest
+   hypervisor direct, trap-free use of an individual hardware
+   virtualization facility, and intervene only for everything else.
+   Hyper-V's Enlightened VMCS ships the same shape in production: a
+   per-feature enlightenment bitmap negotiated at partition creation.
+
+   This module is the policy vocabulary shared by every layer: which
+   facilities exist, how a grant set is named on the command line,
+   serialized into snapshots, and keyed into the routing caches.  The
+   policy is immutable after [Machine.create] — a grant is a property
+   of the machine, like its mechanism column, not a runtime knob — so
+   an [int] bitmask with physical sharing of the common [none] value is
+   enough, and cache keys can compare policies by integer equality. *)
+
+module Policy = struct
+  type feature =
+    | Dirty_log  (** direct stage-2 dirty-bitmap read + write-protect
+                     management: pre-copy rounds run without per-page
+                     permission faults into L0 *)
+    | Timer      (** direct CNTHP_*/CNTHV_*/CNTVOFF_EL2 programming *)
+    | Gic_lrs    (** direct vGIC list-register and ICH_HCR/ICH_VMCR writes *)
+
+  let all_features = [ Dirty_log; Timer; Gic_lrs ]
+
+  let feature_name = function
+    | Dirty_log -> "dirty-log"
+    | Timer -> "timer"
+    | Gic_lrs -> "gic-lrs"
+
+  let feature_of_name = function
+    | "dirty-log" -> Some Dirty_log
+    | "timer" -> Some Timer
+    | "gic-lrs" -> Some Gic_lrs
+    | _ -> None
+
+  let bit = function Dirty_log -> 1 | Timer -> 2 | Gic_lrs -> 4
+
+  (* The grant set.  Abstract in the interface; an int bitmask here so
+     the routing caches can key on it with [bits]/integer equality. *)
+  type t = int
+
+  let none : t = 0
+  let mem t f = t land bit f <> 0
+  let grant t f = t lor bit f
+  let of_list fs = List.fold_left grant none fs
+  let all = of_list all_features
+  let is_none t = t = 0
+  let equal (a : t) b = a = b
+
+  let to_list t = List.filter (mem t) all_features
+
+  (* Stable wire form for snapshots: the bitmask itself.  [of_bits]
+     validates so a corrupted image surfaces as a format error, not a
+     silent ghost grant. *)
+  let to_bits t = t
+  let of_bits b = if b land lnot all <> 0 then None else Some b
+
+  let names t = List.map feature_name (to_list t)
+
+  let to_string t =
+    match names t with [] -> "none" | ns -> String.concat "," ns
+
+  (* Comma-separated grant list, the CLI surface: "dirty-log,gic-lrs".
+     "none" and the empty string parse to the empty policy; any unknown
+     name is a typed error naming the offender and the vocabulary. *)
+  let parse s =
+    let known =
+      String.concat ", " (List.map feature_name all_features)
+    in
+    let rec go acc = function
+      | [] -> Ok acc
+      | "" :: rest | "none" :: rest -> go acc rest
+      | name :: rest -> (
+        match feature_of_name name with
+        | Some f -> go (grant acc f) rest
+        | None ->
+          Error
+            (Printf.sprintf "unknown exposure feature %S (known: %s)" name
+               known))
+    in
+    go none (String.split_on_char ',' (String.trim s))
+
+  let pp ppf t = Fmt.string ppf (to_string t)
+end

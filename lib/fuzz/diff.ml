@@ -33,12 +33,41 @@ module Paravirt = Hyp.Paravirt
 module Vcpu = Hyp.Vcpu
 module Gaccess = Hyp.Gaccess
 
-type column = { col_name : string; col_config : Config.t }
+type column = {
+  col_name : string;
+  col_config : Config.t;
+  col_expose : Expose.Policy.t;
+}
 
+(* The OoH columns' grant set: every feature with a sysreg surface.
+   Dirty_log is migration-layer-only, so granting it here would change
+   nothing a fuzz program can touch. *)
+let ooh_grant =
+  Expose.Policy.of_list [ Expose.Policy.Timer; Expose.Policy.Gic_lrs ]
+
+(* The base matrix plus, per hardware column, an OoH twin: the same
+   mechanism with timer + vGIC list registers exposed trap-free.  The
+   twin must be architecturally indistinguishable from its base inside
+   the group — exposure may only remove exits, never change state. *)
 let columns =
-  List.map
-    (fun (name, config) -> { col_name = name; col_config = config })
-    Workloads.Scenario.fuzz_columns
+  let base =
+    List.map
+      (fun (name, config) ->
+        { col_name = name; col_config = config;
+          col_expose = Expose.Policy.none })
+      Workloads.Scenario.fuzz_columns
+  in
+  let ooh =
+    List.filter_map
+      (fun c ->
+        match c.col_config.Config.mech with
+        | Config.Hw_v8_3 | Config.Hw_neve ->
+          Some { c with col_name = c.col_name ^ " (ooh)";
+                 col_expose = ooh_grant }
+        | Config.Pv_v8_3 | Config.Pv_neve -> None)
+      base
+  in
+  base @ ooh
 
 let groups =
   let vhe, non_vhe =
@@ -105,7 +134,8 @@ let mem_obs mem =
   in
   go (words - 1) []
 
-let run_column ?(traced = false) ~budget config words =
+let run_column ?(traced = false) ?(expose = Expose.Policy.none) ~budget
+    config words =
   if traced then Trace.enable ~capacity:8192 ();
   (* capture the column's event stream before the ring is reused, then
      drop back to untraced so corpus replays stay byte-identical *)
@@ -119,7 +149,7 @@ let run_column ?(traced = false) ~budget config words =
       obs
     end
   in
-  let m = Machine.create ~ncpus:1 config Host_hyp.Nested in
+  let m = Machine.create ~ncpus:1 ~expose config Host_hyp.Nested in
   let cpu = m.Machine.cpus.(0) and host = m.Machine.hosts.(0) in
   try
     Host_hyp.start_guest_hypervisor host;
@@ -179,8 +209,9 @@ let run_column ?(traced = false) ~budget config words =
    uninterrupted run; anything the snapshot fails to carry (an undrained
    deferred page, a pending fold, meter state, shadow tables) surfaces
    as an ordinary fuzz divergence. *)
-let run_column_snapshot ~budget ~at config words =
-  let m = Machine.create ~ncpus:1 config Host_hyp.Nested in
+let run_column_snapshot ?(expose = Expose.Policy.none) ~budget ~at config
+    words =
+  let m = Machine.create ~ncpus:1 ~expose config Host_hyp.Nested in
   let cpu = m.Machine.cpus.(0) and host = m.Machine.hosts.(0) in
   let traps_now = ref (fun () -> cpu.Cpu.meter.Cost.traps) in
   let cycles_now = ref (fun () -> cpu.Cpu.meter.Cost.cycles) in
@@ -326,13 +357,18 @@ type result = {
 
 (* Trap-count ordering inside a group: each paravirtualized twin must
    produce exactly its hardware twin's count (the repo's methodological
-   claim), and NEVE must never trap more than trap-and-emulate. *)
+   claim), NEVE must never trap more than trap-and-emulate, and an OoH
+   column must never out-trap the base mechanism it extends. *)
 let ordering_divergences group cols_obs =
-  let find mech =
+  let find_with has_grant mech =
     List.find_opt
-      (fun (c, _) -> c.col_config.Config.mech = mech)
+      (fun (c, _) ->
+        c.col_config.Config.mech = mech
+        && Expose.Policy.is_none c.col_expose <> has_grant)
       cols_obs
   in
+  let find = find_with false in
+  let find_ooh = find_with true in
   let check rel name_of = function
     | Some (ca, (oa : obs)), Some (cb, (ob : obs))
       when oa.ob_error = None && ob.ob_error = None ->
@@ -358,6 +394,10 @@ let ordering_divergences group cols_obs =
       (find Config.Hw_neve, find Config.Pv_neve)
   @ check (fun a b -> b <= a) "NEVE must not out-trap trap-and-emulate"
       (find Config.Hw_v8_3, find Config.Hw_neve)
+  @ check (fun a b -> b <= a) "OoH must not out-trap its base mechanism"
+      (find Config.Hw_v8_3, find_ooh Config.Hw_v8_3)
+  @ check (fun a b -> b <= a) "OoH must not out-trap its base mechanism"
+      (find Config.Hw_neve, find_ooh Config.Hw_neve)
 
 (* Restore-equivalence check for one program: every column's
    uninterrupted run against its snapshot-at-k/restore/resume twin.
@@ -368,7 +408,8 @@ let snapshot_divergences ~budget res_obs words =
   List.concat_map
     (fun (c, straight) ->
       let o =
-        run_column_snapshot ~budget ~at:(budget / 2) c.col_config words
+        run_column_snapshot ~expose:c.col_expose ~budget ~at:(budget / 2)
+          c.col_config words
       in
       let trap_div =
         if
@@ -397,7 +438,8 @@ let run_words ?traced ?(snap_oracle = false) words =
   let budget = budget_for words in
   let res_obs =
     List.map
-      (fun c -> (c, run_column ?traced ~budget c.col_config words))
+      (fun c ->
+        (c, run_column ?traced ~expose:c.col_expose ~budget c.col_config words))
       columns
   in
   let divergences =

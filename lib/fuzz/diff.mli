@@ -8,10 +8,27 @@
     identical final virtual EL1/EL2 register files, guest-visible
     memory, general registers, PSTATE/EL and exit class.  Trap counts
     may differ, but only in the paper-predicted direction — each
-    paravirtualized twin produces exactly its hardware twin's count, and
-    NEVE never traps more than trap-and-emulate. *)
+    paravirtualized twin produces exactly its hardware twin's count,
+    NEVE never traps more than trap-and-emulate, and an OoH column never
+    out-traps the base mechanism it extends.
 
-type column = { col_name : string; col_config : Hyp.Config.t }
+    Each hardware column additionally has an {e OoH twin} (suffix
+    [" (ooh)"]): the same mechanism with the timer and vGIC
+    list-register facilities exposed trap-free
+    ({!Expose.Policy.Timer} + {!Expose.Policy.Gic_lrs}).  Exposure may
+    only remove exits, never change architectural state, so the twin is
+    held to the group's full equivalence obligation. *)
+
+type column = {
+  col_name : string;
+  col_config : Hyp.Config.t;
+  col_expose : Expose.Policy.t;
+      (** OoH grant the column's machine is created with;
+          {!Expose.Policy.none} on the base columns *)
+}
+
+val ooh_grant : Expose.Policy.t
+(** The OoH twins' grant set: every feature with a sysreg surface. *)
 
 val columns : column list
 val groups : (string * column list) list
@@ -45,7 +62,13 @@ type obs = {
           when [traced] was set, empty otherwise *)
 }
 
-val run_column : ?traced:bool -> budget:int -> Hyp.Config.t -> int array -> obs
+val run_column :
+  ?traced:bool ->
+  ?expose:Expose.Policy.t ->
+  budget:int ->
+  Hyp.Config.t ->
+  int array ->
+  obs
 (** Run one encoded program under one configuration: fresh machine,
     guest hypervisor started in virtual EL2, text binary-patched for
     paravirtualized columns, and a final (trapped) [eret] folding the
@@ -56,7 +79,12 @@ val run_column : ?traced:bool -> budget:int -> Hyp.Config.t -> int array -> obs
     architectural observation is identical either way. *)
 
 val run_column_snapshot :
-  budget:int -> at:int -> Hyp.Config.t -> int array -> obs
+  ?expose:Expose.Policy.t ->
+  budget:int ->
+  at:int ->
+  Hyp.Config.t ->
+  int array ->
+  obs
 (** Like {!run_column}, but executed as two segments with a
     serialization boundary between them: run [at] instructions, save the
     machine through [Snap], restore into a fresh machine, resume there

@@ -41,6 +41,7 @@ type gkey = {
   gk_vncr : int64;
   gk_feats : Arm.Features.t;          (* physical identity *)
   gk_mask : Arm.Trap_rules.nv2_mask;  (* physical identity *)
+  gk_expose : Expose.Policy.t;        (* OoH grant set *)
   gk_el : Arm.Pstate.el;
 }
 
@@ -202,12 +203,15 @@ let key_now (cpu : Cpu.t) =
     gk_vncr = Cpu.peek_sysreg cpu Sysreg.VNCR_EL2;
     gk_feats = cpu.Cpu.features;
     gk_mask = cpu.Cpu.nv2_mask;
+    gk_expose = cpu.Cpu.expose;
     gk_el = cpu.Cpu.pstate.Arm.Pstate.el;
   }
 
 let key_eq a b =
   a.gk_hcr = b.gk_hcr && a.gk_vncr = b.gk_vncr && a.gk_feats == b.gk_feats
-  && a.gk_mask == b.gk_mask && a.gk_el = b.gk_el
+  && a.gk_mask == b.gk_mask
+  && Expose.Policy.equal a.gk_expose b.gk_expose
+  && a.gk_el = b.gk_el
 
 (* The compiled path only replays what the plain hardware funnel would
    do: no paravirt rewriting, no pending fault corruption, no per-access
@@ -216,8 +220,8 @@ let fast_ok t =
   (not (Config.is_paravirt t.config)) && t.tamper == None && not !Trace.on
 
 let route_for (cpu : Cpu.t) insn =
-  Trap_rules.route ~mask:cpu.Cpu.nv2_mask cpu.Cpu.features
-    ~hcr:(Cpu.hcr_view cpu) ~vncr:(Cpu.vncr_value cpu)
+  Trap_rules.route ~mask:cpu.Cpu.nv2_mask ~expose:cpu.Cpu.expose
+    cpu.Cpu.features ~hcr:(Cpu.hcr_view cpu) ~vncr:(Cpu.vncr_value cpu)
     ~el:cpu.Cpu.pstate.Arm.Pstate.el insn
 
 let compile_seq t ~el12 ~ctx ~save regs =

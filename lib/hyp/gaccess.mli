@@ -30,6 +30,7 @@ type gkey = {
   gk_vncr : int64;
   gk_feats : Arm.Features.t;
   gk_mask : Arm.Trap_rules.nv2_mask;
+  gk_expose : Expose.Policy.t;
   gk_el : Arm.Pstate.el;
 }
 

@@ -66,6 +66,11 @@ type t = {
   cpu : Cpu.t;
   config : Config.t;
   scenario : scenario;
+  (* OoH selective exposure: the per-feature grant set L0 handed this
+     guest hypervisor at machine creation (the fourth mechanism).  The
+     routing grant [Cpu.t.expose] is armed only while the guest
+     hypervisor is in virtual EL2 — see [expose_install]/[expose_fold]. *)
+  expose : Expose.Policy.t;
   vcpu : Vcpu.t;
   page : Core.Deferred_page.t;
   l0_ctx : int64;          (* the host's own saved EL1 context *)
@@ -431,6 +436,69 @@ let used_lrs_of_vel2 t =
   done;
   !n
 
+(* --- OoH selective exposure (the fourth mechanism) ---
+
+   While the guest hypervisor runs in virtual EL2, the hardware register
+   file is authoritative for every register its grant exposes: the trap
+   router answers [Execute_exposed] and the access runs against hardware
+   at plain execute cost.  Outside virtual EL2 the virtual-EL2 file is
+   authoritative, exactly as for the other three mechanisms.
+
+   Entry ([inject_vel2] / [start_guest_hypervisor] / [kill_l2]) installs
+   the virtual values into hardware and arms the routing grant; the
+   trapped eret folds hardware back into the virtual file and disarms
+   it.  Disarming matters for recursive virtualization: an L2
+   hypervisor's EL2 accesses keep their trap/forward/defer semantics —
+   its grants would be L1's to give, not L0's. *)
+
+let exposed_regs t =
+  let p = t.expose in
+  let timer =
+    if Expose.Policy.mem p Expose.Policy.Timer then
+      [ Sysreg.CNTHP_CTL_EL2; Sysreg.CNTHP_CVAL_EL2; Sysreg.CNTHV_CTL_EL2;
+        Sysreg.CNTHV_CVAL_EL2; Sysreg.CNTVOFF_EL2 ]
+    else []
+  and gic =
+    (* every LR the hardware advertises through ICH_VTR, not just the
+       [Reglists.vgic_lrs_in_use] KVM's own save/restore touches: the
+       routing grant exposes all of them, so the install/fold surface
+       must match or a high-index write dies in the hardware file *)
+    if Expose.Policy.mem p Expose.Policy.Gic_lrs then
+      Sysreg.ICH_HCR_EL2 :: Sysreg.ICH_VMCR_EL2
+      :: List.init Sysreg.lr_count (fun i -> Sysreg.ICH_LR_EL2 i)
+    else []
+  in
+  timer @ gic
+
+(* Make hardware mirror the virtual-EL2 file for every exposed register
+   and arm the routing grant.  The copies go through [Cpu.msr] when
+   [charged] — the per-switch cost OoH pays to erase the per-access
+   traps; the register-poke entry paths ([kill_l2], initial boot) pass
+   [charged:false] like their surrounding pokes. *)
+let expose_install ?(charged = true) t =
+  if not (Expose.Policy.is_none t.expose) then begin
+    List.iter
+      (fun r ->
+        let v = Vcpu.read_vel2 t.vcpu r in
+        if charged then Cpu.msr t.cpu (Sysreg.direct r) v
+        else Cpu.poke_sysreg t.cpu r v)
+      (exposed_regs t);
+    t.cpu.Cpu.expose <- t.expose
+  end
+
+(* Fold hardware back into the virtual-EL2 file and disarm the grant.
+   Must run before anything reads the virtual file on the exit path
+   ([used_lrs_of_vel2], the vgic/timer reprogramming) and makes the
+   NEVE drain's exposed-register slots stale shadows — see
+   [neve_drain]. *)
+let expose_fold t =
+  if not (Expose.Policy.is_none t.expose) then begin
+    List.iter
+      (fun r -> Vcpu.write_vel2 t.vcpu r (Cpu.mrs t.cpu (Sysreg.direct r)))
+      (exposed_regs t);
+    t.cpu.Cpu.expose <- Expose.Policy.none
+  end
+
 (* Populate the NEVE deferred access page before running the guest
    hypervisor: EL2 slots from the virtual EL2 file, EL1/EL0 slots from the
    nested VM's state (Section 6.1 workflow). *)
@@ -451,6 +519,12 @@ let neve_drain t =
        [neve_populate], and draining it would clobber the authoritative
        value the execution-mapping fold took from the twin. *)
     if twin_backed t r <> None then ()
+    else if Arm.Trap_rules.exposed_feature t.expose r <> None then
+      (* Same staleness as the twins: an exposed register's page slot was
+         populated at entry and never written (the grant routed every
+         access to hardware); draining it would clobber the value
+         [expose_fold] just took from the hardware register. *)
+      ()
     else if Sysreg.min_el r = Arm.Pstate.EL2 then Vcpu.write_vel2 t.vcpu r v
     else Vcpu.write_vel1 t.vcpu r v
   in
@@ -532,6 +606,7 @@ let inject_vel2 t (reason : Vcpu.nested_exit) =
     neve_populate t;
     set_vncr t ~enable:true
   end;
+  expose_install t;
   (* enter the guest hypervisor at its (virtual) EL2 vector *)
   Cpu.poke_sysreg t.cpu Sysreg.ELR_EL2 Guest_hyp.vector_base;
   Cpu.poke_sysreg t.cpu Sysreg.SPSR_EL2
@@ -564,6 +639,7 @@ let emulate_eret t =
   List.iter
     (fun (el2r, twin) -> Vcpu.write_vel2 t.vcpu el2r (stash_read t twin))
     exec_mapping;
+  expose_fold t;
   if neve_on t then begin
     neve_drain t;
     set_vncr t ~enable:false
@@ -875,6 +951,7 @@ let kill_l2 t ~resume_pc =
     neve_populate t;
     set_vncr t ~enable:true
   end;
+  expose_install ~charged:false t;
   Cpu.poke_sysreg t.cpu Sysreg.HCR_EL2 (hcr_for t ~vel2:true);
   t.cpu.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1;
   t.cpu.Cpu.pc <- resume_pc
@@ -962,7 +1039,7 @@ let handler t _cpu (e : Exn.entry) =
 
 (* --- construction --- *)
 
-let create ?(id = 0) cpu config scenario =
+let create ?(id = 0) ?(expose = Expose.Policy.none) cpu config scenario =
   let vcpu = Vcpu.create ~id in
   let page = Core.Deferred_page.create cpu.Cpu.mem ~base:vcpu.Vcpu.page_base in
   let t =
@@ -970,6 +1047,7 @@ let create ?(id = 0) cpu config scenario =
       cpu;
       config;
       scenario;
+      expose;
       vcpu;
       page;
       l0_ctx = Int64.add vcpu.Vcpu.host_ctx_base 0x0L;
@@ -1005,6 +1083,7 @@ let start_guest_hypervisor t =
     neve_populate t;
     set_vncr t ~enable:true
   end;
+  expose_install ~charged:false t;
   t.cpu.Cpu.pstate <- Arm.Pstate.at Arm.Pstate.EL1
 
 (* Put the machine in "plain VM running" state. *)

@@ -50,6 +50,9 @@ type t = {
   cpu : Cpu.t;
   config : Config.t;
   scenario : scenario;
+  expose : Expose.Policy.t;
+      (** OoH per-feature grant set; the routing grant on the CPU is
+          armed only while the guest hypervisor is in virtual EL2 *)
   vcpu : Vcpu.t;
   page : Core.Deferred_page.t;
   l0_ctx : int64;       (** the host's own saved EL1 context *)
@@ -157,7 +160,13 @@ val kill_l2 : t -> resume_pc:int64 -> unit
 val handler : t -> Cpu.t -> Exn.entry -> unit
 (** The EL2 exception handler installed on the CPU. *)
 
-val create : ?id:int -> Cpu.t -> Config.t -> scenario -> t
+val create :
+  ?id:int -> ?expose:Expose.Policy.t -> Cpu.t -> Config.t -> scenario -> t
+(** [expose] (default {!Expose.Policy.none}) is the OoH per-feature
+    grant set L0 hands the guest hypervisor: granted facilities' virtual
+    EL2 accesses run trap-free against hardware while the guest
+    hypervisor is in virtual EL2, with the hardware state folded back
+    into the virtual-EL2 file on the trapped eret. *)
 
 val start_guest_hypervisor : t -> unit
 (** Put the machine in "guest hypervisor running in virtual EL2" state,

@@ -18,6 +18,10 @@ type t = {
   ghyps : Guest_hyp.t option array;
   config : Config.t;
   scenario : Host_hyp.scenario;
+  (* OoH per-feature exposure grant handed to the guest hypervisors at
+     creation; part of the machine's topology (serialized with
+     snapshots, fixed for the machine's life) *)
+  expose : Expose.Policy.t;
   (* fault injection and invariant checking (off by default) *)
   fault : Fault.Plan.t option;
   checking : bool;
@@ -110,8 +114,8 @@ let deliver_filtered t ~cpu ~intid =
     once ()
   | _ -> once ()
 
-let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
-    scenario =
+let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table
+    ?(expose = Expose.Policy.none) config scenario =
   (* Reject impossible shapes before any allocation: a non-positive count
      would raise from Array.init deep inside, and a count past the vCPU
      region budget would silently overlap the fixed addresses above
@@ -141,7 +145,9 @@ let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
      architectural UNDEF lands there instead of tearing the process down *)
   Array.iter (fun c -> c.Cpu.el1_vectors <- true) cpus;
   let hosts =
-    Array.mapi (fun i cpu -> Host_hyp.create ~id:i cpu config scenario) cpus
+    Array.mapi
+      (fun i cpu -> Host_hyp.create ~id:i ~expose cpu config scenario)
+      cpus
   in
   let ghyps =
     Array.mapi
@@ -176,6 +182,7 @@ let create ?fault_plan ?(check_invariants = false) ?(ncpus = 1) ?table config
       ghyps;
       config;
       scenario;
+      expose;
       fault = fault_plan;
       checking;
       inv_states = Array.init ncpus (fun _ -> Fault.Invariants.state ());
@@ -599,6 +606,10 @@ let delta_since t snaps =
           List.map2
             (fun (k, a) (_, b) -> (k, a + b))
             acc.Cost.d_by_kind d.Cost.d_by_kind;
+        d_exposed =
+          List.map2
+            (fun (f, a) (_, b) -> (f, a + b))
+            acc.Cost.d_exposed d.Cost.d_exposed;
       })
     (List.hd deltas) (List.tl deltas)
 

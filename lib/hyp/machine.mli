@@ -13,6 +13,9 @@ type t = {
   ghyps : Guest_hyp.t option array;
   config : Config.t;
   scenario : Host_hyp.scenario;
+  expose : Expose.Policy.t;
+      (** OoH per-feature exposure grant handed to the guest hypervisors
+          at creation; machine topology, serialized with snapshots *)
   fault : Fault.Plan.t option;
   checking : bool;
       (** invariant checks wrapped around every EL2 exception *)
@@ -44,10 +47,16 @@ val create :
   ?check_invariants:bool ->
   ?ncpus:int ->
   ?table:Cost.table ->
+  ?expose:Expose.Policy.t ->
   Config.t ->
   Host_hyp.scenario ->
   t
-(** [fault_plan] threads a deterministic fault injector through the
+(** [expose] (default {!Expose.Policy.none}) is the OoH per-feature
+    grant set L0 hands every guest hypervisor: granted facilities'
+    virtual EL2 accesses run trap-free against hardware (the fourth
+    virtualization mechanism, orthogonal to [config]'s
+    trap-and-emulate/NEVE/paravirt axis).
+    [fault_plan] threads a deterministic fault injector through the
     machine: events fire at their scheduled trap counts when guest-side
     operations run, and the stage-2 walker's injection point is armed.
     [check_invariants] (implied by [fault_plan]) runs

@@ -116,7 +116,10 @@ exception Would_undef of Insn.t
    wrappers produce exactly these). *)
 let rewrite (config : Config.t) ~page_base (insn : Insn.t) : Insn.t list =
   match target_route config ~page_base insn with
-  | Trap_rules.Execute -> [ insn ]
+  (* [target_route] never grants OoH exposure (paravirt guests reach L0
+     through the hvc protocol instead), but an exposed access would run
+     unchanged just like [Execute]. *)
+  | Trap_rules.Execute | Trap_rules.Execute_exposed _ -> [ insn ]
   | Trap_rules.Execute_redirected target -> begin
       match insn with
       | Insn.Mrs (rt, _) -> [ Insn.Mrs (rt, target) ]
@@ -175,7 +178,7 @@ let patch_word (config : Config.t) ~page_base (w : int) : int =
   | Arm.Encode.D_unknown _ -> w
   | Arm.Encode.D_insn insn -> begin
       match target_route config ~page_base insn with
-      | Trap_rules.Execute -> w
+      | Trap_rules.Execute | Trap_rules.Execute_exposed _ -> w
       | Trap_rules.Execute_redirected target -> begin
           match insn with
           | Insn.Mrs (rt, _) -> Arm.Encode.encode (Insn.Mrs (rt, target))

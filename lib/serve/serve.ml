@@ -105,7 +105,7 @@ let setup_smp m =
     Machine.smp_map m ~cpu:0 ~ipa:(smp_ipa p) ~pa:(smp_frame ~page:p ~gen:0)
   done
 
-let build_machine sp =
+let build_machine ?expose sp =
   let config, scen =
     match sp.sp_col with
     | Scenario.Arm_vm -> (Hyp.Config.v Hyp.Config.Hw_v8_3, Hyp.Host_hyp.Single_vm)
@@ -116,14 +116,14 @@ let build_machine sp =
       ~seed:(Int64.to_int sp.sp_seed land 0xfff_ffff)
       ~faults:6 ~horizon:1500
   in
-  let m = Machine.create ~fault_plan ~ncpus:2 config scen in
+  let m = Machine.create ~fault_plan ~ncpus:2 ?expose config scen in
   Machine.boot m;
   m
 
 let run_spec ?(requests = default_requests)
-    ?(migrate_every = default_migrate_every) sp =
+    ?(migrate_every = default_migrate_every) ?expose sp =
   let ncpus = 2 in
-  let m = ref (build_machine sp) in
+  let m = ref (build_machine ?expose sp) in
   setup_smp !m;
   let gens = Array.make smp_pages 0 in
   let rng = Rng.make (Int64.to_int sp.sp_seed land max_int) in
@@ -229,6 +229,7 @@ type t = {
   s_seed : int;
   s_requests : int;
   s_migrate_every : int;
+  s_expose : Expose.Policy.t;
   s_by_config : per_config list;
   s_clean : bool;
   s_digest : int64;
@@ -237,7 +238,7 @@ type t = {
 
 let pct q xs = if xs = [] then 0 else Cost.Stats.percentile q xs
 
-let merge ~n ~seed ~requests ~migrate_every results =
+let merge ~n ~seed ~requests ~migrate_every ~expose results =
   (* slot-order folds: the aggregate must not depend on scheduling *)
   let per_config =
     List.map (fun (k, _) -> (k, ref (0, 0, 0, 0, [], []))) Fleet.columns
@@ -259,6 +260,7 @@ let merge ~n ~seed ~requests ~migrate_every results =
     s_seed = seed;
     s_requests = requests;
     s_migrate_every = migrate_every;
+    s_expose = expose;
     s_by_config =
       List.map
         (fun (k, cell) ->
@@ -283,16 +285,17 @@ let merge ~n ~seed ~requests ~migrate_every results =
   }
 
 let run ?domains ?(shards = 1) ?(requests = default_requests)
-    ?(migrate_every = default_migrate_every) ~n ~seed () =
+    ?(migrate_every = default_migrate_every)
+    ?(expose = Expose.Policy.none) ~n ~seed () =
   if n <= 0 then invalid_arg "Serve.run: n must be positive";
   if requests <= 0 then invalid_arg "Serve.run: requests must be positive";
   if migrate_every <= 0 then
     invalid_arg "Serve.run: migrate-every must be positive";
   let results =
     Shard.map ?domains ~shards ~jobs:n (fun i ->
-        run_spec ~requests ~migrate_every (spec_of ~seed i))
+        run_spec ~requests ~migrate_every ~expose (spec_of ~seed i))
   in
-  merge ~n ~seed ~requests ~migrate_every results
+  merge ~n ~seed ~requests ~migrate_every ~expose results
 
 (* --- rendering --- *)
 
@@ -324,14 +327,18 @@ let json t =
         ("requests", string_of_int t.s_requests);
         ("migrate_every", string_of_int t.s_migrate_every);
         ("profiles", String.concat "+" serve_profiles);
+        ("expose", Expose.Policy.to_string t.s_expose);
         ("clean", if t.s_clean then "true" else "false");
         ("digest", Fleet.digest_hex t.s_digest);
       ]
     (rows t)
 
 let pp_summary ppf t =
-  Fmt.pf ppf "@[<v>serve: n=%d seed=%d requests=%d migrate-every=%d digest=%s@,"
-    t.s_n t.s_seed t.s_requests t.s_migrate_every (Fleet.digest_hex t.s_digest);
+  Fmt.pf ppf
+    "@[<v>serve: n=%d seed=%d requests=%d migrate-every=%d expose=%a \
+     digest=%s@,"
+    t.s_n t.s_seed t.s_requests t.s_migrate_every Expose.Policy.pp t.s_expose
+    (Fleet.digest_hex t.s_digest);
   Fmt.pf ppf "shootdown/BBM checker: %s@,"
     (if t.s_clean then "clean" else "VIOLATED");
   Fmt.pf ppf "%-10s %5s %5s %4s %5s %9s %9s %9s %9s %9s %9s@," "config" "mach"

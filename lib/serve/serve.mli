@@ -45,7 +45,15 @@ type result = {
   r_digest : int64;
 }
 
-val run_spec : ?requests:int -> ?migrate_every:int -> spec -> result
+val run_spec :
+  ?requests:int ->
+  ?migrate_every:int ->
+  ?expose:Expose.Policy.t ->
+  spec ->
+  result
+(** [expose] (default {!Expose.Policy.none}) is the OoH grant set every
+    machine of the fleet is created with; migration destinations carry
+    it through the snapshot. *)
 
 type per_config = {
   pc_name : string;
@@ -66,6 +74,7 @@ type t = {
   s_seed : int;
   s_requests : int;
   s_migrate_every : int;
+  s_expose : Expose.Policy.t;  (** the fleet-wide OoH grant set *)
   s_by_config : per_config list;
   s_clean : bool;       (** every machine's shootdown checker clean *)
   s_digest : int64;
@@ -77,6 +86,7 @@ val run :
   ?shards:int ->
   ?requests:int ->
   ?migrate_every:int ->
+  ?expose:Expose.Policy.t ->
   n:int ->
   seed:int ->
   unit ->

@@ -342,6 +342,15 @@ let meter_node (m : Cost.meter) =
                | 0 -> None
                | c -> Some (L [ int (trap_kind_code k); int c ]))
              Cost.all_trap_kinds) );
+      ( "exposed",
+        (* canonical order: all_features, zero counts omitted *)
+        L
+          (List.filter_map
+             (fun f ->
+               match m.exposed.(Cost.exposed_index f) with
+               | 0 -> None
+               | c -> Some (L [ int (Cost.exposed_index f); int c ]))
+             Expose.Policy.all_features) );
       ("log", L (List.map (fun (k, d) -> L [ int (trap_kind_code k); S d ]) m.log)) ]
 
 let load_meter n (m : Cost.meter) =
@@ -359,6 +368,16 @@ let load_meter n (m : Cost.meter) =
           get_int c
       | _ -> fail "bad by_kind entry")
     (fl "by_kind" n);
+  Array.fill m.exposed 0 Cost.exposed_count 0;
+  List.iter
+    (fun e ->
+      match get_l e with
+      | [ i; c ] ->
+        let i = get_int i in
+        if i < 0 || i >= Cost.exposed_count then fail "bad exposed index %d" i;
+        m.exposed.(i) <- get_int c
+      | _ -> fail "bad exposed entry")
+    (fl "exposed" n);
   m.log <-
     List.map
       (fun e ->
@@ -385,6 +404,9 @@ let cpu_node (c : Cpu.t) =
           [ ("defer", B c.nv2_mask.Trap_rules.m_defer);
             ("redirect", B c.nv2_mask.Trap_rules.m_redirect);
             ("cached", B c.nv2_mask.Trap_rules.m_cached) ] );
+      (* the armed OoH routing grant (non-none while the snapshot caught
+         the guest hypervisor in virtual EL2) *)
+      ("expose", int (Expose.Policy.to_bits c.expose));
       ("meter", meter_node c.meter) ]
 (* hcr_raw/hcr_cached are recomputed lazily from the HCR_EL2 sysreg
    (Cpu.hcr_view self-heals on mismatch), so they are not format. *)
@@ -406,6 +428,10 @@ let load_cpu n (c : Cpu.t) =
     { Trap_rules.m_defer = fb "defer" mn;
       m_redirect = fb "redirect" mn;
       m_cached = fb "cached" mn };
+  (c.expose <-
+     (match Expose.Policy.of_bits (fint "expose" n) with
+      | Some p -> p
+      | None -> fail "bad exposure bits 0x%x" (fint "expose" n)));
   load_meter (field "meter" n) c.meter
 
 let vcpu_node (v : Vcpu.t) =
@@ -597,6 +623,7 @@ let machine_node (m : Machine.t) =
             ("guest_vhe", B m.Machine.config.Config.guest_vhe);
             ("gicv2", B m.Machine.config.Config.gicv2) ] );
       ("scenario", S (scenario_name m.Machine.scenario));
+      ("expose", int (Expose.Policy.to_bits m.Machine.expose));
       ("ncpus", int (Array.length m.Machine.cpus));
       ("table", L (List.map int (table_fields m.Machine.cpus.(0).Cpu.meter.Cost.table)));
       ("checking", B m.Machine.checking);
@@ -644,6 +671,11 @@ let restore s =
       gicv2 = fb "gicv2" cn }
   in
   let scenario = scenario_of_name (fs "scenario" n) in
+  let expose =
+    match Expose.Policy.of_bits (fint "expose" n) with
+    | Some p -> p
+    | None -> fail "bad exposure bits 0x%x" (fint "expose" n)
+  in
   let ncpus = fint "ncpus" n in
   let table = table_of_fields (List.map get_int (fl "table" n)) in
   let checking = fb "checking" n in
@@ -652,7 +684,8 @@ let restore s =
      — exactly as the original was built, then overwrite every mutable
      field from the tree. *)
   let m =
-    Machine.create ?fault_plan:plan ~check_invariants:checking ~ncpus ~table config scenario
+    Machine.create ?fault_plan:plan ~check_invariants:checking ~ncpus ~table
+      ~expose config scenario
   in
   let mn = field "mem" n in
   Memory.clear m.Machine.mem;
@@ -764,7 +797,7 @@ let diff_typed m1 m2 =
         let path = match sub with None -> name | Some s -> name ^ "." ^ s in
         diff_node path (pick n1) (pick n2))
       [ ("ncpus", None); ("config", None); ("scenario", None);
-        ("mem", Some "mmio") ]
+        ("expose", None); ("mem", Some "mmio") ]
   in
   match topo with
   | Some (path, detail) -> Topology_mismatch { path; detail }

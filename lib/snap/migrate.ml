@@ -9,7 +9,9 @@
    the {!Mmu.Dirty} tracker; each first-store-per-page-per-round is a
    write-protection fault charged through the ordinary trap machinery
    (and hence visible in traces), so migrating a busy guest is visibly
-   more expensive than migrating an idle one.
+   more expensive than migrating an idle one.  Under an OoH Dirty_log
+   grant the same captures run trap-free (hardware dirty bits instead of
+   faults); see the interface comment.
 
    The destination machine is built by {!Image.restore} from a snapshot
    taken at the stop point, so a migrated nested guest carries its guest
@@ -29,29 +31,59 @@ module Memory = Arm.Memory
 module Cpu = Arm.Cpu
 
 type report = {
+  r_mech : string;           (* virtualization mechanism, "+ooh(dirty-log)"
+                                suffixed when the capture path is exposed *)
   r_rounds : int;            (* pre-copy rounds run (round 0 = full copy) *)
   r_dirty_per_round : int list;  (* pages copied in each round, oldest first *)
   r_pages_total : int;       (* distinct backed pages at the stop point *)
   r_pages_copied : int;      (* page transfers, including re-copies *)
-  r_write_faults : int;      (* write-protection faults taken *)
+  r_write_faults : int;      (* first-write-per-page captures, both kinds *)
+  r_trapped_captures : int;  (* captures that cost a full trap round trip *)
+  r_exposed_captures : int;  (* trap-free captures under the Dirty_log grant *)
+  r_precopy_traps : int;     (* traps taken while the guest still ran *)
   r_final_dirty : int;       (* residual pages moved during downtime *)
   r_converged : bool;        (* dirty set fell to the threshold in budget *)
   r_precopy_cycles : int;    (* elapsed while the guest still ran *)
   r_downtime_cycles : int;   (* stop-and-copy: residual pages + state *)
 }
 
+(* Mechanism label for the report: the config's name, suffixed when the
+   machine's OoH grant set turns dirty logging trap-free. *)
+let mech_label (m : Machine.t) =
+  let base = Hyp.Config.name m.Machine.config in
+  if Expose.Policy.mem m.Machine.expose Expose.Policy.Dirty_log then
+    base ^ "+ooh(dirty-log)"
+  else base
+
+let per_round r total =
+  if r.r_rounds = 0 then 0. else float_of_int total /. float_of_int r.r_rounds
+
+let per_capture r total =
+  if r.r_write_faults = 0 then 0.
+  else float_of_int total /. float_of_int r.r_write_faults
+
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>rounds          %d%s@,pages           %d total, %d copied (%d re-copies)@,\
-     write faults    %d@,dirty per round %s@,precopy         %d cycles@,\
+    "@[<v>mechanism       %s@,rounds          %d%s@,\
+     pages           %d total, %d copied (%d re-copies)@,\
+     dirty captures  %d (%d trapped, %d exposed trap-free)@,\
+     dirty per round %s@,\
+     per round       %.1f traps, %.1f cycles (pre-copy)@,\
+     per capture     %.2f traps, %.1f cycles@,\
+     precopy         %d cycles, %d traps@,\
      downtime        %d cycles (%d residual pages)@]"
-    r.r_rounds
+    r.r_mech r.r_rounds
     (if r.r_converged then "" else " (budget exhausted before convergence)")
     r.r_pages_total r.r_pages_copied
     (max 0 (r.r_pages_copied - r.r_pages_total))
-    r.r_write_faults
+    r.r_write_faults r.r_trapped_captures r.r_exposed_captures
     (String.concat " " (List.map string_of_int r.r_dirty_per_round))
-    r.r_precopy_cycles r.r_downtime_cycles r.r_final_dirty
+    (per_round r r.r_precopy_traps)
+    (per_round r r.r_precopy_cycles)
+    (per_capture r r.r_precopy_traps)
+    (per_capture r r.r_precopy_cycles)
+    r.r_precopy_cycles r.r_precopy_traps
+    r.r_downtime_cycles r.r_final_dirty
 
 (* A transfer-stream failure injected by {!resilient}; never escapes it. *)
 exception Stream_failure of string
@@ -68,12 +100,28 @@ let run_attempt ?(threshold = 8) ?(max_rounds = 16)
   let meter = src.Machine.cpus.(0).Cpu.meter in
   let table = meter.Cost.table in
   let start_cycles = meter.Cost.cycles in
+  let start_traps = meter.Cost.traps in
+  let exposed =
+    Expose.Policy.mem src.Machine.expose Expose.Policy.Dirty_log
+  in
+  let exposed_captures = ref 0 in
   let tracker =
     Mmu.Dirty.attach
-      ~on_fault:(fun _page ->
-        (* the stage-2 write-protection fault: full trap round trip *)
-        Cost.record_trap ~detail:"dirty-log" meter Cost.Trap_mem_fault;
-        Cost.charge meter (table.Cost.trap_entry + table.Cost.l0_mem_fault + table.Cost.trap_return))
+      ~on_fault:
+        (if exposed then fun _page ->
+           (* OoH Dirty_log grant: the hardware dirty-bit capture replaces
+              the write-protection fault.  The store already paid its own
+              execution cost; the trap round trip simply never happens —
+              the vanished exit IS the mechanism.  Attribution only. *)
+           incr exposed_captures;
+           Cost.record_exposed ~detail:"dirty-log" meter
+             Expose.Policy.Dirty_log
+         else fun _page ->
+           (* the stage-2 write-protection fault: full trap round trip *)
+           Cost.record_trap ~detail:"dirty-log" meter Cost.Trap_mem_fault;
+           Cost.charge meter
+             (table.Cost.trap_entry + table.Cost.l0_mem_fault
+            + table.Cost.trap_return))
       src.Machine.mem
   in
   try
@@ -105,6 +153,7 @@ let run_attempt ?(threshold = 8) ?(max_rounds = 16)
   let nfinal = List.length final_dirty in
   let converged = nfinal <= threshold in
   let precopy_cycles = meter.Cost.cycles - start_cycles in
+  let precopy_traps = meter.Cost.traps - start_traps in
   (* Stop-and-copy: the guest is paused from here.  Residual pages and
      the machine-state transfer are charged to the source first, so the
      snapshot — and therefore the destination — already includes them. *)
@@ -135,14 +184,19 @@ let run_attempt ?(threshold = 8) ?(max_rounds = 16)
          ("migration: pre-copied pages diverge from destination memory — dirty tracker missed a write; "
          ^ first_bad (staged_words, dst_words)))
   end;
+  let captures = Mmu.Dirty.write_faults tracker in
   let report =
-    { r_rounds = nrounds;
+    { r_mech = mech_label src;
+      r_rounds = nrounds;
       r_dirty_per_round = List.rev hist;
       r_pages_total =
         List.length
           (List.sort_uniq Int64.compare (List.map (fun (a, _) -> Mmu.Walk.page_base a) dst_words));
       r_pages_copied = copied + nfinal;
-      r_write_faults = Mmu.Dirty.write_faults tracker;
+      r_write_faults = captures;
+      r_trapped_captures = captures - !exposed_captures;
+      r_exposed_captures = !exposed_captures;
+      r_precopy_traps = precopy_traps;
       r_final_dirty = nfinal;
       r_converged = converged;
       r_precopy_cycles = precopy_cycles;

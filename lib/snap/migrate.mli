@@ -6,19 +6,46 @@
     remainder plus machine state is transferred — the simulated downtime
     — and the destination is materialized with {!Image.restore}.  All
     migration costs are charged to the source before the final snapshot,
-    so a successful migration satisfies [Image.diff src dst = None]. *)
+    so a successful migration satisfies [Image.diff src dst = None].
+
+    When the source machine's OoH grant set includes
+    {!Expose.Policy.Dirty_log}, first-write-per-page captures run
+    trap-free: the hardware dirty bit replaces the stage-2
+    write-protection fault, so no trap is recorded and no exit cost is
+    charged ({!Cost.record_exposed} keeps the attribution).  Every other
+    aspect of the algorithm — rounds, page streams, the byte-identity
+    guarantee — is unchanged, which is what makes the per-mechanism
+    traps-per-round comparison meaningful. *)
 
 type report = {
+  r_mech : string;
+      (** virtualization mechanism label ({!Hyp.Config.name}),
+          ["+ooh(dirty-log)"]-suffixed when captures were exposed *)
   r_rounds : int;  (** pre-copy rounds run (round 0 is the full copy) *)
   r_dirty_per_round : int list;  (** pages copied per round, oldest first *)
   r_pages_total : int;  (** distinct backed pages at the stop point *)
   r_pages_copied : int;  (** page transfers, including re-copies *)
-  r_write_faults : int;  (** write-protection faults taken *)
+  r_write_faults : int;
+      (** first-write-per-page captures, trapped and exposed together *)
+  r_trapped_captures : int;
+      (** captures that cost a full write-protection-fault round trip *)
+  r_exposed_captures : int;
+      (** trap-free captures under the [Dirty_log] grant *)
+  r_precopy_traps : int;  (** traps taken while the guest still ran *)
   r_final_dirty : int;  (** residual pages moved during downtime *)
   r_converged : bool;  (** dirty set reached the threshold in budget *)
   r_precopy_cycles : int;  (** elapsed cycles while the guest still ran *)
   r_downtime_cycles : int;  (** stop-and-copy: residual pages + state *)
 }
+
+val mech_label : Hyp.Machine.t -> string
+(** The mechanism string a migration of this machine reports. *)
+
+val per_round : report -> int -> float
+(** [per_round r total] is [total] averaged over the pre-copy rounds. *)
+
+val per_capture : report -> int -> float
+(** [per_capture r total] is [total] averaged over the dirty captures. *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -49,6 +49,7 @@ type kind =
   | Tlb_shootdown   (* broadcast TLBI: every vCPU's TLB + shadow hit *)
   | Bbm_break       (* break-before-make: old stage-2 entry broken *)
   | Bbm_make        (* break-before-make: new stage-2 entry installed *)
+  | Exposed_access  (* OoH grant made a vEL2 access run trap-free *)
 
 let kind_name = function
   | Trap -> "trap"
@@ -83,6 +84,7 @@ let kind_name = function
   | Tlb_shootdown -> "tlb-shootdown"
   | Bbm_break -> "bbm-break"
   | Bbm_make -> "bbm-make"
+  | Exposed_access -> "exposed-access"
 
 (* In-place ring slot: every field mutable so emission writes, never
    allocates. *)

@@ -54,6 +54,7 @@ type kind =
   | Tlb_shootdown   (** broadcast TLBI: every vCPU's TLB + shadow hit *)
   | Bbm_break       (** break-before-make: old stage-2 entry broken *)
   | Bbm_make        (** break-before-make: new stage-2 entry installed *)
+  | Exposed_access  (** OoH grant made a vEL2 access run trap-free *)
 
 val kind_name : kind -> string
 

@@ -55,13 +55,13 @@ let fuzz_columns =
     fig2_columns
 
 (* Build a booted ARM machine for a column. *)
-let make_arm ?(ncpus = 2) ?table (col : arm_column) =
+let make_arm ?(ncpus = 2) ?table ?expose (col : arm_column) =
   let config, scen =
     match col with
     | Arm_vm -> (Hyp.Config.v Hyp.Config.Hw_v8_3, Hyp.Host_hyp.Single_vm)
     | Arm_nested cfg -> (cfg, Hyp.Host_hyp.Nested)
   in
-  let m = Hyp.Machine.create ~ncpus ?table config scen in
+  let m = Hyp.Machine.create ~ncpus ?table ?expose config scen in
   Hyp.Machine.boot m;
   m
 

@@ -19,8 +19,14 @@ val fuzz_columns : (string * Hyp.Config.t) list
     {!fig2_columns} plus its paravirtualized twin (same guest-hypervisor
     design, instructions rewritten), in figure order. *)
 
-val make_arm : ?ncpus:int -> ?table:Cost.table -> arm_column -> Hyp.Machine.t
+val make_arm :
+  ?ncpus:int ->
+  ?table:Cost.table ->
+  ?expose:Expose.Policy.t ->
+  arm_column ->
+  Hyp.Machine.t
 (** Build and boot an ARM machine for a column (2 CPUs by default, for
-    the IPI benchmarks). *)
+    the IPI benchmarks).  [expose] (default {!Expose.Policy.none}) is
+    the OoH grant set passed through to {!Hyp.Machine.create}. *)
 
 val make_x86 : ?table:Cost.table -> x86_column -> X86.Turtles.t

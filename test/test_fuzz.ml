@@ -292,6 +292,36 @@ let test_superblock_equivalence () =
     0
     (Fuzz.Campaign.divergence_count on + Fuzz.Campaign.divergence_count off)
 
+(* --- OoH twin columns in the differential matrix ---------------------- *)
+
+let test_ooh_columns () =
+  let ooh, base =
+    List.partition
+      (fun c -> not (Expose.Policy.is_none c.Fuzz.Diff.col_expose))
+      Fuzz.Diff.columns
+  in
+  check Alcotest.int "eight base columns (four mechanisms x VHE)" 8
+    (List.length base);
+  check Alcotest.int "four OoH twins (hardware columns only)" 4
+    (List.length ooh);
+  List.iter
+    (fun c ->
+      let name = c.Fuzz.Diff.col_name in
+      check Alcotest.bool (name ^ " carries the shared grant") true
+        (Expose.Policy.equal c.Fuzz.Diff.col_expose Fuzz.Diff.ooh_grant);
+      check Alcotest.bool (name ^ " is suffixed \" (ooh)\"") true
+        (Filename.check_suffix name " (ooh)");
+      let base_name =
+        String.sub name 0 (String.length name - String.length " (ooh)")
+      in
+      check Alcotest.bool (name ^ " has its ungranted base column") true
+        (List.exists (fun b -> b.Fuzz.Diff.col_name = base_name) base))
+    ooh;
+  (* Dirty_log stays out of the fuzz grant: it has no sysreg surface, so
+     granting it would change nothing a fuzz program can touch *)
+  check Alcotest.bool "fuzz grant is timer + gic-lrs only" false
+    (Expose.Policy.mem Fuzz.Diff.ooh_grant Expose.Policy.Dirty_log)
+
 let suite =
   [
     qtest test_roundtrip;
@@ -308,6 +338,8 @@ let suite =
       test_shrinker_minimizes;
     Alcotest.test_case "corpus repros replay cleanly" `Quick
       test_corpus_replay;
+    Alcotest.test_case "OoH twin columns: grants, names, bases" `Quick
+      test_ooh_columns;
     Alcotest.test_case "campaign: deterministic and clean" `Slow
       test_campaign_deterministic_and_clean;
     Alcotest.test_case "superblocks on == off across all columns" `Slow

@@ -82,6 +82,9 @@ let test_route_total =
         TR.route features ~hcr:(Hcr.decode hcr) ~vncr ~el insn
       with
       | TR.Execute | TR.Trap_to_el2 _ | TR.Undef | TR.Read_disguised _ -> true
+      | TR.Execute_exposed _ ->
+        (* exposure requires an explicit grant; this route passed none *)
+        false
       | TR.Execute_redirected target ->
         (* a redirection never targets the register it came from *)
         (match Insn.sysreg_use insn with

@@ -343,6 +343,90 @@ let test_baddr_bit52_roundtrip () =
   check Alcotest.int64 "deferred read round-trips" 0xabcdL
     (Arm.Cpu.get_reg cpu 3)
 
+(* --- OoH selective exposure (fourth mechanism) --- *)
+
+let expose_all =
+  Expose.Policy.of_list
+    [ Expose.Policy.Timer; Expose.Policy.Gic_lrs ]
+
+let route_exposed ?(hcr = hcr_nv_nonvhe) ?(vncr = 0L) insn =
+  TR.route ~expose:expose_all v8_3 ~hcr ~vncr ~el:Pstate.EL1 insn
+
+let is_exposed f = function
+  | TR.Execute_exposed { feature } -> feature = f
+  | _ -> false
+
+let test_expose_grant_routes_trap_free () =
+  (* every register in the grant table goes direct, reads and writes *)
+  let check_feature f regs =
+    List.iter
+      (fun r ->
+        List.iter
+          (fun insn ->
+            if not (is_exposed f (route_exposed insn)) then
+              Alcotest.failf "%s should be exposed (%s), got %a"
+                (Sysreg.name r)
+                (Expose.Policy.feature_name f)
+                TR.pp_action (route_exposed insn))
+          [ mrs r; msr r ])
+      regs
+  in
+  check_feature Expose.Policy.Timer
+    [ Sysreg.CNTHP_CTL_EL2; Sysreg.CNTHP_CVAL_EL2; Sysreg.CNTHV_CTL_EL2;
+      Sysreg.CNTHV_CVAL_EL2; Sysreg.CNTVOFF_EL2 ];
+  check_feature Expose.Policy.Gic_lrs
+    (Sysreg.ICH_HCR_EL2 :: Sysreg.ICH_VMCR_EL2
+    :: List.init Sysreg.lr_count (fun i -> Sysreg.ICH_LR_EL2 i))
+
+let test_expose_status_regs_stay_trapped () =
+  (* the host's vGIC sanitizer derives these; a grant must not leak a
+     stale hardware copy *)
+  List.iter
+    (fun r ->
+      if not (is_trap (route_exposed (mrs r))) then
+        Alcotest.failf "%s must keep trapping under a gic-lrs grant"
+          (Sysreg.name r))
+    [ Sysreg.ICH_VTR_EL2; Sysreg.ICH_MISR_EL2; Sysreg.ICH_EISR_EL2;
+      Sysreg.ICH_ELRSR_EL2 ]
+
+let test_expose_wins_over_nv2 () =
+  (* with NV2 deferral active the grant still goes to hardware, not to
+     the deferred page *)
+  List.iter
+    (fun insn ->
+      match route_exposed ~hcr:hcr_nv2_nonvhe ~vncr:vncr_on insn with
+      | TR.Execute_exposed _ -> ()
+      | a ->
+        Alcotest.failf "grant should beat NV2 deferral, got %a" TR.pp_action a)
+    [ msr Sysreg.CNTVOFF_EL2; msr (Sysreg.ICH_LR_EL2 11) ]
+
+let test_expose_needs_vel2 () =
+  (* the grant only covers the guest *hypervisor*: without NV (plain
+     EL1 guest) an exposed register is as dead as ever *)
+  List.iter
+    (fun r ->
+      match route_exposed ~hcr:hcr_vm (msr r) with
+      | TR.Execute_exposed _ ->
+        Alcotest.failf "%s must not be exposed outside virtual EL2"
+          (Sysreg.name r)
+      | _ -> ())
+    [ Sysreg.CNTHP_CTL_EL2; Sysreg.ICH_LR_EL2 0 ]
+
+let test_expose_none_is_identity () =
+  (* an empty policy routes byte-for-byte like the base mechanism *)
+  List.iter
+    (fun insn ->
+      let base = route insn in
+      let granted =
+        TR.route ~expose:Expose.Policy.none v8_3 ~hcr:hcr_nv_nonvhe
+          ~vncr:0L ~el:Pstate.EL1 insn
+      in
+      if base <> granted then
+        Alcotest.failf "empty grant changed routing of %a -> %a" TR.pp_action
+          base TR.pp_action granted)
+    [ msr Sysreg.CNTHP_CTL_EL2; mrs Sysreg.ICH_VMCR_EL2;
+      msr Sysreg.VTTBR_EL2; mrs Sysreg.SCTLR_EL1 ]
+
 let suite =
   [
     ("v8.0: EL2 access at EL1 is UNDEFINED", `Quick, test_v80_el2_access_undef);
@@ -373,4 +457,12 @@ let suite =
     ("NEVE: BADDR covers bit 52", `Quick, test_baddr_bit52);
     ("NEVE: deferral round-trips above 2^51", `Quick,
      test_baddr_bit52_roundtrip);
+    ("OoH: granted registers route trap-free", `Quick,
+     test_expose_grant_routes_trap_free);
+    ("OoH: vGIC status registers stay trapped", `Quick,
+     test_expose_status_regs_stay_trapped);
+    ("OoH: grant wins over NV2 deferral", `Quick, test_expose_wins_over_nv2);
+    ("OoH: no exposure outside virtual EL2", `Quick, test_expose_needs_vel2);
+    ("OoH: empty policy is the identity", `Quick,
+     test_expose_none_is_identity);
   ]
